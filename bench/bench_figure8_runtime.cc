@@ -1,0 +1,92 @@
+// Figure 8 — "Performance results for sequential prototype implementation"
+// (runtime vs input size for the prototype, the SGX version, the
+// transformed SGX version, and the insecure sort-merge join; inputs with
+// m ~= n1 = n2 = n/2).
+//
+// Substitution (see DESIGN.md): real-SGX runs are replaced by the EPC
+// paging model of sgx_sim — measured CPU time plus a per-fault penalty,
+// with the level-III transformation's constant factor on top.  To keep the
+// default run laptop-fast while still showing the paging knee, the sweep
+// and the modelled EPC are scaled down together: the paper's n = 10^6 run
+// has a ~360 MB footprint against a 93 MiB EPC (ratio ~3.9), which the
+// default sweep to 2^18 (~63 MB footprint) matches at --epc-mib=16.  Pass --paper for the paper's exact sweep
+// (0.1e6..1e6, 93 MiB EPC); expect minutes on one core.
+//
+// Usage: bench_figure8_runtime [--paper] [--epc-mib=16]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "baselines/sort_merge.h"
+#include "common/timer.h"
+#include "core/join.h"
+#include "sgx_sim/epc_simulator.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace oblivdb;
+
+  bool paper_scale = false;
+  uint64_t epc_mib = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper") == 0) paper_scale = true;
+    if (std::strncmp(argv[i], "--epc-mib=", 10) == 0) {
+      epc_mib = std::strtoull(argv[i] + 10, nullptr, 10);
+    }
+  }
+
+  std::vector<uint64_t> sweep;
+  if (paper_scale) {
+    sweep = {100000, 250000, 500000, 750000, 1000000};
+    epc_mib = 93;
+  } else {
+    sweep = {1u << 14, 1u << 15, 1u << 16, 17u << 13, 1u << 18};
+  }
+
+  sgx_sim::SgxCostModel model;
+  model.epc_bytes = epc_mib << 20;
+
+  std::printf("Figure 8 reproduction: m ~= n1 = n2 = n/2, EPC model %llu "
+              "MiB, %.1fus/fault, transform factor %.3f\n\n",
+              (unsigned long long)epc_mib, model.seconds_per_fault * 1e6,
+              model.transform_factor);
+  std::printf("%-10s %-12s %-10s %-12s %-14s %-10s\n", "n", "sort-merge",
+              "prototype", "sgx(model)", "sgx-transf.", "faults");
+
+  for (uint64_t n : sweep) {
+    const auto tc = workload::Figure8Workload(n, /*seed=*/n);
+
+    Timer timer;
+    (void)baselines::SortMergeJoin(tc.t1, tc.t2);
+    const double t_insecure = timer.ElapsedSeconds();
+
+    timer.Start();
+    (void)core::ObliviousJoin(tc.t1, tc.t2);
+    const double t_prototype = timer.ElapsedSeconds();
+
+    // The SGX curves: same algorithm replayed through the EPC model.  The
+    // trace sink adds interposition overhead, so in-enclave compute time is
+    // taken from the untraced prototype run and only the fault penalty
+    // comes from the simulation.
+    const auto sgx = sgx_sim::SimulateSgxRun(model, [&] {
+      (void)core::ObliviousJoin(tc.t1, tc.t2);
+    });
+    const double fault_penalty = sgx.sgx_seconds - sgx.cpu_seconds;
+    const double t_sgx = t_prototype + fault_penalty;
+    const double t_transformed = t_sgx * model.transform_factor;
+
+    std::printf("%-10llu %-12.4f %-10.3f %-12.3f %-14.3f %-10llu\n",
+                (unsigned long long)n, t_insecure, t_prototype, t_sgx,
+                t_transformed, (unsigned long long)sgx.page_faults);
+  }
+
+  std::printf(
+      "\nexpected shape (paper's Figure 8 at n = 10^6): insecure 0.03 s,\n"
+      "prototype 2.35 s, SGX 5.67 s, SGX transformed 6.30 s — i.e. the\n"
+      "oblivious prototype pays ~80x over sort-merge, EPC paging roughly\n"
+      "doubles it once the footprint exceeds the EPC, and the level-III\n"
+      "transformation adds a constant ~11%%.\n");
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Primitive-level ablation microbenchmarks (google-benchmark):
+//
+//   * bitonic sort cost per element type / size — the n (log2 n)^2 / 4 law
+//     behind every phase of Table 3;
+//   * deterministic vs probabilistic Oblivious-Distribute — the paper's
+//     §5.2 design choice (the deterministic variant avoids the PRP and the
+//     full-size O(m log^2 m) sort);
+//   * routing-network vs sort-based compaction — the O(n log n) vs
+//     O(n log^2 n) gap cited from Goodrich;
+//   * constant-time swap vs plain swap — the price of branchlessness.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "crypto/feistel_prp.h"
+#include "memtrace/oarray.h"
+#include "obliv/bitonic_sort.h"
+#include "obliv/compact.h"
+#include "obliv/ct.h"
+#include "obliv/distribute.h"
+#include "table/entry.h"
+
+namespace {
+
+using namespace oblivdb;
+
+struct EntryKeyLess {
+  uint64_t operator()(const Entry& a, const Entry& b) const {
+    return ct::LessMask(a.join_key, b.join_key);
+  }
+};
+
+void BM_BitonicSortEntries(benchmark::State& state) {
+  const size_t n = state.range(0);
+  crypto::ChaCha20Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    memtrace::OArray<Entry> arr(n, "bench");
+    for (size_t i = 0; i < n; ++i) {
+      Entry e;
+      e.join_key = rng();
+      arr.Write(i, e);
+    }
+    state.ResumeTiming();
+    obliv::BitonicSort(arr, EntryKeyLess{});
+    benchmark::DoNotOptimize(arr.UntracedData());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BitonicSortEntries)->Range(1 << 8, 1 << 14)->Complexity();
+
+void BM_StdSortEntries(benchmark::State& state) {
+  // The non-oblivious reference point for the sorting substrate.
+  const size_t n = state.range(0);
+  crypto::ChaCha20Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Entry> v(n);
+    for (auto& e : v) e.join_key = rng();
+    state.ResumeTiming();
+    std::sort(v.begin(), v.end(), [](const Entry& a, const Entry& b) {
+      return a.join_key < b.join_key;
+    });
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_StdSortEntries)->Range(1 << 8, 1 << 14);
+
+struct Slot {
+  uint64_t value = 0;
+  uint64_t dest = 0;
+};
+uint64_t GetRouteDest(const Slot& s) { return s.dest; }
+void SetRouteDest(Slot& s, uint64_t d) { s.dest = d; }
+
+memtrace::OArray<Slot> DistributeInput(size_t n, size_t m, uint64_t seed) {
+  crypto::ChaCha20Rng rng(seed);
+  std::vector<uint64_t> dests(m);
+  for (size_t d = 0; d < m; ++d) dests[d] = d + 1;
+  std::shuffle(dests.begin(), dests.end(), rng);
+  memtrace::OArray<Slot> arr(m, "bench");
+  for (size_t i = 0; i < n; ++i) arr.Write(i, Slot{i, dests[i]});
+  return arr;
+}
+
+void BM_DistributeDeterministic(benchmark::State& state) {
+  const size_t m = state.range(0);
+  const size_t n = m / 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto arr = DistributeInput(n, m, 3);
+    state.ResumeTiming();
+    obliv::ObliviousDistribute(arr, n);
+    benchmark::DoNotOptimize(arr.UntracedData());
+  }
+}
+BENCHMARK(BM_DistributeDeterministic)->Range(1 << 8, 1 << 14);
+
+void BM_DistributeProbabilistic(benchmark::State& state) {
+  const size_t m = state.range(0);
+  const size_t n = m / 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto arr = DistributeInput(n, m, 3);
+    state.ResumeTiming();
+    obliv::ObliviousDistributeProbabilistic(arr, n, /*prp_key=*/99);
+    benchmark::DoNotOptimize(arr.UntracedData());
+  }
+}
+BENCHMARK(BM_DistributeProbabilistic)->Range(1 << 8, 1 << 14);
+
+struct KeepEven {
+  uint64_t operator()(const Slot& s) const {
+    return ct::EqMask(s.value & 1, 0);
+  }
+};
+
+void BM_CompactByRouting(benchmark::State& state) {
+  const size_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    memtrace::OArray<Slot> arr(n, "bench");
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Slot{i, 0});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(obliv::ObliviousCompact(arr, KeepEven{}));
+  }
+}
+BENCHMARK(BM_CompactByRouting)->Range(1 << 8, 1 << 14);
+
+void BM_CompactBySort(benchmark::State& state) {
+  const size_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    memtrace::OArray<Slot> arr(n, "bench");
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Slot{i, 0});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(obliv::ObliviousCompactBySort(arr, KeepEven{}));
+  }
+}
+BENCHMARK(BM_CompactBySort)->Range(1 << 8, 1 << 14);
+
+void BM_CondSwapEntry(benchmark::State& state) {
+  Entry a = MakeEntry(Record{1, {2, 3}}, 1);
+  Entry b = MakeEntry(Record{9, {8, 7}}, 2);
+  uint64_t mask = ~uint64_t{0};
+  for (auto _ : state) {
+    ct::CondSwap(mask, a, b);
+    mask = ~mask;
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_CondSwapEntry);
+
+void BM_PlainSwapEntry(benchmark::State& state) {
+  Entry a = MakeEntry(Record{1, {2, 3}}, 1);
+  Entry b = MakeEntry(Record{9, {8, 7}}, 2);
+  for (auto _ : state) {
+    std::swap(a, b);
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_PlainSwapEntry);
+
+void BM_FeistelPrpForward(benchmark::State& state) {
+  crypto::FeistelPrp prp(1 << 20, 7);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    x = prp.Forward(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_FeistelPrpForward);
+
+}  // namespace

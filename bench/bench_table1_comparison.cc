@@ -1,0 +1,116 @@
+// Table 1 — "Comparison of approaches for oblivious database joins".
+//
+// The paper's table is analytic (time complexities + assumptions); the
+// reproduction runs every implemented approach on a common workload sweep
+// so the asymptotic separations materialize as measured times:
+//
+//   standard sort-merge           O(m' log m')      insecure baseline
+//   oblivious nested-loop join    O(n1 n2 log)      Agrawal/Li-Chen class
+//   Opaque-style sort-merge       O(n log^2 n)      PK-FK only
+//   ORAM-backed sort-merge        polylog blowup    generic approach
+//   ours                          O(n log^2 n + m log m)
+//
+// Columns: n, per-algorithm wall seconds ('-' = shape unsupported or size
+// skipped because the quadratic/ORAM baselines would dominate the run).
+// Growth factors between successive n expose each row's complexity class.
+//
+// Usage: bench_table1_comparison [--max-n=8192]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "baselines/nested_loop.h"
+#include "baselines/opaque_join.h"
+#include "baselines/oram_join.h"
+#include "baselines/sort_merge.h"
+#include "common/timer.h"
+#include "core/join.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace oblivdb;
+
+double TimeIt(const std::function<void()>& fn) {
+  Timer timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t max_n = 8192;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-n=", 8) == 0) {
+      max_n = std::strtoull(argv[i] + 8, nullptr, 10);
+    }
+  }
+
+  std::printf("Table 1 reproduction: measured seconds per approach\n");
+  std::printf("(workload: PK-FK with n/2 keys so every algorithm, including "
+              "Opaque's, supports it; m = n/2)\n\n");
+  std::printf("%-8s %-12s %-14s %-12s %-12s %-12s\n", "n", "sort-merge",
+              "nested-loop", "opaque-pkfk", "oram-join", "ours");
+
+  for (uint64_t n = 256; n <= max_n; n *= 2) {
+    const auto tc = workload::PrimaryForeign(n / 2, n / 2, /*seed=*/n);
+    const uint64_t m = tc.expected_m;
+
+    const double t_sm = TimeIt([&] {
+      (void)baselines::SortMergeJoin(tc.t1, tc.t2);
+    });
+    // The quadratic candidate table needs n^2/4 slots: cap it.
+    double t_nl = -1;
+    if (n <= 2048) {
+      t_nl = TimeIt([&] {
+        (void)baselines::ObliviousNestedLoopJoin(tc.t1, tc.t2);
+      });
+    }
+    const double t_opq = TimeIt([&] {
+      (void)baselines::OpaquePkFkJoin(tc.t1, tc.t2);
+    });
+    double t_oram = -1;
+    if (n <= 4096) {
+      t_oram = TimeIt([&] {
+        (void)baselines::OramSortMergeJoin(tc.t1, tc.t2, m);
+      });
+    }
+    const double t_ours = TimeIt([&] {
+      (void)core::ObliviousJoin(tc.t1, tc.t2);
+    });
+
+    auto cell = [](double t) {
+      static char buf[8][32];
+      static int slot = 0;
+      slot = (slot + 1) % 8;
+      if (t < 0) {
+        std::snprintf(buf[slot], sizeof(buf[slot]), "-");
+      } else {
+        std::snprintf(buf[slot], sizeof(buf[slot]), "%.4f", t);
+      }
+      return buf[slot];
+    };
+    std::printf("%-8llu %-12s %-14s %-12s %-12s %-12s\n",
+                (unsigned long long)n, cell(t_sm), cell(t_nl), cell(t_opq),
+                cell(t_oram), cell(t_ours));
+  }
+
+  std::printf(
+      "\nexpected shape (paper's Table 1):\n"
+      "  * nested-loop grows ~4x per doubling (quadratic) and is the first\n"
+      "    to become infeasible;\n"
+      "  * the ORAM-backed join carries a large polylog constant (Omega(log "
+      "n)\n"
+      "    physical blowup per access) and trails every problem-specific\n"
+      "    algorithm;\n"
+      "  * Opaque-style and ours grow ~2x per doubling (n log^2 n), with\n"
+      "    Opaque restricted to PK-FK inputs while ours handles arbitrary\n"
+      "    equi-joins;\n"
+      "  * the insecure sort-merge join stays orders of magnitude faster —\n"
+      "    the price of obliviousness the paper quantifies in Figure 8.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "baselines/nested_loop.h"
+
+#include "core/comparators.h"
+#include "memtrace/oarray.h"
+#include "obliv/bitonic_sort.h"
+#include "obliv/compact.h"
+#include "obliv/ct.h"
+#include "table/entry.h"
+
+namespace oblivdb::baselines {
+namespace {
+
+// Keep the candidates whose destination rank was assigned (real matches).
+struct KeepReal {
+  uint64_t operator()(const JoinedEntry& e) const {
+    return ct::NeqMask(e.dest, 0);
+  }
+};
+
+}  // namespace
+
+std::vector<JoinedRecord> ObliviousNestedLoopJoin(const Table& table1,
+                                                  const Table& table2) {
+  const size_t n1 = table1.size();
+  const size_t n2 = table2.size();
+
+  // Sort both inputs by (j, d) with the oblivious network so the row-major
+  // candidate scan emits matches in lexicographic order.
+  memtrace::OArray<Entry> left(n1, "NL_T1");
+  memtrace::OArray<Entry> right(n2, "NL_T2");
+  for (size_t i = 0; i < n1; ++i) {
+    left.Write(i, MakeEntry(table1.rows()[i], 1));
+  }
+  for (size_t k = 0; k < n2; ++k) {
+    right.Write(k, MakeEntry(table2.rows()[k], 2));
+  }
+  obliv::BitonicSort(left, core::ByTidThenJoinKeyThenDataLess{});
+  obliv::BitonicSort(right, core::ByTidThenJoinKeyThenDataLess{});
+
+  // Fixed-order candidate pass: one slot per (i, k) pair, real or dummy.
+  memtrace::OArray<JoinedEntry> candidates(n1 * n2, "NL_cand");
+  uint64_t rank = 0;
+  for (size_t i = 0; i < n1; ++i) {
+    const Entry a = left.Read(i);
+    for (size_t k = 0; k < n2; ++k) {
+      const Entry b = right.Read(k);
+      const uint64_t match = ct::EqMask(a.join_key, b.join_key);
+      rank += ct::MaskToBit(match);
+      JoinedEntry cand{a.join_key, a.payload0, a.payload1,
+                       b.payload0, b.payload1, 0};
+      cand.dest = ct::Select(match, rank, 0);
+      candidates.Write(i * n2 + k, cand);
+    }
+  }
+
+  // Order-preserving compaction pulls the m real rows to the front;
+  // revealing m matches the main algorithm's leakage.
+  const uint64_t m = obliv::ObliviousCompact(candidates, KeepReal{});
+
+  std::vector<JoinedRecord> out;
+  out.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    out.push_back(ToJoinedRecord(candidates.Read(i)));
+  }
+  return out;
+}
+
+}  // namespace oblivdb::baselines

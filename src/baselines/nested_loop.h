@@ -1,0 +1,27 @@
+// Oblivious nested-loop join — the O(n1 * n2) class of prior work in
+// Table 1 (Agrawal et al. [3], Li & Chen [27], SMCQL's secure join).
+//
+// Every (i, k) pair is touched in a fixed order; a match emits a real
+// output candidate, a mismatch a dummy.  The n1*n2 candidate array is then
+// obliviously compacted to the m real rows.  Trivially oblivious, but the
+// quadratic candidate pass is exactly what makes this class impractical —
+// bench_table1_comparison measures the gap against the paper's algorithm.
+
+#ifndef OBLIVDB_BASELINES_NESTED_LOOP_H_
+#define OBLIVDB_BASELINES_NESTED_LOOP_H_
+
+#include <vector>
+
+#include "table/record.h"
+#include "table/table.h"
+
+namespace oblivdb::baselines {
+
+// Output rows in lexicographic (j, d1, d2) order (achieved by pre-sorting
+// the candidate scan order, which is input-independent).
+std::vector<JoinedRecord> ObliviousNestedLoopJoin(const Table& table1,
+                                                  const Table& table2);
+
+}  // namespace oblivdb::baselines
+
+#endif  // OBLIVDB_BASELINES_NESTED_LOOP_H_

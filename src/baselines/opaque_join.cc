@@ -1,0 +1,70 @@
+#include "baselines/opaque_join.h"
+
+#include "common/check.h"
+#include "core/comparators.h"
+#include "memtrace/oarray.h"
+#include "obliv/bitonic_sort.h"
+#include "obliv/compact.h"
+#include "obliv/ct.h"
+#include "table/entry.h"
+
+namespace oblivdb::baselines {
+namespace {
+
+struct KeepReal {
+  uint64_t operator()(const JoinedEntry& e) const {
+    return ct::NeqMask(e.dest, 0);
+  }
+};
+
+}  // namespace
+
+std::vector<JoinedRecord> OpaquePkFkJoin(const Table& primary,
+                                         const Table& foreign) {
+  OBLIVDB_CHECK(primary.HasUniqueKeys());
+  const size_t n1 = primary.size();
+  const size_t n2 = foreign.size();
+  const size_t n = n1 + n2;
+
+  memtrace::OArray<Entry> combined(n, "OPQ_TC");
+  for (size_t i = 0; i < n1; ++i) {
+    combined.Write(i, MakeEntry(primary.rows()[i], /*tid=*/1));
+  }
+  for (size_t k = 0; k < n2; ++k) {
+    combined.Write(n1 + k, MakeEntry(foreign.rows()[k], /*tid=*/2));
+  }
+  obliv::BitonicSort(combined, core::ByJoinKeyThenTidLess{});
+
+  // Forward pass: obliviously carry the group's primary row into each
+  // foreign row.  Each step emits exactly one output candidate, real only
+  // for a matched foreign row.
+  memtrace::OArray<JoinedEntry> candidates(n, "OPQ_cand");
+  uint64_t carry_key = 0, carry_d0 = 0, carry_d1 = 0, carry_valid = 0;
+  uint64_t rank = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Entry e = combined.Read(i);
+    const uint64_t is_primary = ct::EqMask(e.tid, 1);
+    carry_key = ct::Select(is_primary, e.join_key, carry_key);
+    carry_d0 = ct::Select(is_primary, e.payload0, carry_d0);
+    carry_d1 = ct::Select(is_primary, e.payload1, carry_d1);
+    carry_valid = ct::Select(is_primary, ~uint64_t{0}, carry_valid);
+
+    const uint64_t real =
+        ~is_primary & carry_valid & ct::EqMask(carry_key, e.join_key);
+    rank += ct::MaskToBit(real);
+    JoinedEntry cand{e.join_key, carry_d0, carry_d1, e.payload0, e.payload1,
+                     0};
+    cand.dest = ct::Select(real, rank, 0);
+    candidates.Write(i, cand);
+  }
+
+  const uint64_t m = obliv::ObliviousCompact(candidates, KeepReal{});
+  std::vector<JoinedRecord> out;
+  out.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    out.push_back(ToJoinedRecord(candidates.Read(i)));
+  }
+  return out;
+}
+
+}  // namespace oblivdb::baselines

@@ -1,0 +1,29 @@
+// Opaque-style oblivious sort-merge join, restricted to primary-foreign key
+// joins (Zheng et al., NSDI 2017; the ObliDB variant is equivalent at this
+// granularity) — the "Opaque [45] and ObliDB [13]" row of Table 1.
+//
+// Algorithm: union both tables tagged with their source, bitonic-sort by
+// (j, tid) so each group is [primary, foreigns...]; one forward pass
+// obliviously carries the last primary row into every foreign row; finally
+// compact away the primary rows and any unmatched foreigns.  O(n log^2 n),
+// m <= n2 — which is exactly why the restriction to PK-FK joins matters:
+// the technique cannot express a group's Cartesian product.
+
+#ifndef OBLIVDB_BASELINES_OPAQUE_JOIN_H_
+#define OBLIVDB_BASELINES_OPAQUE_JOIN_H_
+
+#include <vector>
+
+#include "table/record.h"
+#include "table/table.h"
+
+namespace oblivdb::baselines {
+
+// `primary` must have unique join keys (checked).  Returns one output row
+// per foreign row whose key exists in `primary`, in (j, d2) order.
+std::vector<JoinedRecord> OpaquePkFkJoin(const Table& primary,
+                                         const Table& foreign);
+
+}  // namespace oblivdb::baselines
+
+#endif  // OBLIVDB_BASELINES_OPAQUE_JOIN_H_

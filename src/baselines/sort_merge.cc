@@ -1,0 +1,63 @@
+#include "baselines/sort_merge.h"
+
+#include <algorithm>
+
+namespace oblivdb::baselines {
+namespace {
+
+std::vector<Record> SortedRows(const Table& t) {
+  std::vector<Record> rows = t.rows();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// Calls visit(r1, r2) for every matching pair, in lexicographic order.
+template <typename Visitor>
+void MergeGroups(const std::vector<Record>& r1, const std::vector<Record>& r2,
+                 Visitor&& visit) {
+  size_t i = 0, k = 0;
+  while (i < r1.size() && k < r2.size()) {
+    if (r1[i].key < r2[k].key) {
+      ++i;
+    } else if (r2[k].key < r1[i].key) {
+      ++k;
+    } else {
+      // Matching group: emit its full Cartesian product.
+      const uint64_t key = r1[i].key;
+      size_t i_end = i;
+      while (i_end < r1.size() && r1[i_end].key == key) ++i_end;
+      size_t k_end = k;
+      while (k_end < r2.size() && r2[k_end].key == key) ++k_end;
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = k; b < k_end; ++b) {
+          visit(r1[a], r2[b]);
+        }
+      }
+      i = i_end;
+      k = k_end;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<JoinedRecord> SortMergeJoin(const Table& table1,
+                                        const Table& table2) {
+  const std::vector<Record> r1 = SortedRows(table1);
+  const std::vector<Record> r2 = SortedRows(table2);
+  std::vector<JoinedRecord> out;
+  MergeGroups(r1, r2, [&out](const Record& a, const Record& b) {
+    out.push_back(JoinedRecord{a.key, a.payload, b.payload});
+  });
+  return out;
+}
+
+uint64_t SortMergeJoinSize(const Table& table1, const Table& table2) {
+  const std::vector<Record> r1 = SortedRows(table1);
+  const std::vector<Record> r2 = SortedRows(table2);
+  uint64_t m = 0;
+  MergeGroups(r1, r2, [&m](const Record&, const Record&) { ++m; });
+  return m;
+}
+
+}  // namespace oblivdb::baselines

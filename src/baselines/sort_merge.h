@@ -1,0 +1,26 @@
+// The standard, non-oblivious sort-merge equi-join — the insecure baseline
+// of Table 1 and the reference curve of Figure 8.
+//
+// Also serves as the correctness oracle for every join in the test suite.
+
+#ifndef OBLIVDB_BASELINES_SORT_MERGE_H_
+#define OBLIVDB_BASELINES_SORT_MERGE_H_
+
+#include <vector>
+
+#include "table/record.h"
+#include "table/table.h"
+
+namespace oblivdb::baselines {
+
+// Output rows in lexicographic (j, d1, d2) order — the same order the
+// oblivious join produces, so results compare with operator== directly.
+std::vector<JoinedRecord> SortMergeJoin(const Table& table1,
+                                        const Table& table2);
+
+// Output size |T1 |><| T2| without materializing it.
+uint64_t SortMergeJoinSize(const Table& table1, const Table& table2);
+
+}  // namespace oblivdb::baselines
+
+#endif  // OBLIVDB_BASELINES_SORT_MERGE_H_

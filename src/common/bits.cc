@@ -1,0 +1,39 @@
+#include "common/bits.h"
+
+#include "common/check.h"
+
+namespace oblivdb {
+
+uint64_t CeilPow2(uint64_t n) {
+  if (n <= 1) return 1;
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint64_t GreatestPow2LessThan(uint64_t n) {
+  OBLIVDB_CHECK_GE(n, 2u);
+  uint64_t p = 1;
+  while (p << 1 < n) p <<= 1;
+  return p;
+}
+
+uint32_t Log2Ceil(uint64_t n) {
+  OBLIVDB_CHECK_GE(n, 1u);
+  uint32_t k = 0;
+  uint64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+    ++k;
+  }
+  return k;
+}
+
+uint32_t Log2Floor(uint64_t n) {
+  OBLIVDB_CHECK_GE(n, 1u);
+  uint32_t k = 0;
+  while (n >>= 1) ++k;
+  return k;
+}
+
+}  // namespace oblivdb

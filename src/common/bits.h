@@ -1,0 +1,32 @@
+// Bit-twiddling helpers shared by the oblivious primitives.
+//
+// These are all branch-free (or depend only on *public* values such as array
+// sizes), which is what the sorting / routing networks require.
+
+#ifndef OBLIVDB_COMMON_BITS_H_
+#define OBLIVDB_COMMON_BITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace oblivdb {
+
+// Smallest power of two >= n.  CeilPow2(0) == 1.
+uint64_t CeilPow2(uint64_t n);
+
+// Largest power of two strictly less than n.  Requires n >= 2.
+// This is the hop schedule used by bitonic merges on arbitrary-length inputs.
+uint64_t GreatestPow2LessThan(uint64_t n);
+
+// ceil(log2(n)) for n >= 1; Log2Ceil(1) == 0.
+uint32_t Log2Ceil(uint64_t n);
+
+// floor(log2(n)) for n >= 1.
+uint32_t Log2Floor(uint64_t n);
+
+// True iff n is a power of two (n > 0).
+inline bool IsPow2(uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace oblivdb
+
+#endif  // OBLIVDB_COMMON_BITS_H_

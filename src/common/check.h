@@ -1,0 +1,41 @@
+// Lightweight precondition / invariant macros in the style of glog's CHECK.
+//
+// The library does not use exceptions on hot paths: a violated OBLIVDB_CHECK
+// is a programming error (caller broke the documented contract) and aborts
+// with a diagnostic.  Recoverable conditions are expressed through return
+// values instead.
+
+#ifndef OBLIVDB_COMMON_CHECK_H_
+#define OBLIVDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts with a file:line diagnostic when `cond` is false.
+#define OBLIVDB_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "OBLIVDB_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Binary comparison checks print both operand expressions for context.
+#define OBLIVDB_CHECK_OP(op, a, b)                                           \
+  do {                                                                       \
+    if (!((a)op(b))) {                                                       \
+      std::fprintf(stderr, "OBLIVDB_CHECK failed at %s:%d: %s %s %s\n",      \
+                   __FILE__, __LINE__, #a, #op, #b);                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define OBLIVDB_CHECK_EQ(a, b) OBLIVDB_CHECK_OP(==, a, b)
+#define OBLIVDB_CHECK_NE(a, b) OBLIVDB_CHECK_OP(!=, a, b)
+#define OBLIVDB_CHECK_LT(a, b) OBLIVDB_CHECK_OP(<, a, b)
+#define OBLIVDB_CHECK_LE(a, b) OBLIVDB_CHECK_OP(<=, a, b)
+#define OBLIVDB_CHECK_GT(a, b) OBLIVDB_CHECK_OP(>, a, b)
+#define OBLIVDB_CHECK_GE(a, b) OBLIVDB_CHECK_OP(>=, a, b)
+
+#endif  // OBLIVDB_COMMON_CHECK_H_

@@ -1,0 +1,14 @@
+#include "common/timer.h"
+
+namespace oblivdb {
+
+Timer::Timer() { Start(); }
+
+void Timer::Start() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::ElapsedSeconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace oblivdb

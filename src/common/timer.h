@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used by the benchmark harnesses and JoinStats.
+
+#ifndef OBLIVDB_COMMON_TIMER_H_
+#define OBLIVDB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace oblivdb {
+
+// Simple monotonic stopwatch.  Start() resets; ElapsedSeconds() reads.
+class Timer {
+ public:
+  Timer();
+
+  void Start();
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace oblivdb
+
+#endif  // OBLIVDB_COMMON_TIMER_H_

@@ -1,0 +1,36 @@
+// Align-Table (Algorithm 5): reorder the expanded S2 so that row i of S2
+// matches row i of S1 for every i.
+//
+// Note on the index formula.  With the paper's own convention from
+// Algorithm 2 / Figure 2 — alpha1 = group count in T1, alpha2 = group count
+// in T2 — the expanded S2 holds alpha1 contiguous copies of each T2 entry,
+// so the q-th entry of a group block (0-based) is copy  c = q mod alpha1  of
+// distinct element  k = floor(q / alpha1), and its aligned position is
+//
+//     ii = floor(q / alpha1) + (q mod alpha1) * alpha2.
+//
+// Algorithm 5 as printed swaps alpha1/alpha2 relative to this (it matches
+// Figure 5's caption, which labels the S1 block size "alpha1(x) = 3" even
+// though that group has alpha1 = 2, alpha2 = 3 under Figure 2's convention).
+// We follow the Figure 2 convention; the worked example of Figures 1/5 and
+// the property tests against a reference join confirm this is the correct
+// reading (see EXPERIMENTS.md, "Erratum").
+
+#ifndef OBLIVDB_CORE_ALIGN_H_
+#define OBLIVDB_CORE_ALIGN_H_
+
+#include <cstdint>
+
+#include "memtrace/oarray.h"
+#include "table/entry.h"
+
+namespace oblivdb::core {
+
+// Reorders s2[0, m) in place.  `sort_comparisons`, when non-null,
+// accumulates the alignment sort's compare-exchange count.
+void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
+                uint64_t* sort_comparisons = nullptr);
+
+}  // namespace oblivdb::core
+
+#endif  // OBLIVDB_CORE_ALIGN_H_

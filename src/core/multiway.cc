@@ -1,0 +1,45 @@
+#include "core/multiway.h"
+
+#include "common/check.h"
+
+namespace oblivdb::core {
+
+Table ObliviousMultiwayJoin(const std::vector<Table>& tables) {
+  OBLIVDB_CHECK_GE(tables.size(), 1u);
+  Table accumulated = tables[0];
+  for (size_t t = 1; t < tables.size(); ++t) {
+    const std::vector<JoinedRecord> joined =
+        ObliviousJoin(accumulated, tables[t]);
+    Table next("join");
+    next.rows().reserve(joined.size());
+    for (const JoinedRecord& r : joined) {
+      // Pack the first payload word of each side (see header).
+      next.rows().push_back(Record{r.key, {r.payload1[0], r.payload2[0]}});
+    }
+    accumulated = std::move(next);
+  }
+  return accumulated;
+}
+
+std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
+                                               const Table& t2,
+                                               const Table& t3) {
+  // First join: intermediate rows carry (d1, d2) in the two payload words.
+  const std::vector<JoinedRecord> first = ObliviousJoin(t1, t2);
+  Table intermediate("t1_t2");
+  intermediate.rows().reserve(first.size());
+  for (const JoinedRecord& r : first) {
+    intermediate.rows().push_back(Record{r.key, {r.payload1[0], r.payload2[0]}});
+  }
+
+  const std::vector<JoinedRecord> second = ObliviousJoin(intermediate, t3);
+  std::vector<ThreeWayRow> rows;
+  rows.reserve(second.size());
+  for (const JoinedRecord& r : second) {
+    rows.push_back(
+        ThreeWayRow{r.key, r.payload1[0], r.payload1[1], r.payload2[0]});
+  }
+  return rows;
+}
+
+}  // namespace oblivdb::core

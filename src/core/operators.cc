@@ -1,0 +1,151 @@
+#include "core/operators.h"
+
+#include "core/comparators.h"
+#include "memtrace/oarray.h"
+#include "obliv/bitonic_sort.h"
+#include "obliv/compact.h"
+#include "obliv/ct.h"
+#include "table/entry.h"
+
+namespace oblivdb::core {
+namespace {
+
+// Loads a table into an OArray<Entry> with the given table id.
+memtrace::OArray<Entry> LoadEntries(const Table& t, uint64_t tid,
+                                    const char* name) {
+  memtrace::OArray<Entry> arr(t.size(), name);
+  for (size_t i = 0; i < t.size(); ++i) {
+    arr.Write(i, MakeEntry(t.rows()[i], tid));
+  }
+  return arr;
+}
+
+struct KeepUnflagged {
+  uint64_t operator()(const Entry& e) const {
+    return ct::EqMask(e.flags & kEntryFlagDummy, 0);
+  }
+};
+
+// Compacts the unflagged entries to the front and converts the survivors
+// back into a Table (revealing their count, the operator's output size).
+Table ExtractKept(memtrace::OArray<Entry>& arr, const std::string& name) {
+  const uint64_t kept = obliv::ObliviousCompact(arr, KeepUnflagged{});
+  Table out(name);
+  out.rows().reserve(kept);
+  for (uint64_t i = 0; i < kept; ++i) {
+    out.Add(EntryToRecord(arr.Read(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Table ObliviousSelect(const Table& input, const CtRowPredicate& keep) {
+  memtrace::OArray<Entry> arr = LoadEntries(input, 1, "SEL");
+  for (size_t i = 0; i < arr.size(); ++i) {
+    Entry e = arr.Read(i);
+    const uint64_t keep_mask = keep(EntryToRecord(e));
+    e.flags = ct::Select(keep_mask, e.flags & ~kEntryFlagDummy,
+                         e.flags | kEntryFlagDummy);
+    arr.Write(i, e);
+  }
+  return ExtractKept(arr, input.name() + "_selected");
+}
+
+Table ObliviousDistinct(const Table& input) {
+  memtrace::OArray<Entry> arr = LoadEntries(input, 1, "DST");
+  obliv::BitonicSort(arr, ByTidThenJoinKeyThenDataLess{});
+  // Equal rows are now adjacent; flag every row equal to its predecessor.
+  uint64_t prev_key = 0, prev_d0 = 0, prev_d1 = 0;
+  for (size_t i = 0; i < arr.size(); ++i) {
+    Entry e = arr.Read(i);
+    const uint64_t duplicate = ct::EqMask(e.join_key, prev_key) &
+                               ct::EqMask(e.payload0, prev_d0) &
+                               ct::EqMask(e.payload1, prev_d1) &
+                               ct::ToMask(i != 0);
+    e.flags = ct::Select(duplicate, e.flags | kEntryFlagDummy,
+                         e.flags & ~kEntryFlagDummy);
+    prev_key = e.join_key;
+    prev_d0 = e.payload0;
+    prev_d1 = e.payload1;
+    arr.Write(i, e);
+  }
+  return ExtractKept(arr, input.name() + "_distinct");
+}
+
+namespace {
+
+// Shared semi/anti-join core: tag, sort by (j, tid), compute "group has a
+// T2 member" per T1 row with a backward pass, flag accordingly, re-sort to
+// (j, d) order among survivors via the compaction's order preservation...
+// Order note: compaction preserves (j, tid) order, so surviving T1 rows
+// come out sorted by j with original tid-group order by (j, tid); a final
+// by-(j, d) ordering needs the d tiebreak, so we sort the tagged union by
+// (j, tid, d) up front — survivors are then (j, d)-sorted automatically.
+Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
+                     const char* label) {
+  const size_t n1 = t1.size();
+  const size_t n2 = t2.size();
+  const size_t n = n1 + n2;
+  memtrace::OArray<Entry> arr(n, label);
+  for (size_t i = 0; i < n1; ++i) {
+    arr.Write(i, MakeEntry(t1.rows()[i], 1));
+  }
+  for (size_t i = 0; i < n2; ++i) {
+    arr.Write(n1 + i, MakeEntry(t2.rows()[i], 2));
+  }
+  // (j ^, tid ^, d ^): groups contiguous, T1 before T2, T1 rows d-sorted.
+  struct ByJTidDataLess {
+    uint64_t operator()(const Entry& a, const Entry& b) const {
+      const uint64_t eq_j = ct::EqMask(a.join_key, b.join_key);
+      const uint64_t eq_tid = ct::EqMask(a.tid, b.tid);
+      const uint64_t eq_d0 = ct::EqMask(a.payload0, b.payload0);
+      return ct::LessMask(a.join_key, b.join_key) |
+             (eq_j & ct::LessMask(a.tid, b.tid)) |
+             (eq_j & eq_tid & ct::LessMask(a.payload0, b.payload0)) |
+             (eq_j & eq_tid & eq_d0 & ct::LessMask(a.payload1, b.payload1));
+    }
+  };
+  obliv::BitonicSort(arr, ByJTidDataLess{});
+
+  // Backward pass: within a group the T2 rows (tid 2) come last, so a
+  // carried "group has T2" bit reaches every T1 row of the group.
+  uint64_t group_has_t2 = 0;  // ct mask
+  uint64_t next_key = 0;
+  const uint64_t want_mask = ct::ToMask(want_match);
+  for (size_t i = n; i-- > 0;) {
+    Entry e = arr.Read(i);
+    const uint64_t same_group =
+        ct::EqMask(e.join_key, next_key) & ct::ToMask(i != n - 1);
+    group_has_t2 = ct::Select(same_group, group_has_t2, 0);
+    group_has_t2 |= ct::EqMask(e.tid, 2);
+    // Keep T1 rows whose match bit equals the wanted polarity.
+    const uint64_t keep =
+        ct::EqMask(e.tid, 1) & ~(group_has_t2 ^ want_mask);
+    e.flags = ct::Select(keep, e.flags & ~kEntryFlagDummy,
+                         e.flags | kEntryFlagDummy);
+    next_key = e.join_key;
+    arr.Write(i, e);
+  }
+  return ExtractKept(arr, std::string(t1.name()) + "_" + label);
+}
+
+}  // namespace
+
+Table ObliviousSemiJoin(const Table& t1, const Table& t2) {
+  return SemiOrAntiJoin(t1, t2, /*want_match=*/true, "semijoin");
+}
+
+Table ObliviousAntiJoin(const Table& t1, const Table& t2) {
+  return SemiOrAntiJoin(t1, t2, /*want_match=*/false, "antijoin");
+}
+
+Table ObliviousUnion(const Table& t1, const Table& t2) {
+  Table out(t1.name() + "_u_" + t2.name());
+  out.rows().reserve(t1.size() + t2.size());
+  for (const Record& r : t1.rows()) out.Add(r);
+  for (const Record& r : t2.rows()) out.Add(r);
+  return out;
+}
+
+}  // namespace oblivdb::core

@@ -1,0 +1,41 @@
+// Per-phase instrumentation for the full join (Table 3 of the paper).
+
+#ifndef OBLIVDB_CORE_STATS_H_
+#define OBLIVDB_CORE_STATS_H_
+
+#include <cstdint>
+
+namespace oblivdb::core {
+
+// Filled in by ObliviousJoin when JoinOptions::stats is non-null.  The
+// comparison counters count compare-exchanges (each touching two entries);
+// route_ops counts routing-network steps (also two entries each).
+struct JoinStats {
+  uint64_t n1 = 0;
+  uint64_t n2 = 0;
+  uint64_t m = 0;
+
+  // "initial sorts on TC" row of Table 3 (two bitonic sorts of size n).
+  uint64_t augment_sort_comparisons = 0;
+  // "o.d. on T1, T2 (sort)" row (the prefix sorts inside both expansions).
+  uint64_t expand_sort_comparisons = 0;
+  // "o.d. on T1, T2 (route)" row (both routing networks).
+  uint64_t expand_route_ops = 0;
+  // "align sort on S2" row.
+  uint64_t align_sort_comparisons = 0;
+
+  double augment_seconds = 0;
+  double expand_seconds = 0;
+  double align_seconds = 0;
+  double zip_seconds = 0;
+  double total_seconds = 0;
+
+  uint64_t TotalComparisons() const {
+    return augment_sort_comparisons + expand_sort_comparisons +
+           expand_route_ops + align_sort_comparisons;
+  }
+};
+
+}  // namespace oblivdb::core
+
+#endif  // OBLIVDB_CORE_STATS_H_

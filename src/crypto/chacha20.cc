@@ -1,0 +1,82 @@
+#include "crypto/chacha20.h"
+
+#include "common/check.h"
+
+namespace oblivdb::crypto {
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20Rng::ChaCha20Rng(uint64_t seed, uint64_t stream) {
+  // "expand 32-byte k" constants.
+  input_ = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+            // 256-bit key derived from the seed by simple expansion; the
+            // block function's diffusion makes this adequate for a PRNG.
+            uint32_t(seed), uint32_t(seed >> 32), uint32_t(~seed),
+            uint32_t(~seed >> 32), uint32_t(seed * 0x9e3779b97f4a7c15ULL),
+            uint32_t((seed * 0x9e3779b97f4a7c15ULL) >> 32),
+            uint32_t(seed ^ 0xdeadbeefcafebabeULL),
+            uint32_t((seed ^ 0xdeadbeefcafebabeULL) >> 32),
+            // 64-bit block counter.
+            0, 0,
+            // 64-bit nonce = substream id.
+            uint32_t(stream), uint32_t(stream >> 32)};
+  next_word_ = 16;  // Forces a refill on first use.
+}
+
+void ChaCha20Rng::RefillBlock() {
+  block_ = input_;
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(block_[0], block_[4], block_[8], block_[12]);
+    QuarterRound(block_[1], block_[5], block_[9], block_[13]);
+    QuarterRound(block_[2], block_[6], block_[10], block_[14]);
+    QuarterRound(block_[3], block_[7], block_[11], block_[15]);
+    QuarterRound(block_[0], block_[5], block_[10], block_[15]);
+    QuarterRound(block_[1], block_[6], block_[11], block_[12]);
+    QuarterRound(block_[2], block_[7], block_[8], block_[13]);
+    QuarterRound(block_[3], block_[4], block_[9], block_[14]);
+  }
+  for (int i = 0; i < 16; ++i) block_[i] += input_[i];
+  // Increment the 64-bit block counter.
+  if (++input_[12] == 0) ++input_[13];
+  next_word_ = 0;
+}
+
+uint64_t ChaCha20Rng::operator()() {
+  if (next_word_ + 2 > 16) RefillBlock();
+  const uint64_t lo = block_[next_word_];
+  const uint64_t hi = block_[next_word_ + 1];
+  next_word_ += 2;
+  return (hi << 32) | lo;
+}
+
+uint64_t ChaCha20Rng::Uniform(uint64_t bound) {
+  OBLIVDB_CHECK_GT(bound, 0u);
+  // Rejection sampling: draw until the value falls in the largest multiple
+  // of `bound` representable in 64 bits.
+  const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % bound);
+  uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return v % bound;
+}
+
+}  // namespace oblivdb::crypto

@@ -1,0 +1,49 @@
+// ChaCha20 block function used as a deterministic cryptographic PRNG.
+//
+// Two consumers:
+//   * workload generators (reproducible test inputs, seeded per test case);
+//   * FeistelPrp round functions (the probabilistic Oblivious-Distribute
+//     variant of §5.2 needs a pseudorandom permutation).
+//
+// This is RFC 8439 ChaCha20 exposed as a counter-mode keystream; we never
+// need the cipher/AEAD interface.
+
+#ifndef OBLIVDB_CRYPTO_CHACHA20_H_
+#define OBLIVDB_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace oblivdb::crypto {
+
+// Deterministic PRNG over the ChaCha20 block function.
+// Satisfies the UniformRandomBitGenerator concept so it can drive
+// std::uniform_int_distribution and std::shuffle.
+class ChaCha20Rng {
+ public:
+  using result_type = uint64_t;
+
+  // Key is expanded from the 64-bit seed; stream selects an independent
+  // substream (useful for splitting generators per table / per test).
+  explicit ChaCha20Rng(uint64_t seed, uint64_t stream = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()();
+
+  // Uniform value in [0, bound) without modulo bias (rejection sampling).
+  uint64_t Uniform(uint64_t bound);
+
+ private:
+  void RefillBlock();
+
+  std::array<uint32_t, 16> input_;
+  std::array<uint32_t, 16> block_;
+  size_t next_word_;
+};
+
+}  // namespace oblivdb::crypto
+
+#endif  // OBLIVDB_CRYPTO_CHACHA20_H_

@@ -1,0 +1,78 @@
+#include "crypto/feistel_prp.h"
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "crypto/chacha20.h"
+
+namespace oblivdb::crypto {
+
+FeistelPrp::FeistelPrp(uint64_t domain_size, uint64_t key)
+    : domain_size_(domain_size) {
+  OBLIVDB_CHECK_GE(domain_size, 1u);
+  // Smallest even-width bit domain covering domain_size (minimum 2 bits so
+  // both Feistel halves are non-empty).
+  uint32_t bits = Log2Ceil(domain_size);
+  if (bits < 2) bits = 2;
+  if (bits % 2 != 0) ++bits;
+  half_bits_ = bits / 2;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+  cover_size_ = uint64_t{1} << bits;
+  ChaCha20Rng rng(key, /*stream=*/0x46656973u /* "Feis" */);
+  for (auto& k : round_keys_) k = rng();
+}
+
+uint64_t FeistelPrp::RoundFunction(int round, uint64_t half) const {
+  // A few rounds of a strong 64-bit mixer keyed per round; ample for a PRP
+  // used to randomize write locations (we need statistical uniformity, not
+  // contested cryptographic strength).
+  uint64_t x = half + round_keys_[round];
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x & half_mask_;
+}
+
+uint64_t FeistelPrp::OnePassForward(uint64_t x) const {
+  uint64_t left = x >> half_bits_;
+  uint64_t right = x & half_mask_;
+  for (int r = 0; r < kRounds; ++r) {
+    const uint64_t next_left = right;
+    const uint64_t next_right = left ^ RoundFunction(r, right);
+    left = next_left;
+    right = next_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t FeistelPrp::OnePassInverse(uint64_t y) const {
+  uint64_t left = y >> half_bits_;
+  uint64_t right = y & half_mask_;
+  for (int r = kRounds - 1; r >= 0; --r) {
+    const uint64_t prev_right = left;
+    const uint64_t prev_left = right ^ RoundFunction(r, prev_right);
+    left = prev_left;
+    right = prev_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t FeistelPrp::Forward(uint64_t x) const {
+  OBLIVDB_CHECK_LT(x, domain_size_);
+  // Cycle-walking: iterate the cover-domain permutation until the image
+  // lands back inside [0, domain_size).  Terminates because the permutation
+  // restricted to the orbit of x must revisit the domain.
+  uint64_t y = OnePassForward(x);
+  while (y >= domain_size_) y = OnePassForward(y);
+  return y;
+}
+
+uint64_t FeistelPrp::Inverse(uint64_t y) const {
+  OBLIVDB_CHECK_LT(y, domain_size_);
+  uint64_t x = OnePassInverse(y);
+  while (x >= domain_size_) x = OnePassInverse(x);
+  return x;
+}
+
+}  // namespace oblivdb::crypto

@@ -1,0 +1,48 @@
+// Small-domain pseudorandom permutation via a balanced Feistel network with
+// cycle-walking.
+//
+// The probabilistic variant of Oblivious-Distribute (§5.2) needs a PRP pi
+// over {0, ..., m-1}: elements are written to pi(f(x)) and a bitonic sort on
+// pi^{-1} of each slot undoes the masking.  A 6-round Feistel over the
+// smallest even-bit-width domain covering m, cycle-walked back into [0, m),
+// is the standard construction for such small domains.
+
+#ifndef OBLIVDB_CRYPTO_FEISTEL_PRP_H_
+#define OBLIVDB_CRYPTO_FEISTEL_PRP_H_
+
+#include <array>
+#include <cstdint>
+
+namespace oblivdb::crypto {
+
+// Pseudorandom permutation over the domain [0, domain_size).
+class FeistelPrp {
+ public:
+  // domain_size >= 1.  Different keys give independent permutations.
+  FeistelPrp(uint64_t domain_size, uint64_t key);
+
+  uint64_t domain_size() const { return domain_size_; }
+
+  // Forward permutation: bijective on [0, domain_size).
+  uint64_t Forward(uint64_t x) const;
+
+  // Inverse permutation: Inverse(Forward(x)) == x.
+  uint64_t Inverse(uint64_t y) const;
+
+ private:
+  static constexpr int kRounds = 6;
+
+  uint64_t OnePassForward(uint64_t x) const;
+  uint64_t OnePassInverse(uint64_t y) const;
+  uint64_t RoundFunction(int round, uint64_t half) const;
+
+  uint64_t domain_size_;
+  uint32_t half_bits_;     // Each Feistel half is this many bits.
+  uint64_t half_mask_;
+  uint64_t cover_size_;    // 2^(2*half_bits_) >= domain_size.
+  std::array<uint64_t, kRounds> round_keys_;
+};
+
+}  // namespace oblivdb::crypto
+
+#endif  // OBLIVDB_CRYPTO_FEISTEL_PRP_H_

@@ -1,0 +1,65 @@
+#include "crypto/prob_cipher.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace oblivdb::crypto {
+
+ProbCipher::ProbCipher(uint64_t key, uint64_t nonce_seed)
+    : key_(key), nonce_rng_(key ^ 0x6e6f6e6365ULL /* "nonce" */, nonce_seed) {}
+
+void ProbCipher::Keystream(uint64_t nonce, uint8_t* buffer,
+                           size_t len) const {
+  // ChaCha20 keyed by (key, nonce-as-stream): each nonce selects an
+  // independent keystream.
+  ChaCha20Rng stream(key_, nonce);
+  size_t produced = 0;
+  while (produced < len) {
+    const uint64_t word = stream();
+    const size_t take = std::min<size_t>(8, len - produced);
+    std::memcpy(buffer + produced, &word, take);
+    produced += take;
+  }
+}
+
+std::array<uint8_t, 16> ProbCipher::ComputeTag(
+    uint64_t nonce, const std::vector<uint8_t>& bytes) const {
+  Sha256 h;
+  h.Update(&key_, sizeof(key_));
+  h.Update(&nonce, sizeof(nonce));
+  h.Update(bytes.data(), bytes.size());
+  const Sha256Digest digest = h.Finalize();
+  std::array<uint8_t, 16> tag;
+  std::memcpy(tag.data(), digest.data(), tag.size());
+  return tag;
+}
+
+Ciphertext ProbCipher::Encrypt(const void* plaintext, size_t len) {
+  Ciphertext ct;
+  ct.nonce = nonce_rng_();
+  ct.bytes.resize(len);
+  Keystream(ct.nonce, ct.bytes.data(), len);
+  const uint8_t* p = static_cast<const uint8_t*>(plaintext);
+  for (size_t i = 0; i < len; ++i) ct.bytes[i] ^= p[i];
+  ct.tag = ComputeTag(ct.nonce, ct.bytes);
+  return ct;
+}
+
+bool ProbCipher::Decrypt(const Ciphertext& ct, void* out) const {
+  // Constant-time tag comparison (no early exit on mismatch position).
+  const std::array<uint8_t, 16> expected = ComputeTag(ct.nonce, ct.bytes);
+  uint8_t diff = 0;
+  for (size_t i = 0; i < expected.size(); ++i) diff |= expected[i] ^ ct.tag[i];
+  if (diff != 0) return false;
+
+  std::vector<uint8_t> stream(ct.bytes.size());
+  Keystream(ct.nonce, stream.data(), stream.size());
+  uint8_t* o = static_cast<uint8_t*>(out);
+  for (size_t i = 0; i < ct.bytes.size(); ++i) {
+    o[i] = ct.bytes[i] ^ stream[i];
+  }
+  return true;
+}
+
+}  // namespace oblivdb::crypto

@@ -1,0 +1,65 @@
+// Probabilistic symmetric encryption for public-memory cells.
+//
+// §3.1 assumes "the adversary cannot infer anything about the individual
+// contents of individual cells of public memory, as well as whether the
+// contents of a cell match a previous value.  This can be achieved through
+// the use of a probabilistic encryption scheme and is not the concern of
+// this paper."  The core library therefore works on plaintext OArrays; this
+// header supplies the scheme for deployments (and for the EncryptedOArray
+// demonstration in memtrace/encrypted_oarray.h) so the whole model is
+// realizable end to end.
+//
+// Construction: ChaCha20 keystream under a per-encryption random 64-bit
+// nonce, with a SHA-256-based 128-bit authentication tag over
+// (key || nonce || ciphertext).  Freshly drawn nonces make re-encryptions
+// of identical plaintext indistinguishable, which is exactly the property
+// the sorting networks rely on ("the same (re-encrypted) entries are
+// written to their original locations", §3.5).
+
+#ifndef OBLIVDB_CRYPTO_PROB_CIPHER_H_
+#define OBLIVDB_CRYPTO_PROB_CIPHER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/chacha20.h"
+
+namespace oblivdb::crypto {
+
+// Wire format of an encrypted cell: nonce || tag || ciphertext.
+struct Ciphertext {
+  uint64_t nonce = 0;
+  std::array<uint8_t, 16> tag = {};
+  std::vector<uint8_t> bytes;
+
+  friend bool operator==(const Ciphertext&, const Ciphertext&) = default;
+};
+
+class ProbCipher {
+ public:
+  // `key` seeds both the cipher and the internal nonce generator;
+  // `nonce_seed` decorrelates nonce streams between instances.
+  explicit ProbCipher(uint64_t key, uint64_t nonce_seed = 1);
+
+  // Encrypts `len` bytes under a fresh random nonce.  Two encryptions of
+  // the same plaintext produce (with overwhelming probability) different
+  // ciphertexts.
+  Ciphertext Encrypt(const void* plaintext, size_t len);
+
+  // Decrypts into `out` (must have room for ct.bytes.size() bytes).
+  // Returns false if the authentication tag does not verify.
+  bool Decrypt(const Ciphertext& ct, void* out) const;
+
+ private:
+  std::array<uint8_t, 16> ComputeTag(uint64_t nonce,
+                                     const std::vector<uint8_t>& bytes) const;
+  void Keystream(uint64_t nonce, uint8_t* buffer, size_t len) const;
+
+  uint64_t key_;
+  ChaCha20Rng nonce_rng_;
+};
+
+}  // namespace oblivdb::crypto
+
+#endif  // OBLIVDB_CRYPTO_PROB_CIPHER_H_

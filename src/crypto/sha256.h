@@ -1,0 +1,47 @@
+// Self-contained SHA-256 (FIPS 180-4).
+//
+// Used by memtrace::HashTraceSink to maintain the chained hash
+// H <- h(H || r || t || i) of a memory-access log, exactly as the paper's
+// empirical obliviousness experiment (§6.1) does for large inputs.
+
+#ifndef OBLIVDB_CRYPTO_SHA256_H_
+#define OBLIVDB_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace oblivdb::crypto {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+// Incremental SHA-256.  Update() may be called any number of times; Finalize()
+// returns the digest and leaves the object in an undefined state (call Reset()
+// to reuse).
+class Sha256 {
+ public:
+  Sha256();
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  Sha256Digest Finalize();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(const void* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  uint64_t bit_count_;
+  size_t buffer_len_;
+};
+
+// Lower-case hex encoding of a digest (for logs and golden tests).
+std::string DigestToHex(const Sha256Digest& d);
+
+}  // namespace oblivdb::crypto
+
+#endif  // OBLIVDB_CRYPTO_SHA256_H_

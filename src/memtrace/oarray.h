@@ -1,0 +1,83 @@
+// OArray<T>: the only route from the algorithms to public memory.
+//
+// Mirrors the paper's access discipline (§4.3):
+//
+//     e ?<- T[i]      -> e = arr.Read(i)
+//     T[i] ?<- e      -> arr.Write(i, e)
+//
+// Reads and writes move whole elements between public memory and the
+// constant-size local working set; every access is reported to the installed
+// TraceSink.  T must be trivially copyable (entries are flat PODs so that
+// oblivious swaps are word blends).
+
+#ifndef OBLIVDB_MEMTRACE_OARRAY_H_
+#define OBLIVDB_MEMTRACE_OARRAY_H_
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+#include "memtrace/trace.h"
+
+namespace oblivdb::memtrace {
+
+template <typename T>
+class OArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "OArray elements move through local memory by value");
+
+ public:
+  // Allocates `length` zero-initialized elements.  `name` labels the array
+  // in traces and visualizations.
+  explicit OArray(size_t length, std::string name = "arr")
+      : data_(length),
+        name_(std::move(name)),
+        array_id_(RegisterArray(name_, length, sizeof(T))) {}
+
+  OArray(const OArray&) = delete;
+  OArray& operator=(const OArray&) = delete;
+  OArray(OArray&&) = default;
+  OArray& operator=(OArray&&) = default;
+
+  size_t size() const { return data_.size(); }
+  uint32_t array_id() const { return array_id_; }
+  const std::string& name() const { return name_; }
+
+  // Reads element i into local memory (emits <R, id, i>).
+  T Read(size_t i) const {
+    OBLIVDB_CHECK_LT(i, data_.size());
+    Record(AccessKind::kRead, i);
+    return data_[i];
+  }
+
+  // Writes element i from local memory (emits <W, id, i>).
+  void Write(size_t i, const T& value) {
+    OBLIVDB_CHECK_LT(i, data_.size());
+    Record(AccessKind::kWrite, i);
+    data_[i] = value;
+  }
+
+  // Untraced bulk access.  Only for (a) loading inputs / reading outputs at
+  // the trust boundary and (b) non-oblivious baselines, where the point is
+  // precisely that their accesses are input-dependent.
+  T* UntracedData() { return data_.data(); }
+  const T* UntracedData() const { return data_.data(); }
+
+ private:
+  void Record(AccessKind kind, size_t i) const {
+    TraceSink* sink = GetTraceSink();
+    if (sink != nullptr) {
+      sink->OnAccess(AccessEvent{kind, array_id_, i,
+                                 static_cast<uint32_t>(sizeof(T))});
+    }
+  }
+
+  std::vector<T> data_;
+  std::string name_;
+  uint32_t array_id_;
+};
+
+}  // namespace oblivdb::memtrace
+
+#endif  // OBLIVDB_MEMTRACE_OARRAY_H_

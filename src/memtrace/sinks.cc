@@ -1,0 +1,98 @@
+#include "memtrace/sinks.h"
+
+#include <cstring>
+
+namespace oblivdb::memtrace {
+
+// ---------------------------------------------------------------------------
+// VectorTraceSink
+
+void VectorTraceSink::OnAlloc(uint32_t array_id, const std::string& name,
+                              size_t length, size_t elem_size) {
+  allocations_.push_back(Allocation{array_id, name, length, elem_size});
+}
+
+void VectorTraceSink::OnAccess(const AccessEvent& event) {
+  events_.push_back(event);
+}
+
+bool VectorTraceSink::SameTraceAs(const VectorTraceSink& other) const {
+  if (allocations_.size() != other.allocations_.size()) return false;
+  for (size_t i = 0; i < allocations_.size(); ++i) {
+    const Allocation& a = allocations_[i];
+    const Allocation& b = other.allocations_[i];
+    if (a.array_id != b.array_id || a.length != b.length ||
+        a.elem_size != b.elem_size) {
+      return false;
+    }
+  }
+  if (events_.size() != other.events_.size()) return false;
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const AccessEvent& a = events_[i];
+    const AccessEvent& b = other.events_[i];
+    if (a.kind != b.kind || a.array_id != b.array_id || a.index != b.index) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// HashTraceSink
+
+HashTraceSink::HashTraceSink() : access_count_(0) { chain_.fill(0); }
+
+void HashTraceSink::Fold(uint8_t tag, uint32_t a, uint64_t b) {
+  crypto::Sha256 h;
+  h.Update(chain_.data(), chain_.size());
+  h.Update(&tag, 1);
+  h.Update(&a, sizeof(a));
+  h.Update(&b, sizeof(b));
+  chain_ = h.Finalize();
+}
+
+void HashTraceSink::OnAlloc(uint32_t array_id, const std::string& /*name*/,
+                            size_t length, size_t elem_size) {
+  Fold(/*tag=*/2, array_id, (uint64_t{length} << 16) | elem_size);
+}
+
+void HashTraceSink::OnAccess(const AccessEvent& event) {
+  ++access_count_;
+  Fold(static_cast<uint8_t>(event.kind), event.array_id, event.index);
+}
+
+std::string HashTraceSink::HexDigest() const {
+  return crypto::DigestToHex(chain_);
+}
+
+// ---------------------------------------------------------------------------
+// CountingTraceSink
+
+void CountingTraceSink::OnAlloc(uint32_t array_id, const std::string& name,
+                                size_t length, size_t elem_size) {
+  PerArray& p = per_array_[array_id];
+  p.name = name;
+  p.length = length;
+  p.elem_size = elem_size;
+}
+
+void CountingTraceSink::OnAccess(const AccessEvent& event) {
+  PerArray& p = per_array_[event.array_id];
+  if (event.kind == AccessKind::kRead) {
+    ++p.reads;
+    ++total_reads_;
+  } else {
+    ++p.writes;
+    ++total_writes_;
+  }
+}
+
+uint64_t CountingTraceSink::TotalBytesAllocated() const {
+  uint64_t total = 0;
+  for (const auto& [id, p] : per_array_) {
+    total += uint64_t{p.length} * p.elem_size;
+  }
+  return total;
+}
+
+}  // namespace oblivdb::memtrace

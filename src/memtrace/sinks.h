@@ -1,0 +1,102 @@
+// Concrete TraceSink implementations for the paper's §6.1 experiments.
+
+#ifndef OBLIVDB_MEMTRACE_SINKS_H_
+#define OBLIVDB_MEMTRACE_SINKS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "memtrace/trace.h"
+
+namespace oblivdb::memtrace {
+
+// Stores the full access log in memory; used for small-n direct comparison
+// of logs and for rendering Figure 7.
+class VectorTraceSink : public TraceSink {
+ public:
+  struct Allocation {
+    uint32_t array_id;
+    std::string name;
+    size_t length;
+    size_t elem_size;
+  };
+
+  void OnAlloc(uint32_t array_id, const std::string& name, size_t length,
+               size_t elem_size) override;
+  void OnAccess(const AccessEvent& event) override;
+
+  const std::vector<AccessEvent>& events() const { return events_; }
+  const std::vector<Allocation>& allocations() const { return allocations_; }
+
+  // Two logs are equal iff the allocation shapes and the full access
+  // sequences are identical.
+  bool SameTraceAs(const VectorTraceSink& other) const;
+
+ private:
+  std::vector<AccessEvent> events_;
+  std::vector<Allocation> allocations_;
+};
+
+// Maintains the paper's chained hash  H <- h(H || r || t || i)  where r is
+// the array id and t distinguishes reads from writes.  Allocations are also
+// folded in (name excluded; only shape) so differing array shapes cannot
+// collide with differing access sequences.
+class HashTraceSink : public TraceSink {
+ public:
+  HashTraceSink();
+
+  void OnAlloc(uint32_t array_id, const std::string& name, size_t length,
+               size_t elem_size) override;
+  void OnAccess(const AccessEvent& event) override;
+
+  // Hex digest of the current chain value.
+  std::string HexDigest() const;
+
+  uint64_t access_count() const { return access_count_; }
+
+ private:
+  void Fold(uint8_t tag, uint32_t a, uint64_t b);
+
+  crypto::Sha256Digest chain_;
+  uint64_t access_count_;
+};
+
+// Counts reads/writes, totals and per-array; drives Table 3 and the space
+// accounting in EXPERIMENTS.md.
+class CountingTraceSink : public TraceSink {
+ public:
+  struct PerArray {
+    std::string name;
+    size_t length = 0;
+    size_t elem_size = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+  };
+
+  void OnAlloc(uint32_t array_id, const std::string& name, size_t length,
+               size_t elem_size) override;
+  void OnAccess(const AccessEvent& event) override;
+
+  uint64_t total_reads() const { return total_reads_; }
+  uint64_t total_writes() const { return total_writes_; }
+  uint64_t total_accesses() const { return total_reads_ + total_writes_; }
+
+  // Peak total bytes ever allocated across live arrays is not tracked here
+  // (arrays are registered but never unregistered); TotalBytesAllocated is
+  // the sum over all registrations, an upper bound used for space checks.
+  uint64_t TotalBytesAllocated() const;
+
+  const std::map<uint32_t, PerArray>& per_array() const { return per_array_; }
+
+ private:
+  std::map<uint32_t, PerArray> per_array_;
+  uint64_t total_reads_ = 0;
+  uint64_t total_writes_ = 0;
+};
+
+}  // namespace oblivdb::memtrace
+
+#endif  // OBLIVDB_MEMTRACE_SINKS_H_

@@ -1,0 +1,32 @@
+#include "memtrace/trace.h"
+
+namespace oblivdb::memtrace {
+namespace {
+
+// The library is single-threaded (the paper's prototype is sequential); a
+// plain global keeps the access fast path cheap.
+TraceSink* g_sink = nullptr;
+uint32_t g_next_array_id = 0;
+
+}  // namespace
+
+void TraceSink::OnAlloc(uint32_t /*array_id*/, const std::string& /*name*/,
+                        size_t /*length*/, size_t /*elem_size*/) {}
+
+TraceSink* GetTraceSink() { return g_sink; }
+
+TraceSink* SetTraceSink(TraceSink* sink) {
+  TraceSink* previous = g_sink;
+  g_sink = sink;
+  g_next_array_id = 0;
+  return previous;
+}
+
+uint32_t RegisterArray(const std::string& name, size_t length,
+                       size_t elem_size) {
+  const uint32_t id = g_next_array_id++;
+  if (g_sink != nullptr) g_sink->OnAlloc(id, name, length, elem_size);
+  return id;
+}
+
+}  // namespace oblivdb::memtrace

@@ -1,0 +1,22 @@
+#include "obliv/bitonic_sort.h"
+
+namespace oblivdb::obliv {
+namespace {
+
+uint64_t MergeCount(uint64_t n) {
+  if (n <= 1) return 0;
+  const uint64_t m = GreatestPow2LessThan(n);
+  return (n - m) + MergeCount(m) + MergeCount(n - m);
+}
+
+uint64_t SortCount(uint64_t n) {
+  if (n <= 1) return 0;
+  const uint64_t m = n / 2;
+  return SortCount(m) + SortCount(n - m) + MergeCount(n);
+}
+
+}  // namespace
+
+uint64_t BitonicComparisonCount(uint64_t n) { return SortCount(n); }
+
+}  // namespace oblivdb::obliv

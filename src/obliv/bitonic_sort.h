@@ -1,0 +1,106 @@
+// Batcher's bitonic sorting network, generalized to arbitrary input lengths.
+//
+// The comparator sequence depends only on the (public) range length, so the
+// memory trace is input-independent (§3.5).  Every compare-exchange reads
+// both elements and writes both back regardless of whether they swap —
+// under probabilistic re-encryption the adversary cannot tell which case
+// occurred.
+//
+// The comparator is a constant-time "less" functor returning a ct mask
+// (all-ones iff lhs orders strictly before rhs), typically built by
+// composing ct::LessMask / ct::EqMask lexicographically.
+//
+// Cost: ~ n (log2 n)^2 / 4 compare-exchanges, O(log^2 n) depth.
+
+#ifndef OBLIVDB_OBLIV_BITONIC_SORT_H_
+#define OBLIVDB_OBLIV_BITONIC_SORT_H_
+
+#include <concepts>
+#include <cstdint>
+
+#include "common/bits.h"
+#include "memtrace/oarray.h"
+#include "obliv/ct.h"
+
+namespace oblivdb::obliv {
+
+// Constant-time strict-weak-order: returns a ct mask, not a bool.
+template <typename F, typename T>
+concept CtLess = requires(const F& f, const T& a, const T& b) {
+  { f(a, b) } -> std::convertible_to<uint64_t>;
+};
+
+namespace internal {
+
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void CompareExchange(memtrace::OArray<T>& a, size_t i, size_t j, bool up,
+                     const Less& less, uint64_t* comparisons) {
+  T x = a.Read(i);
+  T y = a.Read(j);
+  // Ascending pairs swap when y < x; descending when x < y.
+  const uint64_t swap_if_up = less(y, x);
+  const uint64_t swap_if_down = less(x, y);
+  const uint64_t swap = up ? swap_if_up : swap_if_down;
+  ct::CondSwap(swap, x, y);
+  a.Write(i, x);
+  a.Write(j, y);
+  if (comparisons != nullptr) ++*comparisons;
+}
+
+// Merges a bitonic sequence a[lo, lo+n) into `up` order.  Works for
+// arbitrary n using the greatest-power-of-two hop (Batcher's generalized
+// merge): after the first pass, both halves are bitonic and every element
+// of the low half orders before every element of the high half.
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void BitonicMerge(memtrace::OArray<T>& a, size_t lo, size_t n, bool up,
+                  const Less& less, uint64_t* comparisons) {
+  if (n <= 1) return;
+  const size_t m = GreatestPow2LessThan(n);
+  for (size_t i = lo; i < lo + n - m; ++i) {
+    CompareExchange(a, i, i + m, up, less, comparisons);
+  }
+  BitonicMerge(a, lo, m, up, less, comparisons);
+  BitonicMerge(a, lo + m, n - m, up, less, comparisons);
+}
+
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void BitonicSortRecursive(memtrace::OArray<T>& a, size_t lo, size_t n, bool up,
+                          const Less& less, uint64_t* comparisons) {
+  if (n <= 1) return;
+  const size_t m = n / 2;
+  // Opposite directions produce the bitonic sequence the merge consumes.
+  BitonicSortRecursive(a, lo, m, !up, less, comparisons);
+  BitonicSortRecursive(a, lo + m, n - m, up, less, comparisons);
+  BitonicMerge(a, lo, n, up, less, comparisons);
+}
+
+}  // namespace internal
+
+// Sorts a[lo, lo+len) ascending under `less`.  `comparisons`, if non-null,
+// is incremented once per compare-exchange (Table 3 instrumentation).
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void BitonicSortRange(memtrace::OArray<T>& a, size_t lo, size_t len,
+                      const Less& less, uint64_t* comparisons = nullptr) {
+  OBLIVDB_CHECK_LE(lo + len, a.size());
+  internal::BitonicSortRecursive(a, lo, len, /*up=*/true, less, comparisons);
+}
+
+// Sorts the whole array ascending under `less`.
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void BitonicSort(memtrace::OArray<T>& a, const Less& less,
+                 uint64_t* comparisons = nullptr) {
+  BitonicSortRange(a, 0, a.size(), less, comparisons);
+}
+
+// Exact number of compare-exchanges BitonicSortRange performs on `n`
+// elements (used by tests and by the Table 3 model column).
+uint64_t BitonicComparisonCount(uint64_t n);
+
+}  // namespace oblivdb::obliv
+
+#endif  // OBLIVDB_OBLIV_BITONIC_SORT_H_

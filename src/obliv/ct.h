@@ -1,0 +1,94 @@
+// Constant-time (branch-free) building blocks.
+//
+// Every data-dependent decision inside the oblivious algorithms is expressed
+// through these mask operations, never through control flow.  A "mask" is a
+// uint64_t that is either all-ones (condition true) or all-zeros (false);
+// masks compose with & | ~ and select values without branching.
+//
+// This is what makes the level II -> level III transformation of §3.4 a
+// constant-overhead rewrite: the compiled code has no secret-dependent
+// branches to begin with (the one documented exception is Align-Table's
+// division by a secret, which the paper's instruction-latency model permits).
+
+#ifndef OBLIVDB_OBLIV_CT_H_
+#define OBLIVDB_OBLIV_CT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace oblivdb::ct {
+
+// All-ones if c, all-zeros otherwise.
+inline uint64_t ToMask(bool c) {
+  return ~(static_cast<uint64_t>(c) - 1);
+}
+
+// True iff the mask is all-ones.  For asserts / tests only.
+inline bool MaskToBool(uint64_t mask) { return mask == ~uint64_t{0}; }
+
+// mask ? a : b, bitwise.
+inline uint64_t Select(uint64_t mask, uint64_t a, uint64_t b) {
+  return (a & mask) | (b & ~mask);
+}
+
+// All-ones iff a == b.  Branch-free: x|-x has its top bit set iff x != 0.
+inline uint64_t EqMask(uint64_t a, uint64_t b) {
+  const uint64_t x = a ^ b;
+  const uint64_t nonzero = (x | (0 - x)) >> 63;  // 1 iff x != 0
+  return nonzero - 1;                            // 0 -> all-ones, 1 -> 0
+}
+
+// All-ones iff a < b (unsigned).  Hacker's Delight borrow computation:
+// the top bit of (~a & b) | ((~a | b) & (a - b)) is the borrow of a - b.
+inline uint64_t LessMask(uint64_t a, uint64_t b) {
+  const uint64_t borrow = ((~a & b) | ((~a | b) & (a - b))) >> 63;
+  return 0 - borrow;
+}
+
+inline uint64_t GreaterMask(uint64_t a, uint64_t b) { return LessMask(b, a); }
+inline uint64_t LeqMask(uint64_t a, uint64_t b) { return ~GreaterMask(a, b); }
+inline uint64_t GeqMask(uint64_t a, uint64_t b) { return ~LessMask(a, b); }
+inline uint64_t NeqMask(uint64_t a, uint64_t b) { return ~EqMask(a, b); }
+
+// mask as a 0/1 increment (for oblivious counters).
+inline uint64_t MaskToBit(uint64_t mask) { return mask & 1; }
+
+// Swaps a and b iff mask is all-ones, word by word.  Both operands are
+// always read and written, so the (local-memory) operation sequence is
+// identical whether or not the swap happens.
+template <typename T>
+inline void CondSwap(uint64_t mask, T& a, T& b) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(sizeof(T) % 8 == 0, "pad T to a multiple of 8 bytes");
+  constexpr size_t kWords = sizeof(T) / 8;
+  uint64_t wa[kWords], wb[kWords];
+  std::memcpy(wa, &a, sizeof(T));
+  std::memcpy(wb, &b, sizeof(T));
+  for (size_t w = 0; w < kWords; ++w) {
+    const uint64_t diff = (wa[w] ^ wb[w]) & mask;
+    wa[w] ^= diff;
+    wb[w] ^= diff;
+  }
+  std::memcpy(&a, wa, sizeof(T));
+  std::memcpy(&b, wb, sizeof(T));
+}
+
+// mask ? a : b for whole trivially-copyable structs.
+template <typename T>
+inline T Blend(uint64_t mask, const T& a, const T& b) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(sizeof(T) % 8 == 0, "pad T to a multiple of 8 bytes");
+  constexpr size_t kWords = sizeof(T) / 8;
+  uint64_t wa[kWords], wb[kWords], out[kWords];
+  std::memcpy(wa, &a, sizeof(T));
+  std::memcpy(wb, &b, sizeof(T));
+  for (size_t w = 0; w < kWords; ++w) out[w] = Select(mask, wa[w], wb[w]);
+  T result;
+  std::memcpy(&result, out, sizeof(T));
+  return result;
+}
+
+}  // namespace oblivdb::ct
+
+#endif  // OBLIVDB_OBLIV_CT_H_

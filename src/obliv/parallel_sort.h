@@ -1,0 +1,90 @@
+// Task-parallel bitonic sorting network (§6.2: "almost all parts of our
+// algorithm are amenable to parallelization since they heavily rely on
+// sorting networks, whose depth is O(log^2 n)").
+//
+// The recursive structure parallelizes directly: the two half-sorts of
+// BitonicSort are independent, as are the two sub-merges of BitonicMerge
+// after its cross-half compare-exchange pass.  Tasks are spawned down to a
+// size cutoff, giving ~2^depth-way parallelism with the same comparator
+// schedule — and therefore the same *set* of public accesses — as the
+// sequential network (the interleaving across threads varies, which is why
+// parallel runs require the trace sink to be disabled: trace-based
+// verification is a sequential-mode activity, matching the paper's
+// sequential prototype).
+
+#ifndef OBLIVDB_OBLIV_PARALLEL_SORT_H_
+#define OBLIVDB_OBLIV_PARALLEL_SORT_H_
+
+#include <future>
+
+#include "memtrace/oarray.h"
+#include "obliv/bitonic_sort.h"
+
+namespace oblivdb::obliv {
+
+namespace internal {
+
+constexpr size_t kParallelCutoff = 1 << 12;
+
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void ParallelBitonicMerge(memtrace::OArray<T>& a, size_t lo, size_t n,
+                          bool up, const Less& less, int depth) {
+  if (n <= 1) return;
+  if (depth <= 0 || n < kParallelCutoff) {
+    BitonicMerge(a, lo, n, up, less, nullptr);
+    return;
+  }
+  const size_t m = GreatestPow2LessThan(n);
+  // The cross-half pass touches (i, i+m) pairs; it must finish before the
+  // halves merge independently.
+  for (size_t i = lo; i < lo + n - m; ++i) {
+    CompareExchange(a, i, i + m, up, less, nullptr);
+  }
+  auto left = std::async(std::launch::async, [&] {
+    ParallelBitonicMerge(a, lo, m, up, less, depth - 1);
+  });
+  ParallelBitonicMerge(a, lo + m, n - m, up, less, depth - 1);
+  left.get();
+}
+
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void ParallelBitonicSort(memtrace::OArray<T>& a, size_t lo, size_t n, bool up,
+                         const Less& less, int depth) {
+  if (n <= 1) return;
+  if (depth <= 0 || n < kParallelCutoff) {
+    BitonicSortRecursive(a, lo, n, up, less, nullptr);
+    return;
+  }
+  const size_t m = n / 2;
+  auto left = std::async(std::launch::async, [&] {
+    ParallelBitonicSort(a, lo, m, !up, less, depth - 1);
+  });
+  ParallelBitonicSort(a, lo + m, n - m, up, less, depth - 1);
+  left.get();
+  ParallelBitonicMerge(a, lo, n, up, less, depth);
+}
+
+}  // namespace internal
+
+// Sorts the whole array ascending under `less` using up to ~2^depth
+// concurrent tasks, where depth = ceil(log2(threads)).  Requires tracing to
+// be off (checked): concurrent sink calls would race.
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void BitonicSortParallel(memtrace::OArray<T>& a, const Less& less,
+                         unsigned threads) {
+  OBLIVDB_CHECK(memtrace::GetTraceSink() == nullptr);
+  if (threads <= 1) {
+    BitonicSort(a, less);
+    return;
+  }
+  int depth = 0;
+  while ((1u << depth) < threads) ++depth;
+  internal::ParallelBitonicSort(a, 0, a.size(), /*up=*/true, less, depth);
+}
+
+}  // namespace oblivdb::obliv
+
+#endif  // OBLIVDB_OBLIV_PARALLEL_SORT_H_

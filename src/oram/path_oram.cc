@@ -1,0 +1,104 @@
+#include "oram/path_oram.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace oblivdb::oram {
+
+PathOram::PathOram(size_t capacity, uint64_t seed)
+    : capacity_(capacity),
+      levels_(Log2Ceil(std::max<uint64_t>(capacity, 2)) + 1),
+      leaf_count_(uint32_t{1} << (levels_ - 1)),
+      rng_(seed, /*stream=*/0x4f52414d /* "ORAM" */),
+      tree_((size_t{1} << levels_) - 1, "oram_tree"),
+      position_(capacity) {
+  OBLIVDB_CHECK_GE(capacity, 1u);
+  for (auto& p : position_) p = uint32_t(rng_.Uniform(leaf_count_));
+}
+
+size_t PathOram::NodeIndex(uint32_t leaf, uint32_t level) const {
+  // Level 0 is the root; the path to `leaf` at depth `level` is the prefix
+  // of the leaf's bits.  Standard heap layout: node k has children 2k+1/2k+2.
+  const uint32_t prefix = leaf >> (levels_ - 1 - level);
+  return (size_t{1} << level) - 1 + prefix;
+}
+
+bool PathOram::PathsIntersectAt(uint32_t leaf_a, uint32_t leaf_b,
+                                uint32_t level) const {
+  return (leaf_a >> (levels_ - 1 - level)) == (leaf_b >> (levels_ - 1 - level));
+}
+
+Block PathOram::Access(uint64_t address, bool is_write,
+                       const Block& new_value) {
+  OBLIVDB_CHECK_LT(address, capacity_);
+  const uint32_t old_leaf = position_[address];
+  position_[address] = uint32_t(rng_.Uniform(leaf_count_));
+
+  // Read the whole old path into the stash.
+  for (uint32_t level = 0; level < levels_; ++level) {
+    Bucket bucket = tree_.Read(NodeIndex(old_leaf, level));
+    ++bucket_accesses_;
+    for (size_t s = 0; s < kBucketSize; ++s) {
+      if (bucket.valid[s] != 0) {
+        stash_.push_back(
+            StashSlot{bucket.address[s], bucket.leaf[s], bucket.data[s]});
+      }
+    }
+  }
+
+  // Find / update the block in the stash.
+  Block result{};
+  bool found = false;
+  for (StashSlot& slot : stash_) {
+    if (slot.address == address) {
+      found = true;
+      slot.leaf = position_[address];
+      if (is_write) slot.data = new_value;
+      result = slot.data;
+      break;
+    }
+  }
+  if (!found) {
+    // First touch of this address: materialize it (zero block on a read).
+    StashSlot slot{address, position_[address], Block{}};
+    if (is_write) slot.data = new_value;
+    result = slot.data;
+    stash_.push_back(slot);
+  }
+  max_stash_ = std::max(max_stash_, stash_.size());
+
+  // Write the path back greedily from the leaf up: each stash block sinks
+  // to the deepest bucket still on both its own path and the accessed path.
+  for (uint32_t level = levels_; level-- > 0;) {
+    Bucket bucket{};
+    size_t filled = 0;
+    for (size_t s = 0; s < stash_.size() && filled < kBucketSize;) {
+      if (PathsIntersectAt(stash_[s].leaf, old_leaf, level)) {
+        bucket.address[filled] = stash_[s].address;
+        bucket.valid[filled] = 1;
+        bucket.leaf[filled] = stash_[s].leaf;
+        bucket.data[filled] = stash_[s].data;
+        ++filled;
+        stash_[s] = stash_.back();
+        stash_.pop_back();
+      } else {
+        ++s;
+      }
+    }
+    tree_.Write(NodeIndex(old_leaf, level), bucket);
+    ++bucket_accesses_;
+  }
+  return result;
+}
+
+Block PathOram::Read(uint64_t address) {
+  return Access(address, /*is_write=*/false, Block{});
+}
+
+void PathOram::Write(uint64_t address, const Block& value) {
+  Access(address, /*is_write=*/true, value);
+}
+
+}  // namespace oblivdb::oram

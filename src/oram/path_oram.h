@@ -1,0 +1,123 @@
+// Path ORAM (Stefanov et al., CCS 2013) — the generic oblivious-memory
+// substrate the paper argues against (§1, §3.3).
+//
+// We implement it for two reasons: (a) the Table 1 / Table 2 experiments
+// need a concrete "generic ORAM approach" to compare the problem-specific
+// join against, and (b) it exercises the claim that ORAM's constants are
+// prohibitive (bench_table1_comparison).
+//
+// Standard construction: a binary tree of Z-block buckets stored in public
+// memory, a client-side stash, and a position map.  Each logical access
+// remaps the block to a fresh random leaf, reads the old path into the
+// stash, then writes the path back as full as possible.  The position map
+// and stash live in protected memory, so the construction is level I
+// oblivious (exactly the classification Table 2 gives Path ORAM).
+
+#ifndef OBLIVDB_ORAM_PATH_ORAM_H_
+#define OBLIVDB_ORAM_PATH_ORAM_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "memtrace/oarray.h"
+
+namespace oblivdb::oram {
+
+// Fixed-size payload: one pipeline Entry (72 bytes) fits with room to spare.
+using Block = std::array<uint64_t, 10>;
+
+class PathOram {
+ public:
+  static constexpr size_t kBucketSize = 4;  // Z
+
+  // Storage for logical addresses [0, capacity).  `seed` drives the leaf
+  // remapping PRNG (deterministic for reproducible tests).
+  PathOram(size_t capacity, uint64_t seed);
+
+  size_t capacity() const { return capacity_; }
+  uint32_t levels() const { return levels_; }
+
+  // Logical read; unwritten addresses return a zero block.
+  Block Read(uint64_t address);
+  // Logical write.
+  void Write(uint64_t address, const Block& value);
+
+  // Number of physical bucket touches so far (each touch moves a whole
+  // bucket of Z blocks between public memory and the stash).
+  uint64_t physical_bucket_accesses() const { return bucket_accesses_; }
+  // High-water mark of the stash, a standard ORAM health metric.
+  size_t max_stash_size() const { return max_stash_; }
+
+ private:
+  struct StashSlot {
+    uint64_t address;
+    uint32_t leaf;
+    Block data;
+  };
+  struct Bucket {
+    // valid[i] == 0 marks an empty (dummy) slot.
+    std::array<uint64_t, kBucketSize> address;
+    std::array<uint32_t, kBucketSize> valid;
+    std::array<uint32_t, kBucketSize> leaf;
+    std::array<Block, kBucketSize> data;
+  };
+
+  Block Access(uint64_t address, bool is_write, const Block& new_value);
+
+  size_t NodeIndex(uint32_t leaf, uint32_t level) const;
+  bool PathsIntersectAt(uint32_t leaf_a, uint32_t leaf_b,
+                        uint32_t level) const;
+
+  size_t capacity_;
+  uint32_t levels_;        // tree height; leaves = 2^(levels_-1)
+  uint32_t leaf_count_;
+  crypto::ChaCha20Rng rng_;
+  memtrace::OArray<Bucket> tree_;
+  std::vector<uint32_t> position_;  // protected memory (level I assumption)
+  std::vector<StashSlot> stash_;    // protected memory
+  uint64_t bucket_accesses_ = 0;
+  size_t max_stash_ = 0;
+};
+
+// Flat array of T backed by a PathOram; the drop-in "just use ORAM"
+// interface used by the ORAM-based join baseline.
+template <typename T>
+class OramArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(sizeof(T) <= sizeof(Block));
+
+ public:
+  OramArray(size_t n, uint64_t seed) : size_(n), oram_(n == 0 ? 1 : n, seed) {}
+
+  size_t size() const { return size_; }
+
+  T Read(size_t i) {
+    OBLIVDB_CHECK_LT(i, size_);
+    const Block b = oram_.Read(i);
+    T value;
+    // void* cast: T is trivially copyable (checked above); the cast mutes
+    // GCC's class-memaccess warning about the default member initializers.
+    std::memcpy(static_cast<void*>(&value), b.data(), sizeof(T));
+    return value;
+  }
+
+  void Write(size_t i, const T& value) {
+    OBLIVDB_CHECK_LT(i, size_);
+    Block b{};
+    std::memcpy(b.data(), static_cast<const void*>(&value), sizeof(T));
+    oram_.Write(i, b);
+  }
+
+  PathOram& oram() { return oram_; }
+
+ private:
+  size_t size_;
+  PathOram oram_;
+};
+
+}  // namespace oblivdb::oram
+
+#endif  // OBLIVDB_ORAM_PATH_ORAM_H_

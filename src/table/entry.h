@@ -1,0 +1,74 @@
+// Entry: the augmented tuple the oblivious pipeline moves through public
+// memory.  Matches the paper's T(j, d, tid, alpha1, alpha2) plus the derived
+// attributes f (routing destination) and ii (alignment index).
+//
+// The struct is a flat 72-byte POD (nine 64-bit words) so that ct::CondSwap
+// and ct::Blend operate word-wise and every entry movement costs the same.
+
+#ifndef OBLIVDB_TABLE_ENTRY_H_
+#define OBLIVDB_TABLE_ENTRY_H_
+
+#include <cstdint>
+
+#include "table/record.h"
+
+namespace oblivdb {
+
+struct Entry {
+  uint64_t join_key = 0;   // j
+  uint64_t payload0 = 0;   // d (word 0)
+  uint64_t payload1 = 0;   // d (word 1)
+  uint64_t alpha1 = 0;     // |{(j, *) in T1}| for this entry's group
+  uint64_t alpha2 = 0;     // |{(j, *) in T2}|
+  uint64_t dest = 0;       // f value, 1-based; 0 = null/dummy
+  uint64_t align_ii = 0;   // Align-Table's interleaving index
+  uint64_t tid = 0;        // source table id: 1 or 2
+  uint64_t flags = 0;      // bit 0: dummy marker (pre-routing contexts)
+};
+
+static_assert(sizeof(Entry) == 72, "Entry must stay a flat 9-word POD");
+
+constexpr uint64_t kEntryFlagDummy = 1;
+
+// Routing trait (obliv::Routable) — found by ADL from the routing networks.
+inline uint64_t GetRouteDest(const Entry& e) { return e.dest; }
+inline void SetRouteDest(Entry& e, uint64_t d) { e.dest = d; }
+
+// Builds a pipeline entry from an input record.  tid is 1 or 2.
+inline Entry MakeEntry(const Record& r, uint64_t tid) {
+  Entry e;
+  e.join_key = r.key;
+  e.payload0 = r.payload[0];
+  e.payload1 = r.payload[1];
+  e.tid = tid;
+  return e;
+}
+
+inline Record EntryToRecord(const Entry& e) {
+  return Record{e.join_key, {e.payload0, e.payload1}};
+}
+
+// Flat POD for the zipped output rows (Algorithm 1, lines 6-9).  The dest
+// word doubles as the routing destination when joined rows flow through the
+// compaction / distribution networks (used by the nested-loop baseline).
+struct JoinedEntry {
+  uint64_t join_key = 0;
+  uint64_t left0 = 0;
+  uint64_t left1 = 0;
+  uint64_t right0 = 0;
+  uint64_t right1 = 0;
+  uint64_t dest = 0;  // 1-based routing destination; 0 = null/dummy
+};
+
+static_assert(sizeof(JoinedEntry) % 8 == 0);
+
+inline uint64_t GetRouteDest(const JoinedEntry& e) { return e.dest; }
+inline void SetRouteDest(JoinedEntry& e, uint64_t d) { e.dest = d; }
+
+inline JoinedRecord ToJoinedRecord(const JoinedEntry& e) {
+  return JoinedRecord{e.join_key, {e.left0, e.left1}, {e.right0, e.right1}};
+}
+
+}  // namespace oblivdb
+
+#endif  // OBLIVDB_TABLE_ENTRY_H_

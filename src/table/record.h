@@ -1,0 +1,45 @@
+// Client-facing row types.  A Record is the paper's (j, d) pair: a 64-bit
+// join-attribute value plus an opaque 128-bit data attribute.
+
+#ifndef OBLIVDB_TABLE_RECORD_H_
+#define OBLIVDB_TABLE_RECORD_H_
+
+#include <array>
+#include <cstdint>
+#include <tuple>
+
+namespace oblivdb {
+
+// One input row: join value j and data value d (two 64-bit words; pack
+// whatever fits — a row id, a price+quantity pair, a short string prefix).
+struct Record {
+  uint64_t key = 0;
+  std::array<uint64_t, 2> payload = {0, 0};
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.payload == b.payload;
+  }
+  friend auto operator<=>(const Record& a, const Record& b) {
+    return std::tie(a.key, a.payload) <=> std::tie(b.key, b.payload);
+  }
+};
+
+// One output row of T1 |><| T2: the shared join value and both data values.
+struct JoinedRecord {
+  uint64_t key = 0;
+  std::array<uint64_t, 2> payload1 = {0, 0};
+  std::array<uint64_t, 2> payload2 = {0, 0};
+
+  friend bool operator==(const JoinedRecord& a, const JoinedRecord& b) {
+    return a.key == b.key && a.payload1 == b.payload1 &&
+           a.payload2 == b.payload2;
+  }
+  friend auto operator<=>(const JoinedRecord& a, const JoinedRecord& b) {
+    return std::tie(a.key, a.payload1, a.payload2) <=>
+           std::tie(b.key, b.payload1, b.payload2);
+  }
+};
+
+}  // namespace oblivdb
+
+#endif  // OBLIVDB_TABLE_RECORD_H_

@@ -1,0 +1,17 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace oblivdb {
+
+bool Table::HasUniqueKeys() const {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(rows_.size());
+  for (const Record& r : rows_) {
+    if (!seen.insert(r.key).second) return false;
+  }
+  return true;
+}
+
+}  // namespace oblivdb

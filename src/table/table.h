@@ -1,0 +1,57 @@
+// Table: a named, unordered multiset of Records — the client-side input
+// representation at the trust boundary.  Inside the pipeline rows live in
+// OArray<Entry>; Table itself is deliberately plain.
+
+#ifndef OBLIVDB_TABLE_TABLE_H_
+#define OBLIVDB_TABLE_TABLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "table/record.h"
+
+namespace oblivdb {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+  Table(std::string name, std::vector<Record> rows)
+      : name_(std::move(name)), rows_(std::move(rows)) {}
+
+  // Convenience for literals in tests and examples:
+  //   Table t("T1", {{1, {10}}, {1, {11}}, {2, {20}}});
+  Table(std::string name,
+        std::initializer_list<std::pair<uint64_t, uint64_t>> rows)
+      : name_(std::move(name)) {
+    rows_.reserve(rows.size());
+    for (const auto& [k, d] : rows) rows_.push_back(Record{k, {d, 0}});
+  }
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const std::vector<Record>& rows() const { return rows_; }
+  std::vector<Record>& rows() { return rows_; }
+
+  void Add(uint64_t key, uint64_t d0, uint64_t d1 = 0) {
+    rows_.push_back(Record{key, {d0, d1}});
+  }
+  void Add(const Record& r) { rows_.push_back(r); }
+
+  // True iff no join value appears twice (precondition of the Opaque-style
+  // PK-FK baseline, which treats this table as the primary side).
+  bool HasUniqueKeys() const;
+
+ private:
+  std::string name_;
+  std::vector<Record> rows_;
+};
+
+}  // namespace oblivdb
+
+#endif  // OBLIVDB_TABLE_TABLE_H_

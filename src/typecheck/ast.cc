@@ -1,0 +1,119 @@
+#include "typecheck/ast.h"
+
+#include "common/check.h"
+
+namespace oblivdb::typecheck {
+
+ExprPtr Var(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kVar;
+  e->var_name = std::move(name);
+  return e;
+}
+
+ExprPtr Const(uint64_t value) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kConst;
+  e->constant = value;
+  return e;
+}
+
+ExprPtr BinOp(char op, ExprPtr lhs, ExprPtr rhs) {
+  OBLIVDB_CHECK(lhs != nullptr);
+  OBLIVDB_CHECK(rhs != nullptr);
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kBinOp;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case Expr::Kind::kVar:
+      return a->var_name == b->var_name;
+    case Expr::Kind::kConst:
+      return a->constant == b->constant;
+    case Expr::Kind::kBinOp:
+      return a->op == b->op && ExprEquals(a->lhs, b->lhs) &&
+             ExprEquals(a->rhs, b->rhs);
+  }
+  return false;
+}
+
+std::string ExprToString(const ExprPtr& e) {
+  if (e == nullptr) return "<null>";
+  switch (e->kind) {
+    case Expr::Kind::kVar:
+      return e->var_name;
+    case Expr::Kind::kConst:
+      return std::to_string(e->constant);
+    case Expr::Kind::kBinOp:
+      return "(" + ExprToString(e->lhs) + " " + std::string(1, e->op) + " " +
+             ExprToString(e->rhs) + ")";
+  }
+  return "<?>";
+}
+
+namespace {
+
+std::shared_ptr<Stmt> NewStmt(Stmt::Kind kind) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = kind;
+  return s;
+}
+
+}  // namespace
+
+StmtPtr Skip() { return NewStmt(Stmt::Kind::kSkip); }
+
+StmtPtr Assign(std::string var, ExprPtr e) {
+  auto s = NewStmt(Stmt::Kind::kAssign);
+  s->target = std::move(var);
+  s->expr = std::move(e);
+  return s;
+}
+
+StmtPtr ArrayRead(std::string var, std::string array, ExprPtr index) {
+  auto s = NewStmt(Stmt::Kind::kArrayRead);
+  s->target = std::move(var);
+  s->array = std::move(array);
+  s->index = std::move(index);
+  return s;
+}
+
+StmtPtr ArrayWrite(std::string array, ExprPtr index, ExprPtr value) {
+  auto s = NewStmt(Stmt::Kind::kArrayWrite);
+  s->array = std::move(array);
+  s->index = std::move(index);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr If(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch) {
+  auto s = NewStmt(Stmt::Kind::kIf);
+  s->expr = std::move(cond);
+  s->body1 = std::move(then_branch);
+  s->body2 = std::move(else_branch);
+  return s;
+}
+
+StmtPtr For(std::string loop_var, ExprPtr count, StmtPtr body) {
+  auto s = NewStmt(Stmt::Kind::kFor);
+  s->loop_var = std::move(loop_var);
+  s->expr = std::move(count);
+  s->body1 = std::move(body);
+  return s;
+}
+
+StmtPtr Seq(std::vector<StmtPtr> stmts) {
+  auto s = NewStmt(Stmt::Kind::kSeq);
+  s->children = std::move(stmts);
+  return s;
+}
+
+}  // namespace oblivdb::typecheck

@@ -1,0 +1,103 @@
+// AST for the small imperative language of Liu et al. [28] as adapted by
+// the paper (§6.1, Figure 6) to verify level II obliviousness.
+//
+// Programs manipulate u64 variables (local memory: emits no trace) and u64
+// arrays (public memory: every access emits <R|W, array, index>).  The
+// checker (checker.h) implements the typing rules; the interpreter
+// (interpreter.h) executes programs and emits the concrete traces the
+// formal judgment promises are input-independent.
+
+#ifndef OBLIVDB_TYPECHECK_AST_H_
+#define OBLIVDB_TYPECHECK_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace oblivdb::typecheck {
+
+// Security labels: L = input-independent ("low"), H = secret ("high").
+enum class Label : uint8_t { kLow, kHigh };
+
+inline Label JoinLabels(Label a, Label b) {
+  return (a == Label::kHigh || b == Label::kHigh) ? Label::kHigh : Label::kLow;
+}
+// The ordering l1 <= l2 of Figure 6 (L flows anywhere, H only to H).
+inline bool FlowsTo(Label from, Label to) {
+  return from == Label::kLow || to == Label::kHigh;
+}
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// Operators: '+', '-', '*', '/', '%', '<' (0/1), '=' (0/1), '>' (0/1),
+// '&', '|', '^', 'l' (shift left), 'r' (shift right).
+struct Expr {
+  enum class Kind : uint8_t { kVar, kConst, kBinOp };
+
+  Kind kind;
+  std::string var_name;  // kVar
+  uint64_t constant = 0;  // kConst
+  char op = 0;            // kBinOp
+  ExprPtr lhs, rhs;       // kBinOp
+};
+
+ExprPtr Var(std::string name);
+ExprPtr Const(uint64_t value);
+ExprPtr BinOp(char op, ExprPtr lhs, ExprPtr rhs);
+
+inline ExprPtr Add(ExprPtr a, ExprPtr b) { return BinOp('+', a, b); }
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) { return BinOp('-', a, b); }
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) { return BinOp('*', a, b); }
+inline ExprPtr Div(ExprPtr a, ExprPtr b) { return BinOp('/', a, b); }
+inline ExprPtr Mod(ExprPtr a, ExprPtr b) { return BinOp('%', a, b); }
+inline ExprPtr LessThan(ExprPtr a, ExprPtr b) { return BinOp('<', a, b); }
+inline ExprPtr GreaterEq(ExprPtr a, ExprPtr b) {
+  // a >= b  ==  !(a < b); expressed directly as an operator for clarity.
+  return BinOp('g', a, b);
+}
+inline ExprPtr Equals(ExprPtr a, ExprPtr b) { return BinOp('=', a, b); }
+inline ExprPtr Shl(ExprPtr a, ExprPtr b) { return BinOp('l', a, b); }
+inline ExprPtr Shr(ExprPtr a, ExprPtr b) { return BinOp('r', a, b); }
+
+// Structural equality (used for trace comparison in T-Cond).
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+std::string ExprToString(const ExprPtr& e);
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    kSkip,
+    kAssign,      // x <- e                    (local; no trace)
+    kArrayRead,   // x ?<- A[i]                (emits <R, A, i>)
+    kArrayWrite,  // A[i] ?<- e                (emits <W, A, i>)
+    kIf,          // if c then s1 else s2      (T-Cond: equal traces)
+    kFor,         // for v <- 1 .. t do s      (T-For: t must be L)
+    kSeq,
+  };
+
+  Kind kind;
+  std::string target;        // kAssign / kArrayRead destination variable
+  std::string array;         // kArrayRead / kArrayWrite
+  ExprPtr expr;              // kAssign rhs, kArrayWrite value, kIf cond,
+                             // kFor trip count
+  ExprPtr index;             // kArrayRead / kArrayWrite index
+  std::string loop_var;      // kFor
+  StmtPtr body1, body2;      // kIf branches; kFor body in body1
+  std::vector<StmtPtr> children;  // kSeq
+};
+
+StmtPtr Skip();
+StmtPtr Assign(std::string var, ExprPtr e);
+StmtPtr ArrayRead(std::string var, std::string array, ExprPtr index);
+StmtPtr ArrayWrite(std::string array, ExprPtr index, ExprPtr value);
+StmtPtr If(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch);
+StmtPtr For(std::string loop_var, ExprPtr count, StmtPtr body);
+StmtPtr Seq(std::vector<StmtPtr> stmts);
+
+}  // namespace oblivdb::typecheck
+
+#endif  // OBLIVDB_TYPECHECK_AST_H_

@@ -1,0 +1,252 @@
+#include "typecheck/checker.h"
+
+namespace oblivdb::typecheck {
+namespace {
+
+TracePtr EmptyTrace() {
+  auto t = std::make_shared<TraceNode>();
+  t->kind = TraceNode::Kind::kEmpty;
+  return t;
+}
+
+TracePtr AccessTrace(bool is_read, std::string array, ExprPtr index) {
+  auto t = std::make_shared<TraceNode>();
+  t->kind = TraceNode::Kind::kAccess;
+  t->is_read = is_read;
+  t->array = std::move(array);
+  t->index = std::move(index);
+  return t;
+}
+
+bool IsEmpty(const TracePtr& t) {
+  return t == nullptr || t->kind == TraceNode::Kind::kEmpty;
+}
+
+// Concatenation flattens nested sequences and drops empties so that
+// structurally-identical behaviours compare equal regardless of how the
+// program text was bracketed.
+TracePtr ConcatTraces(const std::vector<TracePtr>& parts) {
+  std::vector<TracePtr> flat;
+  for (const TracePtr& p : parts) {
+    if (IsEmpty(p)) continue;
+    if (p->kind == TraceNode::Kind::kSeq) {
+      flat.insert(flat.end(), p->children.begin(), p->children.end());
+    } else {
+      flat.push_back(p);
+    }
+  }
+  if (flat.empty()) return EmptyTrace();
+  if (flat.size() == 1) return flat[0];
+  auto t = std::make_shared<TraceNode>();
+  t->kind = TraceNode::Kind::kSeq;
+  t->children = std::move(flat);
+  return t;
+}
+
+TracePtr RepeatTrace(ExprPtr count, std::string var, TracePtr body) {
+  if (IsEmpty(body)) return EmptyTrace();
+  auto t = std::make_shared<TraceNode>();
+  t->kind = TraceNode::Kind::kRepeat;
+  t->repeat_count = std::move(count);
+  t->repeat_var = std::move(var);
+  t->children.push_back(std::move(body));
+  return t;
+}
+
+}  // namespace
+
+bool TraceEquals(const TracePtr& a, const TracePtr& b) {
+  if (a == b) return true;
+  if (IsEmpty(a) && IsEmpty(b)) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case TraceNode::Kind::kEmpty:
+      return true;
+    case TraceNode::Kind::kAccess:
+      return a->is_read == b->is_read && a->array == b->array &&
+             ExprEquals(a->index, b->index);
+    case TraceNode::Kind::kSeq: {
+      if (a->children.size() != b->children.size()) return false;
+      for (size_t i = 0; i < a->children.size(); ++i) {
+        if (!TraceEquals(a->children[i], b->children[i])) return false;
+      }
+      return true;
+    }
+    case TraceNode::Kind::kRepeat:
+      return ExprEquals(a->repeat_count, b->repeat_count) &&
+             a->repeat_var == b->repeat_var &&
+             TraceEquals(a->children[0], b->children[0]);
+  }
+  return false;
+}
+
+std::string TraceToString(const TracePtr& t) {
+  if (IsEmpty(t)) return "e";
+  switch (t->kind) {
+    case TraceNode::Kind::kEmpty:
+      return "e";
+    case TraceNode::Kind::kAccess:
+      return std::string(t->is_read ? "R" : "W") + "(" + t->array + ", " +
+             ExprToString(t->index) + ")";
+    case TraceNode::Kind::kSeq: {
+      std::string s = "[";
+      for (size_t i = 0; i < t->children.size(); ++i) {
+        if (i > 0) s += " || ";
+        s += TraceToString(t->children[i]);
+      }
+      return s + "]";
+    }
+    case TraceNode::Kind::kRepeat:
+      return "repeat(" + t->repeat_var + " in 1.." +
+             ExprToString(t->repeat_count) + ", " +
+             TraceToString(t->children[0]) + ")";
+  }
+  return "?";
+}
+
+TypeChecker::ExprResult TypeChecker::CheckExpr(const ExprPtr& e) const {
+  if (e == nullptr) return {false, "null expression", Label::kLow};
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+      return {true, "", Label::kLow};  // T-Const
+    case Expr::Kind::kVar: {           // T-Var
+      auto it = env_.variables.find(e->var_name);
+      if (it == env_.variables.end()) {
+        return {false, "undeclared variable '" + e->var_name + "'",
+                Label::kLow};
+      }
+      return {true, "", it->second};
+    }
+    case Expr::Kind::kBinOp: {  // T-Op
+      const ExprResult l = CheckExpr(e->lhs);
+      if (!l.ok) return l;
+      const ExprResult r = CheckExpr(e->rhs);
+      if (!r.ok) return r;
+      return {true, "", JoinLabels(l.label, r.label)};
+    }
+  }
+  return {false, "malformed expression", Label::kLow};
+}
+
+CheckResult TypeChecker::CheckStmt(const StmtPtr& s, Label pc) {
+  if (s == nullptr) return {false, "null statement", nullptr};
+  switch (s->kind) {
+    case Stmt::Kind::kSkip:
+      return {true, "", EmptyTrace()};
+
+    case Stmt::Kind::kAssign: {  // T-Asgn (with pc for implicit flows)
+      const ExprResult rhs = CheckExpr(s->expr);
+      if (!rhs.ok) return {false, rhs.error, nullptr};
+      auto it = env_.variables.find(s->target);
+      if (it == env_.variables.end()) {
+        return {false, "undeclared variable '" + s->target + "'", nullptr};
+      }
+      if (!FlowsTo(JoinLabels(rhs.label, pc), it->second)) {
+        return {false,
+                "illegal flow into L variable '" + s->target + "'", nullptr};
+      }
+      return {true, "", EmptyTrace()};
+    }
+
+    case Stmt::Kind::kArrayRead: {  // T-Read
+      const ExprResult idx = CheckExpr(s->index);
+      if (!idx.ok) return {false, idx.error, nullptr};
+      if (idx.label != Label::kLow) {
+        return {false,
+                "array '" + s->array + "' indexed by high-security value",
+                nullptr};
+      }
+      auto arr = env_.arrays.find(s->array);
+      if (arr == env_.arrays.end()) {
+        return {false, "undeclared array '" + s->array + "'", nullptr};
+      }
+      auto var = env_.variables.find(s->target);
+      if (var == env_.variables.end()) {
+        return {false, "undeclared variable '" + s->target + "'", nullptr};
+      }
+      if (!FlowsTo(JoinLabels(arr->second, pc), var->second)) {
+        return {false,
+                "illegal flow into L variable '" + s->target + "'", nullptr};
+      }
+      return {true, "", AccessTrace(/*is_read=*/true, s->array, s->index)};
+    }
+
+    case Stmt::Kind::kArrayWrite: {  // T-Write
+      const ExprResult idx = CheckExpr(s->index);
+      if (!idx.ok) return {false, idx.error, nullptr};
+      if (idx.label != Label::kLow) {
+        return {false,
+                "array '" + s->array + "' indexed by high-security value",
+                nullptr};
+      }
+      auto arr = env_.arrays.find(s->array);
+      if (arr == env_.arrays.end()) {
+        return {false, "undeclared array '" + s->array + "'", nullptr};
+      }
+      const ExprResult value = CheckExpr(s->expr);
+      if (!value.ok) return {false, value.error, nullptr};
+      if (!FlowsTo(JoinLabels(value.label, pc), arr->second)) {
+        return {false, "illegal flow into L array '" + s->array + "'",
+                nullptr};
+      }
+      return {true, "", AccessTrace(/*is_read=*/false, s->array, s->index)};
+    }
+
+    case Stmt::Kind::kIf: {  // T-Cond
+      const ExprResult cond = CheckExpr(s->expr);
+      if (!cond.ok) return {false, cond.error, nullptr};
+      const Label branch_pc = JoinLabels(pc, cond.label);
+      CheckResult then_result = CheckStmt(s->body1, branch_pc);
+      if (!then_result.ok) return then_result;
+      CheckResult else_result = CheckStmt(s->body2, branch_pc);
+      if (!else_result.ok) return else_result;
+      if (!TraceEquals(then_result.trace, else_result.trace)) {
+        return {false,
+                "branches of conditional emit different traces:\n  then: " +
+                    TraceToString(then_result.trace) +
+                    "\n  else: " + TraceToString(else_result.trace),
+                nullptr};
+      }
+      return {true, "", then_result.trace};
+    }
+
+    case Stmt::Kind::kFor: {  // T-For
+      const ExprResult count = CheckExpr(s->expr);
+      if (!count.ok) return {false, count.error, nullptr};
+      if (count.label != Label::kLow) {
+        return {false, "loop bound depends on high-security data", nullptr};
+      }
+      // The loop counter is public by construction.
+      const auto previous = env_.variables.find(s->loop_var);
+      const bool had = previous != env_.variables.end();
+      const Label saved = had ? previous->second : Label::kLow;
+      env_.variables[s->loop_var] = Label::kLow;
+      CheckResult body = CheckStmt(s->body1, pc);
+      if (had) {
+        env_.variables[s->loop_var] = saved;
+      } else {
+        env_.variables.erase(s->loop_var);
+      }
+      if (!body.ok) return body;
+      return {true, "", RepeatTrace(s->expr, s->loop_var, body.trace)};
+    }
+
+    case Stmt::Kind::kSeq: {  // T-Seq
+      std::vector<TracePtr> parts;
+      for (const StmtPtr& child : s->children) {
+        CheckResult r = CheckStmt(child, pc);
+        if (!r.ok) return r;
+        parts.push_back(r.trace);
+      }
+      return {true, "", ConcatTraces(parts)};
+    }
+  }
+  return {false, "malformed statement", nullptr};
+}
+
+CheckResult TypeChecker::Check(const StmtPtr& program) {
+  return CheckStmt(program, Label::kLow);
+}
+
+}  // namespace oblivdb::typecheck

@@ -1,0 +1,87 @@
+// The type system of Figure 6: a program type-checks only if its public
+// memory trace is independent of high-security data.
+//
+// Judgments follow the figure:
+//   T-Var/T-Const/T-Op  — expression labels (local memory, empty trace);
+//   T-Asgn              — flows into variables respect the label order;
+//   T-Read/T-Write      — array indices must be L; each access contributes
+//                         <R|W, array, index> to the symbolic trace;
+//   T-Cond              — both branches must emit *identical* traces;
+//   T-For               — trip counts must be L; the body trace is repeated.
+//
+// One strengthening over the condensed figure: we track the classic
+// program-counter label, so assignments to L variables under an H branch
+// are rejected (implicit flows).  The paper's implementation is branch-free
+// on secrets, so this strictly smaller language still types all its kernels.
+//
+// Symbolic traces are trees (sequence / repeat / access) compared
+// structurally, mirroring the T-For rule "T || ... || T, t copies" without
+// unrolling.
+
+#ifndef OBLIVDB_TYPECHECK_CHECKER_H_
+#define OBLIVDB_TYPECHECK_CHECKER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "typecheck/ast.h"
+
+namespace oblivdb::typecheck {
+
+// Declarations visible to a program: variable and array security labels.
+struct Environment {
+  std::map<std::string, Label> variables;
+  std::map<std::string, Label> arrays;
+};
+
+struct TraceNode;
+using TracePtr = std::shared_ptr<const TraceNode>;
+
+struct TraceNode {
+  enum class Kind : uint8_t { kEmpty, kAccess, kSeq, kRepeat };
+
+  Kind kind;
+  // kAccess
+  bool is_read = false;
+  std::string array;
+  ExprPtr index;
+  // kSeq / kRepeat
+  std::vector<TracePtr> children;
+  ExprPtr repeat_count;  // kRepeat
+  std::string repeat_var;  // the loop variable the repeated trace ranges over
+};
+
+bool TraceEquals(const TracePtr& a, const TracePtr& b);
+std::string TraceToString(const TracePtr& t);
+
+struct CheckResult {
+  bool ok = false;
+  std::string error;  // empty when ok
+  TracePtr trace;     // the program's symbolic trace when ok
+};
+
+class TypeChecker {
+ public:
+  explicit TypeChecker(Environment env) : env_(std::move(env)) {}
+
+  // Type-checks a whole program (pc starts at L).
+  CheckResult Check(const StmtPtr& program);
+
+ private:
+  struct ExprResult {
+    bool ok;
+    std::string error;
+    Label label;
+  };
+
+  ExprResult CheckExpr(const ExprPtr& e) const;
+  CheckResult CheckStmt(const StmtPtr& s, Label pc);
+
+  Environment env_;
+};
+
+}  // namespace oblivdb::typecheck
+
+#endif  // OBLIVDB_TYPECHECK_CHECKER_H_

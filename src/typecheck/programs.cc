@@ -1,0 +1,215 @@
+#include "typecheck/programs.h"
+
+namespace oblivdb::typecheck {
+namespace {
+
+Environment EnvWith(std::map<std::string, Label> vars,
+                    std::map<std::string, Label> arrays) {
+  Environment env;
+  env.variables = std::move(vars);
+  env.arrays = std::move(arrays);
+  return env;
+}
+
+constexpr Label L = Label::kLow;
+constexpr Label H = Label::kHigh;
+
+}  // namespace
+
+ProgramWithEnv RoutingNetworkProgram() {
+  // for r in 1..k:
+  //   j <- 1 << (k - r)
+  //   for i in 1..(m - j):
+  //     idx <- m - j + 1 - i                  (descending scan, 1-based)
+  //     y ?<- A[idx];  f ?<- F[idx]
+  //     y2 ?<- A[idx + j];  f2 ?<- F[idx + j]
+  //     c <- (f >= idx + j)
+  //     if c then  A[idx] <- y2; F[idx] <- f2; A[idx+j] <- y;  F[idx+j] <- f
+  //     else       A[idx] <- y;  F[idx] <- f;  A[idx+j] <- y2; F[idx+j] <- f2
+  const ExprPtr idx = Var("idx");
+  const ExprPtr idx_j = Add(Var("idx"), Var("j"));
+
+  const StmtPtr then_branch = Seq({
+      ArrayWrite("A", idx, Var("y2")),
+      ArrayWrite("F", idx, Var("f2")),
+      ArrayWrite("A", idx_j, Var("y")),
+      ArrayWrite("F", idx_j, Var("f")),
+  });
+  const StmtPtr else_branch = Seq({
+      ArrayWrite("A", idx, Var("y")),
+      ArrayWrite("F", idx, Var("f")),
+      ArrayWrite("A", idx_j, Var("y2")),
+      ArrayWrite("F", idx_j, Var("f2")),
+  });
+
+  const StmtPtr inner = Seq({
+      Assign("idx", Sub(Add(Sub(Var("m"), Var("j")), Const(1)), Var("i"))),
+      ArrayRead("y", "A", idx),
+      ArrayRead("f", "F", idx),
+      ArrayRead("y2", "A", idx_j),
+      ArrayRead("f2", "F", idx_j),
+      Assign("c", GreaterEq(Var("f"), Add(Var("idx"), Var("j")))),
+      If(Var("c"), then_branch, else_branch),
+  });
+
+  const StmtPtr program = For(
+      "r", Var("k"),
+      Seq({Assign("j", Shl(Const(1), Sub(Var("k"), Var("r")))),
+           For("i", Sub(Var("m"), Var("j")), inner)}));
+
+  return {program, EnvWith({{"m", L}, {"k", L}, {"j", L}, {"idx", L},
+                            {"y", H}, {"y2", H}, {"f", H}, {"f2", H},
+                            {"c", H}},
+                           {{"A", H}, {"F", H}})};
+}
+
+ProgramWithEnv FillDimensionsForwardProgram() {
+  // Branch-free per-group counting:
+  //   same <- (jv == prev) * started       -- 1 iff continuing a group
+  //   c1 <- same * c1 + (tid == 1)
+  //   c2 <- same * c2 + (1 - (tid == 1))
+  const StmtPtr body = Seq({
+      ArrayRead("jv", "J", Var("i")),
+      ArrayRead("t", "TID", Var("i")),
+      Assign("same", Mul(Equals(Var("jv"), Var("prev")), Var("started"))),
+      Assign("is1", Equals(Var("t"), Const(1))),
+      Assign("c1", Add(Mul(Var("same"), Var("c1")), Var("is1"))),
+      Assign("c2", Add(Mul(Var("same"), Var("c2")),
+                       Sub(Const(1), Var("is1")))),
+      ArrayWrite("A1", Var("i"), Var("c1")),
+      ArrayWrite("A2", Var("i"), Var("c2")),
+      Assign("prev", Var("jv")),
+      Assign("started", Const(1)),
+  });
+
+  const StmtPtr program = Seq({
+      Assign("c1", Const(0)),
+      Assign("c2", Const(0)),
+      Assign("prev", Const(0)),
+      Assign("started", Const(0)),
+      For("i", Var("n"), body),
+  });
+
+  return {program,
+          EnvWith({{"n", L}, {"jv", H}, {"t", H}, {"same", H}, {"is1", H},
+                   {"c1", H}, {"c2", H}, {"prev", H}, {"started", H}},
+                  {{"J", H}, {"TID", H}, {"A1", H}, {"A2", H}})};
+}
+
+ProgramWithEnv AlignIndexProgram() {
+  // q resets on group change (branch-free), then
+  //   II[i] <- q / a1 + (q mod a1) * a2.
+  const StmtPtr body = Seq({
+      ArrayRead("jv", "J", Var("i")),
+      ArrayRead("a1", "ALPHA1", Var("i")),
+      ArrayRead("a2", "ALPHA2", Var("i")),
+      Assign("same", Mul(Equals(Var("jv"), Var("prev")), Var("started"))),
+      Assign("q", Mul(Var("same"), Add(Var("q"), Const(1)))),
+      ArrayWrite("II", Var("i"),
+                 Add(Div(Var("q"), Var("a1")),
+                     Mul(Mod(Var("q"), Var("a1")), Var("a2")))),
+      Assign("prev", Var("jv")),
+      Assign("started", Const(1)),
+  });
+
+  const StmtPtr program = Seq({
+      Assign("q", Const(0)),
+      Assign("prev", Const(0)),
+      Assign("started", Const(0)),
+      For("i", Var("m"), body),
+  });
+
+  return {program,
+          EnvWith({{"m", L}, {"jv", H}, {"a1", H}, {"a2", H}, {"same", H},
+                   {"q", H}, {"prev", H}, {"started", H}},
+                  {{"J", H}, {"ALPHA1", H}, {"ALPHA2", H}, {"II", H}})};
+}
+
+ProgramWithEnv ExpandFillDownProgram() {
+  // For i in 1..m:
+  //   x ?<- A[i];  f ?<- F[i]
+  //   isnull <- (f == 0)
+  //   x <- isnull * px + (1 - isnull) * x       (blend, no branch)
+  //   f <- isnull * pf + (1 - isnull) * f
+  //   A[i] <- x;  F[i] <- f
+  //   px <- x;  pf <- f
+  auto blend = [](const char* flag, const char* prev, const char* cur) {
+    return Add(Mul(Var(flag), Var(prev)),
+               Mul(Sub(Const(1), Var(flag)), Var(cur)));
+  };
+  const StmtPtr body = Seq({
+      ArrayRead("x", "A", Var("i")),
+      ArrayRead("f", "F", Var("i")),
+      Assign("isnull", Equals(Var("f"), Const(0))),
+      Assign("x", blend("isnull", "px", "x")),
+      Assign("f", blend("isnull", "pf", "f")),
+      ArrayWrite("A", Var("i"), Var("x")),
+      ArrayWrite("F", Var("i"), Var("f")),
+      Assign("px", Var("x")),
+      Assign("pf", Var("f")),
+  });
+  const StmtPtr program = Seq({
+      Assign("px", Const(0)),
+      Assign("pf", Const(0)),
+      For("i", Var("m"), body),
+  });
+  return {program,
+          EnvWith({{"m", L}, {"x", H}, {"f", H}, {"isnull", H}, {"px", H},
+                   {"pf", H}},
+                  {{"A", H}, {"F", H}})};
+}
+
+ProgramWithEnv CompactionRankProgram() {
+  // For i in 1..n:
+  //   k ?<- KEEP[i]                 (0 or 1)
+  //   rank <- rank + k
+  //   F[i] <- k * rank              (0 when dropped)
+  const StmtPtr body = Seq({
+      ArrayRead("k", "KEEP", Var("i")),
+      Assign("rank", Add(Var("rank"), Var("k"))),
+      ArrayWrite("F", Var("i"), Mul(Var("k"), Var("rank"))),
+  });
+  const StmtPtr program = Seq({
+      Assign("rank", Const(0)),
+      For("i", Var("n"), body),
+  });
+  return {program, EnvWith({{"n", L}, {"k", H}, {"rank", H}},
+                           {{"KEEP", H}, {"F", H}})};
+}
+
+ProgramWithEnv LeakyIndexProgram() {
+  // x ?<- A[1]; y ?<- B[x]   -- the canonical access-pattern leak.
+  const StmtPtr program = Seq({
+      ArrayRead("x", "A", Const(1)),
+      ArrayRead("y", "B", Var("x")),
+  });
+  return {program, EnvWith({{"x", H}, {"y", H}}, {{"A", H}, {"B", H}})};
+}
+
+ProgramWithEnv LeakyBranchProgram() {
+  // if c then A[1] <- 7 else skip   -- a write observable only on one path.
+  const StmtPtr program =
+      Seq({ArrayRead("c", "A", Const(1)),
+           If(Var("c"), ArrayWrite("A", Const(1), Const(7)), Skip())});
+  return {program, EnvWith({{"c", H}}, {{"A", H}})};
+}
+
+ProgramWithEnv SecretLoopBoundProgram() {
+  // for i in 1..secret do skip   -- §3.4's forbidden while-like loop.
+  const StmtPtr program = Seq({
+      ArrayRead("secret", "A", Const(1)),
+      For("i", Var("secret"), Skip()),
+  });
+  return {program, EnvWith({{"secret", H}}, {{"A", H}})};
+}
+
+ProgramWithEnv ImplicitFlowProgram() {
+  // if c then low <- 1 else low <- 1: identical traces, but the assignment
+  // under a secret branch must still be rejected (pc rule).
+  const StmtPtr program =
+      Seq({ArrayRead("c", "A", Const(1)),
+           If(Var("c"), Assign("low", Const(1)), Assign("low", Const(1)))});
+  return {program, EnvWith({{"c", H}, {"low", L}}, {{"A", H}})};
+}
+
+}  // namespace oblivdb::typecheck

@@ -1,0 +1,59 @@
+// DSL encodings of the join algorithm's kernels (for the formal §6.1
+// verification) plus deliberately-leaky counterexamples (for negative
+// tests of the checker).
+//
+// Array convention: 1-based indexing as in the paper; slot 0 of each array
+// is unused, so an array logically of size m is a vector of length m + 1.
+
+#ifndef OBLIVDB_TYPECHECK_PROGRAMS_H_
+#define OBLIVDB_TYPECHECK_PROGRAMS_H_
+
+#include "typecheck/ast.h"
+#include "typecheck/checker.h"
+
+namespace oblivdb::typecheck {
+
+struct ProgramWithEnv {
+  StmtPtr program;
+  Environment env;
+};
+
+// Algorithm 3's routing loop over value array A and destination-attribute
+// array F (both H), parameterized by L variables m (array length) and
+// k = ceil(log2 m).  Both branches of the swap conditional emit identical
+// traces — the T-Cond showcase.
+ProgramWithEnv RoutingNetworkProgram();
+
+// Fill-Dimensions' forward pass in branch-free select style over arrays
+// J, TID (inputs, H) and A1, A2 (outputs, H), parameterized by n (L).
+// No conditionals at all: the counters reset via 0/1 multiplication.
+ProgramWithEnv FillDimensionsForwardProgram();
+
+// Align-Table's index pass: computes II[i] = floor(q/a1) + (q mod a1) * a2
+// from H arrays J, ALPHA1, ALPHA2 with the group-local counter q.
+ProgramWithEnv AlignIndexProgram();
+
+// Oblivious-Expand's fill-down pass (Algorithm 4, lines 14-21): slots whose
+// F (dest) attribute is null inherit the previous real element.  Arrays
+// A, F (H); length m (L).  Branch-free via 0/1 blending.
+ProgramWithEnv ExpandFillDownProgram();
+
+// AssignCompactionRanks: kept elements (per the H array KEEP of 0/1 flags)
+// receive their 1-based rank in F, dropped ones 0.  One linear pass.
+ProgramWithEnv CompactionRankProgram();
+
+// --- Counterexamples (each must be rejected) -------------------------------
+
+// Reads B[x] where x was loaded from a high-security array.
+ProgramWithEnv LeakyIndexProgram();
+// Branches on a secret with asymmetric traces (write vs skip).
+ProgramWithEnv LeakyBranchProgram();
+// Loop bound depends on a secret.
+ProgramWithEnv SecretLoopBoundProgram();
+// Implicit flow: branches on a secret and assigns an L variable (traces
+// match, but the pc rule rejects it).
+ProgramWithEnv ImplicitFlowProgram();
+
+}  // namespace oblivdb::typecheck
+
+#endif  // OBLIVDB_TYPECHECK_PROGRAMS_H_

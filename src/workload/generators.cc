@@ -1,0 +1,223 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "crypto/chacha20.h"
+
+namespace oblivdb::workload {
+namespace {
+
+// Injective key scrambler (odd multiplier): keeps keys distinct while
+// destroying any correlation between key order and generation order.
+uint64_t ScrambleKey(uint64_t i) { return (i + 1) * 0x9e3779b97f4a7c15ULL; }
+
+void ShuffleRows(Table& t, crypto::ChaCha20Rng& rng) {
+  std::shuffle(t.rows().begin(), t.rows().end(), rng);
+}
+
+}  // namespace
+
+TestCase FromGroupSpec(const std::string& name,
+                       const std::vector<std::pair<uint64_t, uint64_t>>& spec,
+                       uint64_t seed) {
+  crypto::ChaCha20Rng rng(seed, /*stream=*/1);
+  TestCase tc;
+  tc.name = name;
+  tc.t1 = Table("T1");
+  tc.t2 = Table("T2");
+  uint64_t payload = 1;
+  for (size_t g = 0; g < spec.size(); ++g) {
+    const uint64_t key = ScrambleKey(g);
+    for (uint64_t a = 0; a < spec[g].first; ++a) {
+      tc.t1.Add(key, payload++, rng());
+    }
+    for (uint64_t b = 0; b < spec[g].second; ++b) {
+      tc.t2.Add(key, payload++, rng());
+    }
+    tc.expected_m += spec[g].first * spec[g].second;
+  }
+  ShuffleRows(tc.t1, rng);
+  ShuffleRows(tc.t2, rng);
+  return tc;
+}
+
+TestCase OneToOne(uint64_t n, uint64_t seed) {
+  std::vector<std::pair<uint64_t, uint64_t>> spec(n / 2, {1, 1});
+  if (n % 2 != 0) spec.push_back({1, 0});
+  TestCase tc = FromGroupSpec("one_to_one_n" + std::to_string(n), spec, seed);
+  return tc;
+}
+
+TestCase SingleGroup(uint64_t n1, uint64_t n2, uint64_t seed) {
+  TestCase tc = FromGroupSpec(
+      "single_group_" + std::to_string(n1) + "x" + std::to_string(n2),
+      {{n1, n2}}, seed);
+  return tc;
+}
+
+TestCase PowerLaw(uint64_t n, double alpha, uint64_t seed) {
+  OBLIVDB_CHECK_GT(alpha, 1.0);
+  crypto::ChaCha20Rng rng(seed, /*stream=*/2);
+  const uint64_t cap = std::max<uint64_t>(2, n / 8);
+  auto draw = [&rng, alpha, cap]() -> uint64_t {
+    // Discrete Pareto: ceil(U^(-1/(alpha-1))) has P(X >= x) ~ x^-(alpha-1).
+    const double u =
+        (double(rng() >> 11) + 1.0) / 9007199254740993.0;  // (0, 1)
+    const double x = std::ceil(std::pow(u, -1.0 / (alpha - 1.0)));
+    return std::min<uint64_t>(cap, uint64_t(x));
+  };
+
+  std::vector<std::pair<uint64_t, uint64_t>> spec;
+  uint64_t used = 0;
+  while (used < n) {
+    uint64_t a1 = draw();
+    uint64_t a2 = draw();
+    if (used + a1 + a2 > n) {
+      // Spend the remainder on an unmatched filler group.
+      spec.push_back({n - used, 0});
+      used = n;
+      break;
+    }
+    spec.push_back({a1, a2});
+    used += a1 + a2;
+  }
+  return FromGroupSpec("power_law_a" + std::to_string(alpha) + "_n" +
+                           std::to_string(n) + "_s" + std::to_string(seed),
+                       spec, seed);
+}
+
+TestCase PrimaryForeign(uint64_t num_pk, uint64_t num_fk, uint64_t seed) {
+  OBLIVDB_CHECK_GE(num_pk, 1u);
+  crypto::ChaCha20Rng rng(seed, /*stream=*/3);
+  TestCase tc;
+  tc.name = "pk_fk_" + std::to_string(num_pk) + "x" + std::to_string(num_fk);
+  tc.t1 = Table("primary");
+  tc.t2 = Table("foreign");
+  uint64_t payload = 1;
+  for (uint64_t i = 0; i < num_pk; ++i) {
+    tc.t1.Add(ScrambleKey(i), payload++, 0);
+  }
+  for (uint64_t i = 0; i < num_fk; ++i) {
+    tc.t2.Add(ScrambleKey(rng.Uniform(num_pk)), payload++, 0);
+  }
+  tc.expected_m = num_fk;  // every foreign key references an existing pk
+  ShuffleRows(tc.t1, rng);
+  ShuffleRows(tc.t2, rng);
+  return tc;
+}
+
+TestCase WithOutputSize(uint64_t n, uint64_t target_m, uint64_t variant,
+                        uint64_t seed) {
+  // Fixed split (trace comparability needs equal (n1, n2, m) across
+  // variants, §6.1): n1 = ceil(n/2), n2 = floor(n/2).
+  const uint64_t n1 = (n + 1) / 2;
+  const uint64_t n2 = n / 2;
+  OBLIVDB_CHECK_GE(n1, 1u);
+  OBLIVDB_CHECK_LE(target_m, n2);
+
+  // One 1 x c group plus k 1 x 1 groups realize m = c + k; unmatched filler
+  // rows pad both sides to exactly (n1, n2).  `variant` moves mass between
+  // the block and the singletons.
+  uint64_t k = target_m == 0 ? 0 : (variant % 5) * target_m / 4;
+  k = std::min({k, target_m, n1 - 1});
+  const uint64_t c = target_m - k;
+
+  std::vector<std::pair<uint64_t, uint64_t>> spec;
+  spec.push_back({1, c});
+  for (uint64_t i = 0; i < k; ++i) spec.push_back({1, 1});
+  const uint64_t f1 = n1 - 1 - k;
+  const uint64_t f2 = n2 - c - k;
+  for (uint64_t i = 0; i < f1; ++i) spec.push_back({1, 0});
+  for (uint64_t i = 0; i < f2; ++i) spec.push_back({0, 1});
+
+  TestCase tc = FromGroupSpec("fixed_m" + std::to_string(target_m) + "_v" +
+                                  std::to_string(variant),
+                              spec, seed);
+  OBLIVDB_CHECK_EQ(tc.expected_m, target_m);
+  OBLIVDB_CHECK_EQ(tc.t1.size(), n1);
+  OBLIVDB_CHECK_EQ(tc.t2.size(), n2);
+  return tc;
+}
+
+std::vector<TestCase> GenerateTestSuite(uint64_t n, uint64_t seed) {
+  OBLIVDB_CHECK_GE(n, 4u);
+  std::vector<TestCase> suite;
+
+  // The three shapes the paper names explicitly.
+  suite.push_back(OneToOne(n, seed));
+  suite.push_back(SingleGroup(n / 2, n - n / 2, seed + 1));
+  for (int i = 0; i < 4; ++i) {
+    suite.push_back(PowerLaw(n, 1.5 + 0.5 * i, seed + 2 + i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    suite.push_back(PowerLaw(n, 2.0, seed + 10 + i));
+  }
+
+  // PK-FK (one balanced, one with heavy fan-out), unmatched, and skewed
+  // shapes.
+  suite.push_back(PrimaryForeign(n / 2, n - n / 2, seed + 20));
+  suite.push_back(PrimaryForeign(std::max<uint64_t>(1, n / 8),
+                                 n - std::max<uint64_t>(1, n / 8), seed + 24));
+  {
+    std::vector<std::pair<uint64_t, uint64_t>> unmatched;
+    for (uint64_t i = 0; i < n; ++i) {
+      unmatched.push_back(i % 2 == 0 ? std::make_pair(uint64_t{1}, uint64_t{0})
+                                     : std::make_pair(uint64_t{0}, uint64_t{1}));
+    }
+    suite.push_back(FromGroupSpec("all_unmatched", unmatched, seed + 21));
+  }
+  {
+    // One n/4 x n/4 block, singles for the rest.
+    std::vector<std::pair<uint64_t, uint64_t>> skew{{n / 4, n / 4}};
+    uint64_t used = n / 4 + n / 4;
+    while (used + 2 <= n) {
+      skew.push_back({1, 1});
+      used += 2;
+    }
+    if (used < n) skew.push_back({n - used, 0});
+    suite.push_back(FromGroupSpec("one_big_block", skew, seed + 22));
+  }
+  {
+    // Uniform 2x2 groups.
+    std::vector<std::pair<uint64_t, uint64_t>> pairs(n / 4, {2, 2});
+    uint64_t used = (n / 4) * 4;
+    if (used < n) pairs.push_back({n - used, 0});
+    suite.push_back(FromGroupSpec("uniform_2x2", pairs, seed + 23));
+  }
+
+  // Equal-(n1, n2, m) family (5 variants) for the hash experiments.
+  const uint64_t target_m = std::max<uint64_t>(1, n / 4);
+  for (uint64_t v = 0; v < 5; ++v) {
+    suite.push_back(WithOutputSize(n, target_m, v, seed + 30 + v));
+  }
+
+  return suite;  // 20 cases
+}
+
+TestCase Figure8Workload(uint64_t n, uint64_t seed) {
+  // m ~= n1 = n2 = n/2: mostly unique matched keys with an occasional 2x2
+  // group so the group machinery is exercised.
+  std::vector<std::pair<uint64_t, uint64_t>> spec;
+  uint64_t used = 0;
+  uint64_t g = 0;
+  while (used < n) {
+    if (g % 16 == 15 && used + 4 <= n) {
+      spec.push_back({2, 2});
+      used += 4;
+    } else if (used + 2 <= n) {
+      spec.push_back({1, 1});
+      used += 2;
+    } else {
+      spec.push_back({n - used, 0});
+      used = n;
+    }
+    ++g;
+  }
+  TestCase tc =
+      FromGroupSpec("figure8_n" + std::to_string(n), spec, seed);
+  return tc;
+}
+
+}  // namespace oblivdb::workload

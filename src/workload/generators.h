@@ -1,0 +1,68 @@
+// Workload generators reproducing the paper's §6 test inputs: "for each n,
+// 20 tests consisting of various different inputs of size n (for instance,
+// one inducing n 1x1 groups, one inducing a single 1xn group, and several
+// where the group sizes were drawn from a power law distribution)".
+//
+// Everything is seeded and deterministic (ChaCha20 PRNG), and every
+// generator reports the exact expected output size so tests can assert it
+// without running a reference join.
+
+#ifndef OBLIVDB_WORKLOAD_GENERATORS_H_
+#define OBLIVDB_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "table/table.h"
+
+namespace oblivdb::workload {
+
+struct TestCase {
+  std::string name;
+  Table t1;
+  Table t2;
+  uint64_t expected_m = 0;  // |t1 |><| t2|
+};
+
+// Explicit group-structure spec: one (a1, a2) pair per join value; a1 rows
+// go to T1 and a2 rows to T2 (either may be 0 for an unmatched group).
+// This is the ground-truth workhorse: expected_m = sum a1*a2.
+TestCase FromGroupSpec(const std::string& name,
+                       const std::vector<std::pair<uint64_t, uint64_t>>& spec,
+                       uint64_t seed);
+
+// n 1x1 groups: every key unique in both tables, m = n.
+TestCase OneToOne(uint64_t n, uint64_t seed);
+
+// A single group: T1 has n1 copies of one key, T2 has n2; m = n1 * n2.
+TestCase SingleGroup(uint64_t n1, uint64_t n2, uint64_t seed);
+
+// Group sizes on both sides drawn from a power-law (discrete Pareto-ish)
+// distribution with exponent `alpha`, until each side has ~n/2 rows.
+TestCase PowerLaw(uint64_t n, double alpha, uint64_t seed);
+
+// Primary-foreign key workload: T1 = num_pk unique keys; T2 = num_fk rows
+// referencing uniformly random primaries.  m = num_fk.  This is the only
+// shape the Opaque baseline supports.
+TestCase PrimaryForeign(uint64_t num_pk, uint64_t num_fk, uint64_t seed);
+
+// A workload whose m is forced to `target_m` with total input n: used for
+// the equal-output trace-equality experiments (tests for each n "produce
+// outputs of the same size").  Builds a group spec mixing one a1 x a2 block
+// with 1x1 and unmatched filler.  Requires n >= 2 and target_m chosen
+// compatibly (CHECK-enforced).
+TestCase WithOutputSize(uint64_t n, uint64_t target_m, uint64_t variant,
+                        uint64_t seed);
+
+// The paper's per-n battery (~20 diverse cases, §6).
+std::vector<TestCase> GenerateTestSuite(uint64_t n, uint64_t seed);
+
+// Figure 8's input shape: m ~= n1 = n2 = n/2 (random keys with a few
+// small multi-groups so m lands close to n/2 without being degenerate).
+TestCase Figure8Workload(uint64_t n, uint64_t seed);
+
+}  // namespace oblivdb::workload
+
+#endif  // OBLIVDB_WORKLOAD_GENERATORS_H_

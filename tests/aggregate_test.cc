@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "baselines/sort_merge.h"
+#include "core/aggregate.h"
+#include "workload/generators.h"
+
+namespace oblivdb::core {
+namespace {
+
+// Reference: aggregate the materialized join.
+std::vector<JoinGroupAggregate> ReferenceAggregate(const Table& t1,
+                                                   const Table& t2) {
+  std::map<uint64_t, JoinGroupAggregate> by_key;
+  for (const JoinedRecord& r : baselines::SortMergeJoin(t1, t2)) {
+    JoinGroupAggregate& agg = by_key[r.key];
+    agg.key = r.key;
+    agg.count += 1;
+    agg.sum_d1 += r.payload1[0];
+    agg.sum_d2 += r.payload2[0];
+  }
+  std::vector<JoinGroupAggregate> out;
+  for (const auto& [k, v] : by_key) out.push_back(v);
+  return out;
+}
+
+TEST(AggregateTest, SmallExample) {
+  const Table t1("T1", {{1, 10}, {1, 11}, {2, 20}, {3, 30}});
+  const Table t2("T2", {{1, 5}, {1, 6}, {2, 7}});
+  const auto got = ObliviousJoinAggregate(t1, t2);
+  ASSERT_EQ(got.size(), 2u);
+  // Key 1: count 2*2 = 4; sum_d1 = 2*(10+11) = 42; sum_d2 = 2*(5+6) = 22.
+  EXPECT_EQ(got[0].count, 4u);
+  EXPECT_EQ(got[0].sum_d1, 42u);
+  EXPECT_EQ(got[0].sum_d2, 22u);
+  // Key 2: 1x1.
+  EXPECT_EQ(got[1].count, 1u);
+  EXPECT_EQ(got[1].sum_d1, 20u);
+  EXPECT_EQ(got[1].sum_d2, 7u);
+}
+
+TEST(AggregateTest, MatchesReferenceSortedByKey) {
+  // Keys must come out ascending (compaction preserves sort order).
+  const Table t1("T1", {{9, 1}, {3, 2}, {9, 3}, {5, 4}});
+  const Table t2("T2", {{3, 10}, {9, 20}, {9, 21}, {7, 30}});
+  const auto got = ObliviousJoinAggregate(t1, t2);
+  EXPECT_EQ(got, ReferenceAggregate(t1, t2));
+}
+
+TEST(AggregateTest, NoMatchesGivesEmpty) {
+  const Table t1("T1", {{1, 1}});
+  const Table t2("T2", {{2, 2}});
+  EXPECT_TRUE(ObliviousJoinAggregate(t1, t2).empty());
+}
+
+TEST(AggregateTest, EmptyInputs) {
+  EXPECT_TRUE(ObliviousJoinAggregate(Table("a"), Table("b")).empty());
+  EXPECT_TRUE(
+      ObliviousJoinAggregate(Table("a", {{1, 1}}), Table("b")).empty());
+}
+
+class AggregateSuiteTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregateSuiteTest, MatchesReferenceAcrossWorkloads) {
+  const uint64_t n = GetParam();
+  for (const auto& tc : workload::GenerateTestSuite(n, /*seed=*/n + 1)) {
+    EXPECT_EQ(ObliviousJoinAggregate(tc.t1, tc.t2),
+              ReferenceAggregate(tc.t1, tc.t2))
+        << tc.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(InputSizes, AggregateSuiteTest,
+                         ::testing::Values(4, 12, 32, 64));
+
+TEST(AggregateTest, CountEqualsJoinOutputSize) {
+  const auto tc = workload::PowerLaw(48, 2.0, 5);
+  uint64_t total = 0;
+  for (const auto& agg : ObliviousJoinAggregate(tc.t1, tc.t2)) {
+    total += agg.count;
+  }
+  EXPECT_EQ(total, tc.expected_m);
+}
+
+}  // namespace
+}  // namespace oblivdb::core

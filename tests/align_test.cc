@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/sort_merge.h"
+#include "core/align.h"
+#include "core/augment.h"
+#include "memtrace/oarray.h"
+#include "obliv/expand.h"
+#include "table/entry.h"
+
+namespace oblivdb::core {
+namespace {
+
+// Builds the expanded-but-unaligned S2 for a single group with dimensions
+// (alpha1, alpha2): alpha1 copies of each of the alpha2 distinct d values,
+// contiguous, in d order — exactly what Oblivious-Expand produces.
+memtrace::OArray<Entry> SingleGroupS2(uint64_t alpha1, uint64_t alpha2) {
+  memtrace::OArray<Entry> s2(alpha1 * alpha2, "s2");
+  size_t pos = 0;
+  for (uint64_t d = 0; d < alpha2; ++d) {
+    for (uint64_t c = 0; c < alpha1; ++c) {
+      Entry e = MakeEntry(Record{7, {100 + d, 0}}, 2);
+      e.alpha1 = alpha1;
+      e.alpha2 = alpha2;
+      s2.Write(pos++, e);
+    }
+  }
+  return s2;
+}
+
+TEST(AlignTest, Figure5Example) {
+  // Group x: alpha1 = 2 (a1, a2 in T1), alpha2 = 3 (u1..u3 in T2).
+  // Pre-align S2 = u1 u1 u2 u2 u3 u3; aligned = u1 u2 u3 u1 u2 u3.
+  auto s2 = SingleGroupS2(/*alpha1=*/2, /*alpha2=*/3);
+  AlignTable(s2, 6);
+  std::vector<uint64_t> ds;
+  for (size_t i = 0; i < 6; ++i) ds.push_back(s2.Read(i).payload0 - 100);
+  EXPECT_EQ(ds, (std::vector<uint64_t>{0, 1, 2, 0, 1, 2}));
+}
+
+class AlignSingleGroupTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(AlignSingleGroupTest, ProducesRepeatedAscendingRuns) {
+  const auto [a1, a2] = GetParam();
+  auto s2 = SingleGroupS2(a1, a2);
+  AlignTable(s2, a1 * a2);
+  // Aligned S2 for one group must be alpha1 repetitions of the ascending
+  // d-sequence (matching S1's alpha1 blocks of alpha2 copies each).
+  for (uint64_t block = 0; block < a1; ++block) {
+    for (uint64_t d = 0; d < a2; ++d) {
+      ASSERT_EQ(s2.Read(block * a2 + d).payload0, 100 + d)
+          << "a1=" << a1 << " a2=" << a2;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, AlignSingleGroupTest,
+    ::testing::Values(std::pair<uint64_t, uint64_t>{1, 1},
+                      std::pair<uint64_t, uint64_t>{1, 7},
+                      std::pair<uint64_t, uint64_t>{7, 1},
+                      std::pair<uint64_t, uint64_t>{2, 3},
+                      std::pair<uint64_t, uint64_t>{3, 2},
+                      std::pair<uint64_t, uint64_t>{4, 4},
+                      std::pair<uint64_t, uint64_t>{5, 8},
+                      std::pair<uint64_t, uint64_t>{8, 5}));
+
+TEST(AlignTest, EmptyAndSingleton) {
+  memtrace::OArray<Entry> empty(0, "s2");
+  AlignTable(empty, 0);  // no-op
+  auto one = SingleGroupS2(1, 1);
+  AlignTable(one, 1);
+  EXPECT_EQ(one.Read(0).payload0, 100u);
+}
+
+TEST(AlignTest, MultiGroupEndToEnd) {
+  // Use the real pipeline up to alignment for a two-group input and verify
+  // the zip of (S1, S2) equals the reference join.
+  const Table t1("T1", {{1, 11}, {1, 12}, {2, 21}});
+  const Table t2("T2", {{1, 51}, {1, 52}, {1, 53}, {2, 61}});
+  AugmentResult aug = AugmentTables(t1, t2);
+  const uint64_t m = aug.output_size;
+  ASSERT_EQ(m, 2 * 3 + 1 * 1u);
+
+  auto expand = [m](memtrace::OArray<Entry>& src, bool by_alpha2) {
+    struct A2 {
+      uint64_t operator()(const Entry& e) const { return e.alpha2; }
+    };
+    struct A1 {
+      uint64_t operator()(const Entry& e) const { return e.alpha1; }
+    };
+    uint64_t got = by_alpha2 ? obliv::AssignExpandDestinations(src, A2{})
+                             : obliv::AssignExpandDestinations(src, A1{});
+    EXPECT_EQ(got, m);
+    memtrace::OArray<Entry> out(std::max<uint64_t>(src.size(), m), "s");
+    obliv::ExpandToDestinations(src, out, m);
+    return out;
+  };
+  auto s1 = expand(aug.t1, /*by_alpha2=*/true);
+  auto s2 = expand(aug.t2, /*by_alpha2=*/false);
+  AlignTable(s2, m);
+
+  std::vector<JoinedRecord> zipped;
+  for (uint64_t i = 0; i < m; ++i) {
+    const Entry l = s1.Read(i);
+    const Entry r = s2.Read(i);
+    EXPECT_EQ(l.join_key, r.join_key) << "row " << i << " misaligned";
+    zipped.push_back(JoinedRecord{
+        l.join_key, {l.payload0, l.payload1}, {r.payload0, r.payload1}});
+  }
+  EXPECT_EQ(zipped, baselines::SortMergeJoin(t1, t2));
+}
+
+}  // namespace
+}  // namespace oblivdb::core

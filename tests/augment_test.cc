@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/augment.h"
+#include "core/comparators.h"
+#include "memtrace/oarray.h"
+#include "obliv/bitonic_sort.h"
+#include "workload/generators.h"
+
+namespace oblivdb::core {
+namespace {
+
+// The paper's running example (Figures 1 and 2):
+//   T1 = x:a1, x:a2, y:b1..b4          (b's: 4 entries in the figure text)
+//   T2 = x:u1..u3, y:v1, v2, z:w1
+// Figure 2 uses y with 4 T1-entries; we encode d values as integers.
+Table Figure2T1() {
+  return Table("T1", {{10, 1}, {10, 2},            // x: a1 a2
+                      {20, 1}, {20, 2}, {20, 3}, {20, 4}});  // y: b1..b4
+}
+Table Figure2T2() {
+  return Table("T2", {{10, 1}, {10, 2}, {10, 3},   // x: u1..u3
+                      {20, 1}, {20, 2},            // y: v1 v2
+                      {30, 1}});                   // z: w1
+}
+
+TEST(AugmentTest, Figure2GroupDimensions) {
+  const AugmentResult r = AugmentTables(Figure2T1(), Figure2T2());
+  // m = 2*3 + 4*2 + 0*1 = 14.
+  EXPECT_EQ(r.output_size, 14u);
+  ASSERT_EQ(r.t1.size(), 6u);
+  ASSERT_EQ(r.t2.size(), 6u);
+
+  // T1 sorted by (j, d): x entries first with (alpha1, alpha2) = (2, 3).
+  for (size_t i = 0; i < 2; ++i) {
+    const Entry e = r.t1.Read(i);
+    EXPECT_EQ(e.join_key, 10u);
+    EXPECT_EQ(e.alpha1, 2u);
+    EXPECT_EQ(e.alpha2, 3u);
+    EXPECT_EQ(e.tid, 1u);
+  }
+  for (size_t i = 2; i < 6; ++i) {
+    const Entry e = r.t1.Read(i);
+    EXPECT_EQ(e.join_key, 20u);
+    EXPECT_EQ(e.alpha1, 4u);
+    EXPECT_EQ(e.alpha2, 2u);
+  }
+  // T2: x group (1,..3) gets (2,3); y gets (4,2); z gets (0,1).
+  for (size_t i = 0; i < 3; ++i) {
+    const Entry e = r.t2.Read(i);
+    EXPECT_EQ(e.join_key, 10u);
+    EXPECT_EQ(e.alpha1, 2u);
+    EXPECT_EQ(e.alpha2, 3u);
+    EXPECT_EQ(e.tid, 2u);
+  }
+  for (size_t i = 3; i < 5; ++i) {
+    const Entry e = r.t2.Read(i);
+    EXPECT_EQ(e.alpha1, 4u);
+    EXPECT_EQ(e.alpha2, 2u);
+  }
+  const Entry z = r.t2.Read(5);
+  EXPECT_EQ(z.join_key, 30u);
+  EXPECT_EQ(z.alpha1, 0u);
+  EXPECT_EQ(z.alpha2, 1u);
+}
+
+TEST(AugmentTest, ResultTablesSortedByKeyThenData) {
+  const AugmentResult r = AugmentTables(Figure2T1(), Figure2T2());
+  for (size_t i = 1; i < r.t1.size(); ++i) {
+    const Entry a = r.t1.Read(i - 1);
+    const Entry b = r.t1.Read(i);
+    EXPECT_TRUE(std::pair(a.join_key, a.payload0) <=
+                std::pair(b.join_key, b.payload0));
+  }
+}
+
+TEST(AugmentTest, EmptyTables) {
+  EXPECT_EQ(AugmentTables(Table("a"), Table("b")).output_size, 0u);
+  EXPECT_EQ(AugmentTables(Table("a", {{1, 1}}), Table("b")).output_size, 0u);
+  EXPECT_EQ(AugmentTables(Table("a"), Table("b", {{1, 1}})).output_size, 0u);
+}
+
+TEST(AugmentTest, DisjointKeysGiveZero) {
+  const Table t1("T1", {{1, 1}, {2, 2}});
+  const Table t2("T2", {{3, 3}, {4, 4}});
+  const AugmentResult r = AugmentTables(t1, t2);
+  EXPECT_EQ(r.output_size, 0u);
+  // Every entry must have one alpha equal to zero.
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(r.t1.Read(i).alpha2, 0u);
+    EXPECT_EQ(r.t2.Read(i).alpha1, 0u);
+  }
+}
+
+TEST(AugmentTest, DuplicateDataValuesCounted) {
+  // Exact duplicates (j, d) are distinct rows and must both count.
+  const Table t1("T1", {{5, 7}, {5, 7}});
+  const Table t2("T2", {{5, 9}});
+  const AugmentResult r = AugmentTables(t1, t2);
+  EXPECT_EQ(r.output_size, 2u);
+  EXPECT_EQ(r.t1.Read(0).alpha1, 2u);
+}
+
+TEST(AugmentTest, OutputSizeMatchesGeneratorAcrossSuite) {
+  for (const auto& tc : workload::GenerateTestSuite(64, /*seed=*/3)) {
+    EXPECT_EQ(AugmentTables(tc.t1, tc.t2).output_size, tc.expected_m)
+        << tc.name;
+  }
+}
+
+TEST(FillDimensionsTest, DirectOnPresortedArray) {
+  // Hand-built TC sorted by (j, tid): groups j=1 (1 t1, 2 t2) and j=2 (2 t1).
+  memtrace::OArray<Entry> tc(5, "tc");
+  tc.Write(0, MakeEntry(Record{1, {11, 0}}, 1));
+  tc.Write(1, MakeEntry(Record{1, {21, 0}}, 2));
+  tc.Write(2, MakeEntry(Record{1, {22, 0}}, 2));
+  tc.Write(3, MakeEntry(Record{2, {12, 0}}, 1));
+  tc.Write(4, MakeEntry(Record{2, {13, 0}}, 1));
+  EXPECT_EQ(FillDimensions(tc), 2u);  // 1*2 + 2*0
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(tc.Read(i).alpha1, 1u);
+    EXPECT_EQ(tc.Read(i).alpha2, 2u);
+  }
+  for (size_t i = 3; i < 5; ++i) {
+    EXPECT_EQ(tc.Read(i).alpha1, 2u);
+    EXPECT_EQ(tc.Read(i).alpha2, 0u);
+  }
+}
+
+TEST(FillDimensionsTest, EmptyArray) {
+  memtrace::OArray<Entry> tc(0, "tc");
+  EXPECT_EQ(FillDimensions(tc), 0u);
+}
+
+TEST(FillDimensionsTest, ZeroJoinKeyGroupHandled) {
+  // prev_key is initialized to 0; a real group with key 0 must still start
+  // a fresh count at index 0.
+  memtrace::OArray<Entry> tc(2, "tc");
+  tc.Write(0, MakeEntry(Record{0, {1, 0}}, 1));
+  tc.Write(1, MakeEntry(Record{0, {2, 0}}, 2));
+  EXPECT_EQ(FillDimensions(tc), 1u);
+  EXPECT_EQ(tc.Read(0).alpha1, 1u);
+  EXPECT_EQ(tc.Read(0).alpha2, 1u);
+}
+
+}  // namespace
+}  // namespace oblivdb::core

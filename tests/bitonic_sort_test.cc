@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "memtrace/oarray.h"
+#include "memtrace/sinks.h"
+#include "obliv/bitonic_sort.h"
+#include "obliv/ct.h"
+
+namespace oblivdb::obliv {
+namespace {
+
+struct Item {
+  uint64_t key = 0;
+  uint64_t tag = 0;  // identifies the original row in stability-ish checks
+};
+
+struct ItemLess {
+  uint64_t operator()(const Item& a, const Item& b) const {
+    return ct::LessMask(a.key, b.key);
+  }
+};
+
+struct ItemLexLess {
+  uint64_t operator()(const Item& a, const Item& b) const {
+    return ct::LessMask(a.key, b.key) |
+           (ct::EqMask(a.key, b.key) & ct::LessMask(a.tag, b.tag));
+  }
+};
+
+std::vector<uint64_t> Keys(const memtrace::OArray<Item>& arr) {
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < arr.size(); ++i) keys.push_back(arr.Read(i).key);
+  return keys;
+}
+
+// --- Correctness across sizes (including non-powers-of-two) ---------------
+
+class BitonicSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitonicSizeTest, SortsRandomInput) {
+  const size_t n = GetParam();
+  crypto::ChaCha20Rng rng(n * 31 + 7);
+  memtrace::OArray<Item> arr(n, "sorttest");
+  std::vector<uint64_t> reference;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t k = rng.Uniform(std::max<uint64_t>(1, n / 2 + 1));
+    arr.Write(i, Item{k, i});
+    reference.push_back(k);
+  }
+  BitonicSort(arr, ItemLess{});
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(Keys(arr), reference);
+}
+
+TEST_P(BitonicSizeTest, SortsReverseSortedInput) {
+  const size_t n = GetParam();
+  memtrace::OArray<Item> arr(n, "sorttest");
+  for (size_t i = 0; i < n; ++i) arr.Write(i, Item{n - i, i});
+  BitonicSort(arr, ItemLess{});
+  std::vector<uint64_t> expect;
+  for (size_t i = 1; i <= n; ++i) expect.push_back(i);
+  EXPECT_EQ(Keys(arr), expect);
+}
+
+TEST_P(BitonicSizeTest, SortsAllEqualInput) {
+  const size_t n = GetParam();
+  memtrace::OArray<Item> arr(n, "sorttest");
+  for (size_t i = 0; i < n; ++i) arr.Write(i, Item{42, i});
+  BitonicSort(arr, ItemLess{});
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(arr.Read(i).key, 42u);
+}
+
+TEST_P(BitonicSizeTest, ComparisonCountMatchesModel) {
+  const size_t n = GetParam();
+  memtrace::OArray<Item> arr(n, "sorttest");
+  crypto::ChaCha20Rng rng(5);
+  for (size_t i = 0; i < n; ++i) arr.Write(i, Item{rng(), i});
+  uint64_t comparisons = 0;
+  BitonicSort(arr, ItemLess{}, &comparisons);
+  EXPECT_EQ(comparisons, BitonicComparisonCount(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicSizeTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15,
+                                           16, 17, 31, 32, 33, 100, 127, 128,
+                                           129, 255, 1000, 1024));
+
+// --- Lexicographic / multi-key behaviour ----------------------------------
+
+TEST(BitonicSortTest, LexicographicTieBreak) {
+  memtrace::OArray<Item> arr(6, "lex");
+  arr.Write(0, Item{2, 1});
+  arr.Write(1, Item{1, 2});
+  arr.Write(2, Item{2, 0});
+  arr.Write(3, Item{1, 0});
+  arr.Write(4, Item{1, 1});
+  arr.Write(5, Item{0, 9});
+  BitonicSort(arr, ItemLexLess{});
+  std::vector<std::pair<uint64_t, uint64_t>> got;
+  for (size_t i = 0; i < 6; ++i) {
+    got.push_back({arr.Read(i).key, arr.Read(i).tag});
+  }
+  const std::vector<std::pair<uint64_t, uint64_t>> expect = {
+      {0, 9}, {1, 0}, {1, 1}, {1, 2}, {2, 0}, {2, 1}};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(BitonicSortTest, SortRangeLeavesOutsideUntouched) {
+  memtrace::OArray<Item> arr(8, "range");
+  for (size_t i = 0; i < 8; ++i) arr.Write(i, Item{8 - i, i});
+  BitonicSortRange(arr, 2, 4, ItemLess{});
+  // Prefix and suffix untouched.
+  EXPECT_EQ(arr.Read(0).key, 8u);
+  EXPECT_EQ(arr.Read(1).key, 7u);
+  EXPECT_EQ(arr.Read(6).key, 2u);
+  EXPECT_EQ(arr.Read(7).key, 1u);
+  // Middle sorted.
+  EXPECT_EQ(Keys(arr), (std::vector<uint64_t>{8, 7, 3, 4, 5, 6, 2, 1}));
+}
+
+TEST(BitonicSortTest, PreservesMultiset) {
+  crypto::ChaCha20Rng rng(404);
+  memtrace::OArray<Item> arr(257, "multiset");
+  std::vector<uint64_t> before;
+  for (size_t i = 0; i < 257; ++i) {
+    const uint64_t k = rng.Uniform(32);
+    arr.Write(i, Item{k, i});
+    before.push_back(k);
+  }
+  BitonicSort(arr, ItemLess{});
+  std::vector<uint64_t> after = Keys(arr);
+  std::sort(before.begin(), before.end());
+  EXPECT_EQ(after, before);
+}
+
+// --- Obliviousness of the network itself -----------------------------------
+
+TEST(BitonicSortTest, TraceDependsOnlyOnLength) {
+  auto traced_run = [](const std::vector<uint64_t>& keys) {
+    memtrace::VectorTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    memtrace::OArray<Item> arr(keys.size(), "trace");
+    for (size_t i = 0; i < keys.size(); ++i) arr.Write(i, Item{keys[i], i});
+    BitonicSort(arr, ItemLess{});
+    return sink;
+  };
+  const auto a = traced_run({5, 1, 4, 2, 3, 0, 6});
+  const auto b = traced_run({0, 0, 0, 0, 0, 0, 0});
+  const auto c = traced_run({9, 9, 9, 1, 1, 1, 5});
+  EXPECT_TRUE(a.SameTraceAs(b));
+  EXPECT_TRUE(a.SameTraceAs(c));
+  const auto d = traced_run({1, 2, 3, 4, 5, 6, 7, 8});  // different length
+  EXPECT_FALSE(a.SameTraceAs(d));
+}
+
+TEST(BitonicSortTest, EveryCompareExchangeWritesBothSlots) {
+  // The §3.5 requirement: even when elements are not swapped, both entries
+  // are rewritten.  Reads and writes must come in balanced pairs.
+  memtrace::VectorTraceSink sink;
+  {
+    memtrace::TraceScope scope(&sink);
+    memtrace::OArray<Item> arr(33, "rw");
+    for (size_t i = 0; i < 33; ++i) arr.Write(i, Item{i, i});  // pre-sorted
+    BitonicSort(arr, ItemLess{});
+  }
+  uint64_t reads = 0, writes = 0;
+  for (const auto& e : sink.events()) {
+    if (e.kind == memtrace::AccessKind::kRead) {
+      ++reads;
+    } else {
+      ++writes;
+    }
+  }
+  // 33 initial writes, then 2 reads + 2 writes per compare-exchange.
+  EXPECT_EQ(reads, 2 * BitonicComparisonCount(33));
+  EXPECT_EQ(writes, 33 + 2 * BitonicComparisonCount(33));
+}
+
+TEST(BitonicSortTest, ComparisonCountApproximatesQuarterNLogSquared) {
+  // Table 3 uses n (log2 n)^2 / 4 as the model; check we are within 2x for
+  // power-of-two sizes (the bound is asymptotic).
+  for (uint64_t n : {1u << 8, 1u << 10, 1u << 12}) {
+    const double model = double(n) * std::log2(double(n)) *
+                         std::log2(double(n)) / 4.0;
+    const double actual = double(BitonicComparisonCount(n));
+    EXPECT_GT(actual, model * 0.5) << n;
+    EXPECT_LT(actual, model * 2.0) << n;
+  }
+}
+
+}  // namespace
+}  // namespace oblivdb::obliv

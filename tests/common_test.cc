@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace oblivdb {
+namespace {
+
+TEST(BitsTest, CeilPow2Basics) {
+  EXPECT_EQ(CeilPow2(0), 1u);
+  EXPECT_EQ(CeilPow2(1), 1u);
+  EXPECT_EQ(CeilPow2(2), 2u);
+  EXPECT_EQ(CeilPow2(3), 4u);
+  EXPECT_EQ(CeilPow2(4), 4u);
+  EXPECT_EQ(CeilPow2(5), 8u);
+  EXPECT_EQ(CeilPow2(1023), 1024u);
+  EXPECT_EQ(CeilPow2(1024), 1024u);
+  EXPECT_EQ(CeilPow2(1025), 2048u);
+}
+
+TEST(BitsTest, GreatestPow2LessThan) {
+  EXPECT_EQ(GreatestPow2LessThan(2), 1u);
+  EXPECT_EQ(GreatestPow2LessThan(3), 2u);
+  EXPECT_EQ(GreatestPow2LessThan(4), 2u);
+  EXPECT_EQ(GreatestPow2LessThan(5), 4u);
+  EXPECT_EQ(GreatestPow2LessThan(8), 4u);
+  EXPECT_EQ(GreatestPow2LessThan(9), 8u);
+  EXPECT_EQ(GreatestPow2LessThan(1 << 20), 1u << 19);
+}
+
+TEST(BitsTest, Log2CeilAndFloor) {
+  EXPECT_EQ(Log2Ceil(1), 0u);
+  EXPECT_EQ(Log2Ceil(2), 1u);
+  EXPECT_EQ(Log2Ceil(3), 2u);
+  EXPECT_EQ(Log2Ceil(8), 3u);
+  EXPECT_EQ(Log2Ceil(9), 4u);
+  EXPECT_EQ(Log2Floor(1), 0u);
+  EXPECT_EQ(Log2Floor(2), 1u);
+  EXPECT_EQ(Log2Floor(3), 1u);
+  EXPECT_EQ(Log2Floor(8), 3u);
+  EXPECT_EQ(Log2Floor(9), 3u);
+}
+
+TEST(BitsTest, PairwiseConsistency) {
+  for (uint64_t n = 1; n < 5000; ++n) {
+    EXPECT_EQ(CeilPow2(n), uint64_t{1} << Log2Ceil(n)) << n;
+    if (n >= 2) {
+      const uint64_t p = GreatestPow2LessThan(n);
+      EXPECT_TRUE(IsPow2(p));
+      EXPECT_LT(p, n);
+      EXPECT_GE(2 * p, n);
+    }
+  }
+}
+
+TEST(BitsTest, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(2));
+  EXPECT_FALSE(IsPow2(3));
+  EXPECT_TRUE(IsPow2(uint64_t{1} << 63));
+  EXPECT_FALSE(IsPow2((uint64_t{1} << 63) + 1));
+}
+
+}  // namespace
+}  // namespace oblivdb

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "memtrace/oarray.h"
+#include "memtrace/sinks.h"
+#include "obliv/compact.h"
+#include "obliv/ct.h"
+
+namespace oblivdb::obliv {
+namespace {
+
+struct Row {
+  uint64_t value = 0;
+  uint64_t keep_flag = 0;
+  uint64_t dest = 0;
+};
+uint64_t GetRouteDest(const Row& r) { return r.dest; }
+void SetRouteDest(Row& r, uint64_t d) { r.dest = d; }
+
+struct KeepFlagged {
+  uint64_t operator()(const Row& r) const {
+    return ct::EqMask(r.keep_flag, 1);
+  }
+};
+
+memtrace::OArray<Row> MakeInput(const std::vector<std::pair<uint64_t, bool>>&
+                                    rows) {
+  memtrace::OArray<Row> arr(rows.size(), "cmp");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    arr.Write(i, Row{rows[i].first, rows[i].second ? 1u : 0u, 0});
+  }
+  return arr;
+}
+
+std::vector<uint64_t> KeptPrefix(const memtrace::OArray<Row>& arr,
+                                 uint64_t kept) {
+  std::vector<uint64_t> v;
+  for (uint64_t i = 0; i < kept; ++i) v.push_back(arr.Read(i).value);
+  return v;
+}
+
+TEST(CompactTest, BasicInterleaved) {
+  auto arr = MakeInput({{10, false}, {11, true}, {12, false}, {13, true},
+                        {14, true}, {15, false}});
+  const uint64_t kept = ObliviousCompact(arr, KeepFlagged{});
+  EXPECT_EQ(kept, 3u);
+  EXPECT_EQ(KeptPrefix(arr, kept), (std::vector<uint64_t>{11, 13, 14}));
+}
+
+TEST(CompactTest, KeepAll) {
+  auto arr = MakeInput({{1, true}, {2, true}, {3, true}});
+  EXPECT_EQ(ObliviousCompact(arr, KeepFlagged{}), 3u);
+  EXPECT_EQ(KeptPrefix(arr, 3), (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(CompactTest, KeepNone) {
+  auto arr = MakeInput({{1, false}, {2, false}});
+  EXPECT_EQ(ObliviousCompact(arr, KeepFlagged{}), 0u);
+}
+
+TEST(CompactTest, EmptyArray) {
+  memtrace::OArray<Row> arr(0, "cmp");
+  EXPECT_EQ(ObliviousCompact(arr, KeepFlagged{}), 0u);
+}
+
+class CompactRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CompactRandomTest, MatchesSortBasedReferenceAndPreservesOrder) {
+  const size_t n = GetParam();
+  crypto::ChaCha20Rng rng(n + 99);
+  for (int iter = 0; iter < 15; ++iter) {
+    std::vector<std::pair<uint64_t, bool>> rows;
+    std::vector<uint64_t> expect;
+    for (size_t i = 0; i < n; ++i) {
+      const bool keep = rng.Uniform(2) == 0;
+      rows.push_back({100 + i, keep});
+      if (keep) expect.push_back(100 + i);
+    }
+    auto by_route = MakeInput(rows);
+    auto by_sort = MakeInput(rows);
+    const uint64_t k1 = ObliviousCompact(by_route, KeepFlagged{});
+    const uint64_t k2 = ObliviousCompactBySort(by_sort, KeepFlagged{});
+    ASSERT_EQ(k1, expect.size());
+    ASSERT_EQ(k2, expect.size());
+    ASSERT_EQ(KeptPrefix(by_route, k1), expect);
+    ASSERT_EQ(KeptPrefix(by_sort, k2), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompactRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 100, 255));
+
+TEST(CompactTest, TraceIndependentOfSelection) {
+  auto traced = [](const std::vector<std::pair<uint64_t, bool>>& rows) {
+    memtrace::VectorTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    auto arr = MakeInput(rows);
+    ObliviousCompact(arr, KeepFlagged{});
+    return sink;
+  };
+  const auto a = traced({{1, true}, {2, false}, {3, true}, {4, false}});
+  const auto b = traced({{9, false}, {8, false}, {7, false}, {6, true}});
+  EXPECT_TRUE(a.SameTraceAs(b));
+}
+
+TEST(CompactTest, RouteCheaperThanSortAtScale) {
+  // The O(n log n) vs O(n log^2 n) gap should show in operation counts.
+  const size_t n = 1024;
+  std::vector<std::pair<uint64_t, bool>> rows;
+  for (size_t i = 0; i < n; ++i) rows.push_back({i, i % 3 == 0});
+  PrimitiveStats route_stats, sort_stats;
+  auto a = MakeInput(rows);
+  auto b = MakeInput(rows);
+  ObliviousCompact(a, KeepFlagged{}, &route_stats);
+  ObliviousCompactBySort(b, KeepFlagged{}, &sort_stats);
+  EXPECT_LT(route_stats.route_ops, sort_stats.sort_comparisons);
+}
+
+}  // namespace
+}  // namespace oblivdb::obliv

@@ -1,0 +1,120 @@
+// Exhaustive checks of the pipeline's constant-time comparators against
+// plain std::tuple orderings, plus strict-weak-order properties.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/comparators.h"
+#include "crypto/chacha20.h"
+#include "obliv/routing.h"
+
+namespace oblivdb::core {
+namespace {
+
+constexpr uint64_t kOnes = ~uint64_t{0};
+
+Entry E(uint64_t j, uint64_t d0, uint64_t d1, uint64_t tid, uint64_t dest) {
+  Entry e;
+  e.join_key = j;
+  e.payload0 = d0;
+  e.payload1 = d1;
+  e.tid = tid;
+  e.dest = dest;
+  return e;
+}
+
+std::vector<Entry> SmallUniverse() {
+  std::vector<Entry> all;
+  for (uint64_t j : {0u, 1u, 2u}) {
+    for (uint64_t d0 : {0u, 1u}) {
+      for (uint64_t d1 : {0u, 1u}) {
+        for (uint64_t tid : {1u, 2u}) {
+          for (uint64_t dest : {0u, 1u, 3u}) {
+            all.push_back(E(j, d0, d1, tid, dest));
+          }
+        }
+      }
+    }
+  }
+  return all;
+}
+
+template <typename Less, typename KeyFn>
+void CheckAgainstReference(const Less& less, const KeyFn& key) {
+  const auto universe = SmallUniverse();
+  for (const Entry& a : universe) {
+    for (const Entry& b : universe) {
+      const uint64_t mask = less(a, b);
+      ASSERT_TRUE(mask == 0 || mask == kOnes) << "non-canonical mask";
+      ASSERT_EQ(mask == kOnes, key(a) < key(b));
+    }
+  }
+}
+
+TEST(ComparatorsTest, ByJoinKeyThenTidMatchesTuple) {
+  CheckAgainstReference(ByJoinKeyThenTidLess{}, [](const Entry& e) {
+    return std::tuple(e.join_key, e.tid);
+  });
+}
+
+TEST(ComparatorsTest, ByTidThenJoinKeyThenDataMatchesTuple) {
+  CheckAgainstReference(ByTidThenJoinKeyThenDataLess{}, [](const Entry& e) {
+    return std::tuple(e.tid, e.join_key, e.payload0, e.payload1);
+  });
+}
+
+TEST(ComparatorsTest, ByJoinKeyThenAlignMatchesTuple) {
+  auto universe = SmallUniverse();
+  for (Entry& e : universe) e.align_ii = e.payload0 + 2 * e.payload1;
+  ByJoinKeyThenAlignIndexLess less;
+  for (const Entry& a : universe) {
+    for (const Entry& b : universe) {
+      ASSERT_EQ(less(a, b) == kOnes,
+                std::tuple(a.join_key, a.align_ii) <
+                    std::tuple(b.join_key, b.align_ii));
+    }
+  }
+}
+
+TEST(ComparatorsTest, NullsLastByDestMatchesReference) {
+  obliv::NullsLastByDestLess less;
+  const auto universe = SmallUniverse();
+  auto key = [](const Entry& e) {
+    return std::tuple(e.dest == 0 ? 1 : 0, e.dest);
+  };
+  for (const Entry& a : universe) {
+    for (const Entry& b : universe) {
+      ASSERT_EQ(less(a, b) == kOnes, key(a) < key(b));
+    }
+  }
+}
+
+// Strict weak order properties on random entries (irreflexive, asymmetric,
+// transitive on a sample).
+TEST(ComparatorsTest, StrictWeakOrderProperties) {
+  crypto::ChaCha20Rng rng(15);
+  std::vector<Entry> sample;
+  for (int i = 0; i < 60; ++i) {
+    sample.push_back(E(rng.Uniform(4), rng.Uniform(3), rng.Uniform(2),
+                       1 + rng.Uniform(2), rng.Uniform(5)));
+  }
+  ByTidThenJoinKeyThenDataLess less;
+  for (const Entry& a : sample) {
+    ASSERT_EQ(less(a, a), 0u);  // irreflexive
+    for (const Entry& b : sample) {
+      if (less(a, b) == kOnes) {
+        ASSERT_EQ(less(b, a), 0u);  // asymmetric
+      }
+      for (const Entry& c : sample) {
+        if (less(a, b) == kOnes && less(b, c) == kOnes) {
+          ASSERT_EQ(less(a, c), kOnes);  // transitive
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oblivdb::core

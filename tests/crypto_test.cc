@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "crypto/feistel_prp.h"
+#include "crypto/sha256.h"
+
+namespace oblivdb::crypto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SHA-256: FIPS 180-4 test vectors.
+
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(nullptr, 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  const std::string s = "abc";
+  EXPECT_EQ(DigestToHex(Sha256::Hash(s.data(), s.size())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  const std::string s = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(DigestToHex(Sha256::Hash(s.data(), s.size())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk.data(), chunk.size());
+  EXPECT_EQ(DigestToHex(h.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string s = "the quick brown fox jumps over the lazy dog 12345";
+  for (size_t split = 0; split <= s.size(); ++split) {
+    Sha256 h;
+    h.Update(s.data(), split);
+    h.Update(s.data() + split, s.size() - split);
+    EXPECT_EQ(DigestToHex(h.Finalize()),
+              DigestToHex(Sha256::Hash(s.data(), s.size())))
+        << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ResetReusesObject) {
+  Sha256 h;
+  h.Update("xyz", 3);
+  (void)h.Finalize();
+  h.Reset();
+  h.Update("abc", 3);
+  EXPECT_EQ(DigestToHex(h.Finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// ---------------------------------------------------------------------------
+// ChaCha20 PRNG.
+
+TEST(ChaCha20Test, DeterministicPerSeed) {
+  ChaCha20Rng a(42), b(42), c(43);
+  std::vector<uint64_t> va, vb, vc;
+  for (int i = 0; i < 64; ++i) {
+    va.push_back(a());
+    vb.push_back(b());
+    vc.push_back(c());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(ChaCha20Test, StreamsAreIndependent) {
+  ChaCha20Rng a(7, 0), b(7, 1);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (a() != b());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ChaCha20Test, UniformStaysInBound) {
+  ChaCha20Rng rng(1234);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 33}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(ChaCha20Test, UniformCoversSmallRange) {
+  ChaCha20Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(ChaCha20Test, BitsLookBalanced) {
+  // Crude sanity: popcount over many draws should be near 50%.
+  ChaCha20Rng rng(5);
+  uint64_t ones = 0;
+  const int draws = 4096;
+  for (int i = 0; i < draws; ++i) ones += __builtin_popcountll(rng());
+  const double frac = double(ones) / (64.0 * draws);
+  EXPECT_GT(frac, 0.49);
+  EXPECT_LT(frac, 0.51);
+}
+
+// ---------------------------------------------------------------------------
+// Feistel PRP.
+
+class FeistelPrpDomainTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FeistelPrpDomainTest, IsBijective) {
+  const uint64_t domain = GetParam();
+  FeistelPrp prp(domain, /*key=*/0xfeed);
+  std::vector<bool> hit(domain, false);
+  for (uint64_t x = 0; x < domain; ++x) {
+    const uint64_t y = prp.Forward(x);
+    ASSERT_LT(y, domain);
+    ASSERT_FALSE(hit[y]) << "collision at " << x;
+    hit[y] = true;
+  }
+}
+
+TEST_P(FeistelPrpDomainTest, InverseUndoesForward) {
+  const uint64_t domain = GetParam();
+  FeistelPrp prp(domain, /*key=*/0xbeef);
+  for (uint64_t x = 0; x < domain; ++x) {
+    EXPECT_EQ(prp.Inverse(prp.Forward(x)), x);
+    EXPECT_EQ(prp.Forward(prp.Inverse(x)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, FeistelPrpDomainTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 17,
+                                           100, 255, 256, 257, 1000, 4096,
+                                           5000));
+
+TEST(FeistelPrpTest, DifferentKeysDifferentPermutations) {
+  const uint64_t domain = 64;
+  FeistelPrp a(domain, 1), b(domain, 2);
+  bool any_diff = false;
+  for (uint64_t x = 0; x < domain; ++x) any_diff |= (a.Forward(x) != b.Forward(x));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FeistelPrpTest, NotIdentityOnModerateDomain) {
+  const uint64_t domain = 1024;
+  FeistelPrp prp(domain, 3);
+  uint64_t fixed_points = 0;
+  for (uint64_t x = 0; x < domain; ++x) fixed_points += (prp.Forward(x) == x);
+  EXPECT_LT(fixed_points, domain / 8);
+}
+
+}  // namespace
+}  // namespace oblivdb::crypto

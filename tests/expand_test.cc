@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "memtrace/oarray.h"
+#include "memtrace/sinks.h"
+#include "obliv/expand.h"
+
+namespace oblivdb::obliv {
+namespace {
+
+struct Item {
+  uint64_t value = 0;
+  uint64_t count = 0;  // g(x)
+  uint64_t dest = 0;
+};
+uint64_t GetRouteDest(const Item& e) { return e.dest; }
+void SetRouteDest(Item& e, uint64_t d) { e.dest = d; }
+
+struct CountOf {
+  uint64_t operator()(const Item& e) const { return e.count; }
+};
+
+memtrace::OArray<Item> MakeInput(const std::vector<std::pair<uint64_t,
+                                                             uint64_t>>&
+                                     value_count) {
+  memtrace::OArray<Item> arr(value_count.size(), "exp_in");
+  for (size_t i = 0; i < value_count.size(); ++i) {
+    arr.Write(i, Item{value_count[i].first, value_count[i].second, 0});
+  }
+  return arr;
+}
+
+std::vector<uint64_t> RunExpand(
+    const std::vector<std::pair<uint64_t, uint64_t>>& value_count) {
+  auto input = MakeInput(value_count);
+  const uint64_t m = AssignExpandDestinations(input, CountOf{});
+  memtrace::OArray<Item> out(std::max<uint64_t>(input.size(), m), "exp_out");
+  ExpandToDestinations(input, out, m);
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < m; ++i) values.push_back(out.Read(i).value);
+  return values;
+}
+
+std::vector<uint64_t> ReferenceExpand(
+    const std::vector<std::pair<uint64_t, uint64_t>>& value_count) {
+  std::vector<uint64_t> out;
+  for (const auto& [v, g] : value_count) {
+    for (uint64_t c = 0; c < g; ++c) out.push_back(v);
+  }
+  return out;
+}
+
+TEST(ExpandTest, PaperFigure4Example) {
+  // X = x1..x5 with g = 2, 3, 0, 2, 1  ->  x1 x1 x2 x2 x2 x4 x4 x5.
+  const std::vector<std::pair<uint64_t, uint64_t>> in = {
+      {1, 2}, {2, 3}, {3, 0}, {4, 2}, {5, 1}};
+  EXPECT_EQ(RunExpand(in), ReferenceExpand(in));
+}
+
+TEST(ExpandTest, AssignDestinationsIsPrefixSum) {
+  auto input = MakeInput({{1, 2}, {2, 3}, {3, 0}, {4, 2}, {5, 1}});
+  const uint64_t m = AssignExpandDestinations(input, CountOf{});
+  EXPECT_EQ(m, 8u);
+  EXPECT_EQ(input.Read(0).dest, 1u);
+  EXPECT_EQ(input.Read(1).dest, 3u);
+  EXPECT_EQ(input.Read(2).dest, 0u);  // g = 0 -> null
+  EXPECT_EQ(input.Read(3).dest, 6u);
+  EXPECT_EQ(input.Read(4).dest, 8u);
+}
+
+TEST(ExpandTest, AllZeroCounts) {
+  EXPECT_TRUE(RunExpand({{1, 0}, {2, 0}, {3, 0}}).empty());
+}
+
+TEST(ExpandTest, AllOnesIsIdentity) {
+  const std::vector<std::pair<uint64_t, uint64_t>> in = {
+      {7, 1}, {8, 1}, {9, 1}};
+  EXPECT_EQ(RunExpand(in), (std::vector<uint64_t>{7, 8, 9}));
+}
+
+TEST(ExpandTest, SingleElementLargeCount) {
+  const std::vector<std::pair<uint64_t, uint64_t>> in = {{5, 37}};
+  EXPECT_EQ(RunExpand(in), std::vector<uint64_t>(37, 5));
+}
+
+TEST(ExpandTest, ShrinkingExpansion) {
+  // m < n: many zero-count entries.
+  const std::vector<std::pair<uint64_t, uint64_t>> in = {
+      {1, 0}, {2, 1}, {3, 0}, {4, 0}, {5, 2}, {6, 0}};
+  EXPECT_EQ(RunExpand(in), (std::vector<uint64_t>{2, 5, 5}));
+}
+
+TEST(ExpandTest, EmptyInput) { EXPECT_TRUE(RunExpand({}).empty()); }
+
+class ExpandRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ExpandRandomTest, MatchesReferenceOnRandomCounts) {
+  const size_t n = GetParam();
+  crypto::ChaCha20Rng rng(n * 3 + 11);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<std::pair<uint64_t, uint64_t>> in;
+    for (size_t i = 0; i < n; ++i) {
+      in.push_back({100 + i, rng.Uniform(5)});  // counts 0..4
+    }
+    ASSERT_EQ(RunExpand(in), ReferenceExpand(in)) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExpandRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 100, 128));
+
+TEST(ExpandTest, TraceDependsOnlyOnSizes) {
+  auto traced = [](const std::vector<std::pair<uint64_t, uint64_t>>& in,
+                   uint64_t expected_m) {
+    memtrace::VectorTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    auto input = MakeInput(in);
+    const uint64_t m = AssignExpandDestinations(input, CountOf{});
+    EXPECT_EQ(m, expected_m);
+    memtrace::OArray<Item> out(std::max<uint64_t>(input.size(), m), "out");
+    ExpandToDestinations(input, out, m);
+    return sink;
+  };
+  // Same (n, m): different count distributions must trace identically.
+  const auto a = traced({{1, 4}, {2, 0}, {3, 0}, {4, 0}}, 4);
+  const auto b = traced({{1, 1}, {2, 1}, {3, 1}, {4, 1}}, 4);
+  const auto c = traced({{1, 0}, {2, 2}, {3, 2}, {4, 0}}, 4);
+  EXPECT_TRUE(a.SameTraceAs(b));
+  EXPECT_TRUE(a.SameTraceAs(c));
+}
+
+TEST(ExpandTest, SpaceBoundIsMaxNandM) {
+  // The working array never needs more than max(n, m) slots; exercise both
+  // regimes to confirm the contract.
+  const std::vector<std::pair<uint64_t, uint64_t>> grow = {{1, 10}, {2, 10}};
+  auto grow_in = MakeInput(grow);
+  const uint64_t m1 = AssignExpandDestinations(grow_in, CountOf{});
+  memtrace::OArray<Item> out1(std::max<uint64_t>(2, m1), "o1");
+  ExpandToDestinations(grow_in, out1, m1);
+  EXPECT_EQ(out1.size(), 20u);
+
+  const std::vector<std::pair<uint64_t, uint64_t>> shrink = {
+      {1, 0}, {2, 0}, {3, 1}, {4, 0}};
+  auto shrink_in = MakeInput(shrink);
+  const uint64_t m2 = AssignExpandDestinations(shrink_in, CountOf{});
+  memtrace::OArray<Item> out2(std::max<uint64_t>(4, m2), "o2");
+  ExpandToDestinations(shrink_in, out2, m2);
+  EXPECT_EQ(out2.size(), 4u);
+  EXPECT_EQ(out2.Read(0).value, 3u);
+}
+
+}  // namespace
+}  // namespace oblivdb::obliv

@@ -1,0 +1,155 @@
+// Cross-module integration: the full pipeline against every baseline, the
+// paper's worked examples end-to-end, composition of operators, and the
+// formal/empirical verification loop run on the same inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/nested_loop.h"
+#include "baselines/opaque_join.h"
+#include "baselines/oram_join.h"
+#include "baselines/sort_merge.h"
+#include "core/aggregate.h"
+#include "core/join.h"
+#include "core/multiway.h"
+#include "memtrace/sinks.h"
+#include "table/entry.h"
+#include "typecheck/checker.h"
+#include "typecheck/programs.h"
+#include "workload/generators.h"
+
+namespace oblivdb {
+namespace {
+
+TEST(IntegrationTest, AllJoinImplementationsAgree) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto tc = workload::PowerLaw(24, 2.0, seed);
+    const auto reference = baselines::SortMergeJoin(tc.t1, tc.t2);
+    EXPECT_EQ(core::ObliviousJoin(tc.t1, tc.t2), reference) << tc.name;
+    EXPECT_EQ(baselines::ObliviousNestedLoopJoin(tc.t1, tc.t2), reference)
+        << tc.name;
+    EXPECT_EQ(
+        baselines::OramSortMergeJoin(tc.t1, tc.t2, reference.size()).rows,
+        reference)
+        << tc.name;
+  }
+}
+
+TEST(IntegrationTest, PkFkWorkloadAllFourImplementations) {
+  const auto tc = workload::PrimaryForeign(6, 18, 2);
+  const auto reference = baselines::SortMergeJoin(tc.t1, tc.t2);
+  EXPECT_EQ(core::ObliviousJoin(tc.t1, tc.t2), reference);
+  EXPECT_EQ(baselines::ObliviousNestedLoopJoin(tc.t1, tc.t2), reference);
+  auto opaque = baselines::OpaquePkFkJoin(tc.t1, tc.t2);
+  std::sort(opaque.begin(), opaque.end());
+  EXPECT_EQ(opaque, reference);
+  EXPECT_EQ(baselines::OramSortMergeJoin(tc.t1, tc.t2, reference.size()).rows,
+            reference);
+}
+
+TEST(IntegrationTest, PaperRunningExampleFigures1Through5) {
+  // Figure 1's tables; the paper walks these through every stage.
+  const Table t1("T1", {{10, 1}, {10, 2}, {20, 1}, {20, 2}, {20, 3}});
+  const Table t2("T2", {{10, 1}, {10, 2}, {10, 3}, {20, 1}, {20, 2}});
+  const auto rows = core::ObliviousJoin(t1, t2);
+  // m = alpha1*alpha2 summed: 2*3 + 3*2 = 12.
+  ASSERT_EQ(rows.size(), 12u);
+  // First group (x = 10): a1 paired with u1, u2, u3, then a2 likewise.
+  for (int a = 0; a < 2; ++a) {
+    for (int u = 0; u < 3; ++u) {
+      const auto& r = rows[a * 3 + u];
+      EXPECT_EQ(r.key, 10u);
+      EXPECT_EQ(r.payload1[0], uint64_t(a + 1));
+      EXPECT_EQ(r.payload2[0], uint64_t(u + 1));
+    }
+  }
+}
+
+TEST(IntegrationTest, JoinSizeAggregateAndJoinAreConsistent) {
+  const auto tc = workload::PowerLaw(40, 2.0, 4);
+  const auto rows = core::ObliviousJoin(tc.t1, tc.t2);
+  EXPECT_EQ(core::ObliviousJoinSize(tc.t1, tc.t2), rows.size());
+  uint64_t agg_total = 0;
+  for (const auto& a : core::ObliviousJoinAggregate(tc.t1, tc.t2)) {
+    agg_total += a.count;
+  }
+  EXPECT_EQ(agg_total, rows.size());
+}
+
+TEST(IntegrationTest, SelfJoin) {
+  const Table t("T", {{1, 10}, {1, 11}, {2, 20}});
+  const auto rows = core::ObliviousJoin(t, t);
+  EXPECT_EQ(rows.size(), 5u);  // 2*2 + 1*1
+  EXPECT_EQ(rows, baselines::SortMergeJoin(t, t));
+}
+
+TEST(IntegrationTest, JoinThenAggregateOverJoinResult) {
+  // Compose: R = T1 |><| T2, then aggregate R |><| T3 — exercising the
+  // output of one oblivious operator as the input of another.
+  const Table t1("T1", {{1, 10}, {2, 20}});
+  const Table t2("T2", {{1, 30}, {1, 31}, {2, 40}});
+  const Table t3("T3", {{1, 7}, {2, 8}, {2, 9}});
+  const Table r = core::ObliviousMultiwayJoin({t1, t2});
+  const auto aggs = core::ObliviousJoinAggregate(r, t3);
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_EQ(aggs[0].count, 2u);  // key 1: |R group| = 2, |T3 group| = 1
+  EXPECT_EQ(aggs[1].count, 2u);  // key 2: 1 * 2
+}
+
+TEST(IntegrationTest, LargeishRandomizedSoak) {
+  // A heavier randomized pass across mixed shapes (kept under a second).
+  for (uint64_t n : {128u, 200u}) {
+    const auto suite = workload::GenerateTestSuite(n, n);
+    for (size_t i = 0; i < suite.size(); i += 4) {  // every 4th case
+      const auto& tc = suite[i];
+      EXPECT_EQ(core::ObliviousJoin(tc.t1, tc.t2),
+                baselines::SortMergeJoin(tc.t1, tc.t2))
+          << tc.name;
+    }
+  }
+}
+
+TEST(IntegrationTest, FormalAndEmpiricalVerificationAgree) {
+  // The DSL kernels type-check (formal); the C++ implementation of the same
+  // kernels produces input-independent traces (empirical).  Running both in
+  // one test documents that they verify the same algorithm.
+  for (auto maker : {typecheck::RoutingNetworkProgram,
+                     typecheck::FillDimensionsForwardProgram,
+                     typecheck::AlignIndexProgram}) {
+    auto [program, env] = maker();
+    const auto result = typecheck::TypeChecker(env).Check(program);
+    EXPECT_TRUE(result.ok) << result.error;
+  }
+  const auto a = workload::WithOutputSize(24, 6, 1, 3);
+  const auto b = workload::WithOutputSize(24, 6, 4, 8);
+  auto hash_of = [](const Table& t1, const Table& t2) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    (void)core::ObliviousJoin(t1, t2);
+    return sink.HexDigest();
+  };
+  EXPECT_EQ(hash_of(a.t1, a.t2), hash_of(b.t1, b.t2));
+}
+
+TEST(IntegrationTest, SpaceUsageMatchesSection62Bound) {
+  // §6.2: total public memory is max(n1, m) + max(n2, m) entries plus the
+  // n-entry TC and the m-entry output.  Check the byte accounting.
+  const auto tc = workload::SingleGroup(4, 8, 1);  // m = 32 > n
+  memtrace::CountingTraceSink sink;
+  {
+    memtrace::TraceScope scope(&sink);
+    (void)core::ObliviousJoin(tc.t1, tc.t2);
+  }
+  const uint64_t n1 = 4, n2 = 8, m = 32;
+  const uint64_t expected =
+      (n1 + n2) * sizeof(Entry) +                    // TC
+      (n1 + n2) * sizeof(Entry) +                    // split T1/T2 copies
+      (std::max(n1, m) + std::max(n2, m)) * sizeof(Entry) +  // S1 + S2
+      m * sizeof(JoinedEntry);                       // output
+  EXPECT_EQ(sink.TotalBytesAllocated(), expected);
+}
+
+}  // namespace
+}  // namespace oblivdb

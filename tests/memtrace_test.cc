@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "memtrace/oarray.h"
+#include "memtrace/sinks.h"
+#include "memtrace/trace.h"
+
+namespace oblivdb::memtrace {
+namespace {
+
+struct Pod {
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+TEST(OArrayTest, ReadsBackWrites) {
+  OArray<Pod> arr(4, "t");
+  arr.Write(2, Pod{7, 9});
+  const Pod p = arr.Read(2);
+  EXPECT_EQ(p.a, 7u);
+  EXPECT_EQ(p.b, 9u);
+}
+
+TEST(OArrayTest, ZeroInitialized) {
+  OArray<Pod> arr(3, "t");
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(arr.Read(i).a, 0u);
+    EXPECT_EQ(arr.Read(i).b, 0u);
+  }
+}
+
+TEST(OArrayTest, AccessesReachSink) {
+  VectorTraceSink sink;
+  TraceScope scope(&sink);
+  OArray<Pod> arr(8, "traced");
+  arr.Write(3, Pod{1, 2});
+  (void)arr.Read(5);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].kind, AccessKind::kWrite);
+  EXPECT_EQ(sink.events()[0].index, 3u);
+  EXPECT_EQ(sink.events()[1].kind, AccessKind::kRead);
+  EXPECT_EQ(sink.events()[1].index, 5u);
+  ASSERT_EQ(sink.allocations().size(), 1u);
+  EXPECT_EQ(sink.allocations()[0].length, 8u);
+  EXPECT_EQ(sink.allocations()[0].elem_size, sizeof(Pod));
+}
+
+TEST(OArrayTest, NoSinkNoCrash) {
+  ASSERT_EQ(GetTraceSink(), nullptr);
+  OArray<Pod> arr(2, "untr");
+  arr.Write(0, Pod{1, 1});
+  (void)arr.Read(1);
+}
+
+TEST(TraceTest, ArrayIdsRestartPerScope) {
+  VectorTraceSink first;
+  {
+    TraceScope scope(&first);
+    OArray<Pod> a(1, "a");
+    OArray<Pod> b(1, "b");
+    EXPECT_EQ(a.array_id(), 0u);
+    EXPECT_EQ(b.array_id(), 1u);
+  }
+  VectorTraceSink second;
+  {
+    TraceScope scope(&second);
+    OArray<Pod> c(1, "c");
+    EXPECT_EQ(c.array_id(), 0u);
+  }
+}
+
+TEST(TraceTest, ScopeRestoresPreviousSink) {
+  VectorTraceSink outer;
+  TraceScope scope_outer(&outer);
+  {
+    VectorTraceSink inner;
+    TraceScope scope_inner(&inner);
+    EXPECT_EQ(GetTraceSink(), &inner);
+  }
+  EXPECT_EQ(GetTraceSink(), &outer);
+}
+
+TEST(VectorTraceSinkTest, SameTraceAsComparesSequences) {
+  VectorTraceSink a, b, c;
+  {
+    TraceScope scope(&a);
+    OArray<Pod> arr(4, "x");
+    arr.Write(0, {});
+    (void)arr.Read(1);
+  }
+  {
+    TraceScope scope(&b);
+    OArray<Pod> arr(4, "x");
+    arr.Write(0, {});
+    (void)arr.Read(1);
+  }
+  {
+    TraceScope scope(&c);
+    OArray<Pod> arr(4, "x");
+    arr.Write(0, {});
+    (void)arr.Read(2);  // differs
+  }
+  EXPECT_TRUE(a.SameTraceAs(b));
+  EXPECT_FALSE(a.SameTraceAs(c));
+}
+
+TEST(HashTraceSinkTest, DeterministicAndOrderSensitive) {
+  auto run = [](bool swap_order) {
+    HashTraceSink sink;
+    TraceScope scope(&sink);
+    OArray<Pod> arr(4, "h");
+    if (swap_order) {
+      (void)arr.Read(1);
+      (void)arr.Read(0);
+    } else {
+      (void)arr.Read(0);
+      (void)arr.Read(1);
+    }
+    return sink.HexDigest();
+  };
+  EXPECT_EQ(run(false), run(false));
+  EXPECT_NE(run(false), run(true));
+}
+
+TEST(HashTraceSinkTest, ReadVsWriteDistinguished) {
+  auto run = [](bool write) {
+    HashTraceSink sink;
+    TraceScope scope(&sink);
+    OArray<Pod> arr(4, "h");
+    if (write) {
+      arr.Write(0, {});
+    } else {
+      (void)arr.Read(0);
+    }
+    return sink.HexDigest();
+  };
+  EXPECT_NE(run(false), run(true));
+}
+
+TEST(HashTraceSinkTest, AllocationShapeIsFoldedIn) {
+  auto run = [](size_t len) {
+    HashTraceSink sink;
+    TraceScope scope(&sink);
+    OArray<Pod> arr(len, "h");
+    (void)arr.Read(0);
+    return sink.HexDigest();
+  };
+  EXPECT_NE(run(4), run(5));
+}
+
+TEST(CountingTraceSinkTest, CountsPerArray) {
+  CountingTraceSink sink;
+  TraceScope scope(&sink);
+  OArray<Pod> a(4, "first");
+  OArray<Pod> b(2, "second");
+  a.Write(0, {});
+  a.Write(1, {});
+  (void)a.Read(0);
+  (void)b.Read(1);
+  EXPECT_EQ(sink.total_writes(), 2u);
+  EXPECT_EQ(sink.total_reads(), 2u);
+  EXPECT_EQ(sink.total_accesses(), 4u);
+  EXPECT_EQ(sink.per_array().at(0).writes, 2u);
+  EXPECT_EQ(sink.per_array().at(0).reads, 1u);
+  EXPECT_EQ(sink.per_array().at(1).reads, 1u);
+  EXPECT_EQ(sink.TotalBytesAllocated(), 6 * sizeof(Pod));
+}
+
+}  // namespace
+}  // namespace oblivdb::memtrace

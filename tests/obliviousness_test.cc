@@ -1,0 +1,191 @@
+// The paper's §6.1 security experiments, as tests:
+//
+//   * small n:  full access-log comparison across input classes that share
+//     (n1, n2, m) — logs must be identical;
+//   * larger n: chained SHA-256 of the log (H <- h(H || r || t || i)) —
+//     hashes must collide exactly when the class matches;
+//   * negative controls: the non-oblivious baseline's trace *does* vary,
+//     and changing any of n1 / n2 / m changes our trace.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "baselines/nested_loop.h"
+#include "baselines/opaque_join.h"
+#include "core/aggregate.h"
+#include "core/join.h"
+#include "memtrace/oarray.h"
+#include "memtrace/sinks.h"
+#include "workload/generators.h"
+
+namespace oblivdb {
+namespace {
+
+using workload::TestCase;
+
+// Full-log run of the oblivious join.
+memtrace::VectorTraceSink LogOf(const TestCase& tc) {
+  memtrace::VectorTraceSink sink;
+  memtrace::TraceScope scope(&sink);
+  (void)core::ObliviousJoin(tc.t1, tc.t2);
+  return sink;
+}
+
+// Hashed-log run (paper's large-n method).
+std::string HashOf(const Table& t1, const Table& t2) {
+  memtrace::HashTraceSink sink;
+  memtrace::TraceScope scope(&sink);
+  (void)core::ObliviousJoin(t1, t2);
+  return sink.HexDigest();
+}
+
+TEST(ObliviousnessTest, SmallNFullLogIdenticalWithinClass) {
+  // Five inputs, all with n1 = n2 = 4 and m = 4 (the paper's small-n
+  // manual comparison, around five classes of tests).
+  std::vector<TestCase> clazz;
+  for (uint64_t v = 0; v < 5; ++v) {
+    clazz.push_back(workload::WithOutputSize(8, 4, v, v * 11 + 1));
+    ASSERT_EQ(clazz.back().t1.size(), 4u);
+    ASSERT_EQ(clazz.back().t2.size(), 4u);
+    ASSERT_EQ(clazz.back().expected_m, 4u);
+  }
+  const auto reference = LogOf(clazz[0]);
+  EXPECT_GT(reference.events().size(), 0u);
+  for (size_t i = 1; i < clazz.size(); ++i) {
+    EXPECT_TRUE(reference.SameTraceAs(LogOf(clazz[i])))
+        << clazz[i].name;
+  }
+}
+
+class HashedTraceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HashedTraceTest, EqualClassEqualHash) {
+  const uint64_t n = GetParam();
+  const uint64_t m = n / 4;
+  std::string first;
+  for (uint64_t v = 0; v < 5; ++v) {
+    const auto tc = workload::WithOutputSize(n, m, v, v + n);
+    const std::string h = HashOf(tc.t1, tc.t2);
+    if (v == 0) {
+      first = h;
+    } else {
+      EXPECT_EQ(h, first) << tc.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(InputSizes, HashedTraceTest,
+                         ::testing::Values(16, 40, 100, 256));
+
+TEST(ObliviousnessTest, DifferentOutputSizeDifferentTrace) {
+  const auto a = workload::WithOutputSize(32, 8, 0, 1);
+  const auto b = workload::WithOutputSize(32, 7, 0, 1);
+  EXPECT_NE(HashOf(a.t1, a.t2), HashOf(b.t1, b.t2));
+}
+
+TEST(ObliviousnessTest, DifferentSplitDifferentTrace) {
+  // Same n and m but different (n1, n2): traces may and do differ — the
+  // paper's trace classes are keyed by (n1, n2, m), not by n alone.
+  const auto balanced = workload::FromGroupSpec(
+      "bal", {{2, 2}, {1, 0}, {1, 0}, {0, 1}, {0, 1}}, 1);  // 4 + 4, m = 4
+  const auto skewed = workload::FromGroupSpec(
+      "skw", {{2, 2}, {1, 0}, {1, 0}, {1, 0}, {0, 1}}, 1);  // 5 + 3, m = 4
+  ASSERT_EQ(balanced.expected_m, skewed.expected_m);
+  EXPECT_NE(HashOf(balanced.t1, balanced.t2), HashOf(skewed.t1, skewed.t2));
+}
+
+TEST(ObliviousnessTest, RepeatRunsAreBitIdentical) {
+  const auto tc = workload::PowerLaw(48, 2.0, 6);
+  EXPECT_EQ(HashOf(tc.t1, tc.t2), HashOf(tc.t1, tc.t2));
+}
+
+TEST(ObliviousnessTest, RowOrderWithinTablesIrrelevant) {
+  // Shuffling the (unordered) input tables must not change the trace: the
+  // initial linear loads are positional and everything after is oblivious.
+  auto tc = workload::PowerLaw(32, 2.0, 8);
+  const std::string h1 = HashOf(tc.t1, tc.t2);
+  std::reverse(tc.t1.rows().begin(), tc.t1.rows().end());
+  std::reverse(tc.t2.rows().begin(), tc.t2.rows().end());
+  EXPECT_EQ(HashOf(tc.t1, tc.t2), h1);
+}
+
+TEST(ObliviousnessTest, NestedLoopBaselineIsAlsoOblivious) {
+  auto hash_nl = [](const TestCase& tc) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    (void)baselines::ObliviousNestedLoopJoin(tc.t1, tc.t2);
+    return sink.HexDigest();
+  };
+  const auto a = workload::WithOutputSize(16, 4, 0, 1);
+  const auto b = workload::WithOutputSize(16, 4, 2, 9);
+  EXPECT_EQ(hash_nl(a), hash_nl(b));
+}
+
+TEST(ObliviousnessTest, OpaqueBaselineObliviousOnPkFk) {
+  auto hash_opq = [](const Table& pk, const Table& fk) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    (void)baselines::OpaquePkFkJoin(pk, fk);
+    return sink.HexDigest();
+  };
+  // Same sizes and m; different reference structure.
+  const auto a = workload::PrimaryForeign(8, 16, 1);
+  const auto b = workload::PrimaryForeign(8, 16, 99);
+  EXPECT_EQ(hash_opq(a.t1, a.t2), hash_opq(b.t1, b.t2));
+}
+
+TEST(ObliviousnessTest, AggregateTraceClassKeyedByGroupCount) {
+  auto hash_agg = [](const Table& t1, const Table& t2) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    (void)core::ObliviousJoinAggregate(t1, t2);
+    return sink.HexDigest();
+  };
+  // Two inputs with the same (n1, n2) and the same number of matched
+  // groups, different dimensions.
+  const auto a = workload::FromGroupSpec("a", {{2, 1}, {1, 2}, {1, 1}}, 1);
+  const auto b = workload::FromGroupSpec("b", {{1, 1}, {2, 2}, {1, 1}}, 2);
+  ASSERT_EQ(a.t1.size(), b.t1.size());
+  ASSERT_EQ(a.t2.size(), b.t2.size());
+  EXPECT_EQ(hash_agg(a.t1, a.t2), hash_agg(b.t1, b.t2));
+}
+
+TEST(ObliviousnessTest, InsecureMergeScanLeaksAsExpected) {
+  // Negative control (the paper's §1 example): a plain sort-merge pointer
+  // walk over public memory reads locations that depend on which side's key
+  // is smaller.  Two same-shape inputs must produce different traces.
+  auto hash_merge_scan = [](const std::vector<uint64_t>& k1,
+                            const std::vector<uint64_t>& k2) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    memtrace::OArray<uint64_t> a(k1.size(), "A");
+    memtrace::OArray<uint64_t> b(k2.size(), "B");
+    for (size_t i = 0; i < k1.size(); ++i) a.Write(i, k1[i]);
+    for (size_t i = 0; i < k2.size(); ++i) b.Write(i, k2[i]);
+    size_t i = 0, k = 0;
+    while (i < a.size() && k < b.size()) {
+      const uint64_t x = a.Read(i);
+      const uint64_t y = b.Read(k);
+      if (x < y) {
+        ++i;  // input-dependent pointer advance: this is the leak
+      } else if (y < x) {
+        ++k;
+      } else {
+        ++i;
+        ++k;
+      }
+    }
+    return sink.HexDigest();
+  };
+  // All inputs below share n1 = n2 = 4 and m = 3 matching keys.
+  const std::string h1 = hash_merge_scan({1, 2, 3, 4}, {1, 2, 3, 9});
+  const std::string h2 = hash_merge_scan({5, 6, 7, 8}, {5, 6, 7, 11});
+  EXPECT_EQ(h1, h2);  // identical *structure* -> same walk
+  const std::string h3 = hash_merge_scan({0, 2, 3, 4}, {2, 3, 4, 9});
+  EXPECT_NE(h1, h3);  // same (n1, n2, m), different walk = leak
+}
+
+}  // namespace
+}  // namespace oblivdb

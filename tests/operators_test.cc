@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/operators.h"
+#include "memtrace/sinks.h"
+#include "obliv/ct.h"
+#include "workload/generators.h"
+
+namespace oblivdb::core {
+namespace {
+
+std::multiset<Record> RowSet(const Table& t) {
+  return {t.rows().begin(), t.rows().end()};
+}
+
+// ---------------------------------------------------------------------------
+// ObliviousSelect.
+
+TEST(SelectTest, KeepsMatchingRows) {
+  const Table t("T", {{1, 10}, {2, 200}, {3, 30}, {4, 400}});
+  const Table out = ObliviousSelect(t, [](const Record& r) {
+    return ct::LessMask(r.payload[0], 100);
+  });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.rows()[0].payload[0], 10u);
+  EXPECT_EQ(out.rows()[1].payload[0], 30u);
+}
+
+TEST(SelectTest, PreservesInputOrder) {
+  const Table t("T", {{9, 1}, {1, 2}, {5, 3}, {1, 4}});
+  const Table out =
+      ObliviousSelect(t, [](const Record& r) { return ct::EqMask(r.key, 1); });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.rows()[0].payload[0], 2u);
+  EXPECT_EQ(out.rows()[1].payload[0], 4u);
+}
+
+TEST(SelectTest, KeepAllAndKeepNone) {
+  const Table t("T", {{1, 1}, {2, 2}});
+  EXPECT_EQ(ObliviousSelect(t, [](const Record&) {
+              return ~uint64_t{0};
+            }).size(),
+            2u);
+  EXPECT_EQ(ObliviousSelect(t, [](const Record&) {
+              return uint64_t{0};
+            }).size(),
+            0u);
+  EXPECT_TRUE(ObliviousSelect(Table("e"), [](const Record&) {
+                return ~uint64_t{0};
+              }).empty());
+}
+
+TEST(SelectTest, MatchesStdFilterOnRandomInput) {
+  const auto tc = workload::PowerLaw(60, 2.0, 3);
+  const Table out = ObliviousSelect(tc.t1, [](const Record& r) {
+    return ct::EqMask(r.payload[0] & 1, 1);
+  });
+  std::vector<Record> expect;
+  for (const Record& r : tc.t1.rows()) {
+    if ((r.payload[0] & 1) == 1) expect.push_back(r);
+  }
+  EXPECT_EQ(out.rows(), expect);
+}
+
+TEST(SelectTest, TraceDependsOnlyOnSizes) {
+  auto hash_of = [](const Table& t, uint64_t threshold) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    (void)ObliviousSelect(t, [threshold](const Record& r) {
+      return ct::LessMask(r.payload[0], threshold);
+    });
+    return sink.HexDigest();
+  };
+  // Same input size, same output size (2), different selected rows.
+  const Table a("a", {{1, 1}, {2, 2}, {3, 30}, {4, 40}});
+  const Table b("b", {{1, 10}, {2, 20}, {3, 3}, {4, 4}});
+  EXPECT_EQ(hash_of(a, 10), hash_of(b, 10));
+}
+
+// ---------------------------------------------------------------------------
+// ObliviousDistinct.
+
+TEST(DistinctTest, DropsExactDuplicates) {
+  const Table t("T", {{1, 10}, {1, 10}, {1, 11}, {2, 20}, {2, 20}, {2, 20}});
+  const Table out = ObliviousDistinct(t);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.rows()[0], (Record{1, {10, 0}}));
+  EXPECT_EQ(out.rows()[1], (Record{1, {11, 0}}));
+  EXPECT_EQ(out.rows()[2], (Record{2, {20, 0}}));
+}
+
+TEST(DistinctTest, DistinguishesBySecondPayloadWord) {
+  Table t("T");
+  t.Add(1, 10, 0);
+  t.Add(1, 10, 1);  // differs only in payload word 1
+  EXPECT_EQ(ObliviousDistinct(t).size(), 2u);
+}
+
+TEST(DistinctTest, AlreadyDistinctUnchangedAsSet) {
+  const auto tc = workload::OneToOne(30, 2);
+  const Table out = ObliviousDistinct(tc.t1);
+  EXPECT_EQ(RowSet(out), RowSet(tc.t1));
+}
+
+TEST(DistinctTest, EmptyAndSingleton) {
+  EXPECT_TRUE(ObliviousDistinct(Table("e")).empty());
+  const Table one("o", {{5, 50}});
+  EXPECT_EQ(ObliviousDistinct(one).rows(), one.rows());
+}
+
+// ---------------------------------------------------------------------------
+// Semi- and anti-joins.
+
+TEST(SemiJoinTest, KeepsMatchedLeftRowsOnce) {
+  const Table t1("T1", {{1, 10}, {2, 20}, {3, 30}});
+  const Table t2("T2", {{1, 0}, {1, 1}, {3, 2}});  // key 1 matches twice
+  const Table out = ObliviousSemiJoin(t1, t2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.rows()[0].key, 1u);
+  EXPECT_EQ(out.rows()[1].key, 3u);
+}
+
+TEST(AntiJoinTest, ComplementOfSemiJoin) {
+  const Table t1("T1", {{1, 10}, {2, 20}, {3, 30}});
+  const Table t2("T2", {{1, 0}, {3, 2}});
+  const Table anti = ObliviousAntiJoin(t1, t2);
+  ASSERT_EQ(anti.size(), 1u);
+  EXPECT_EQ(anti.rows()[0].key, 2u);
+}
+
+TEST(SemiJoinTest, PartitionProperty) {
+  // Semi-join and anti-join partition T1 for any inputs.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto tc = workload::PowerLaw(40, 2.0, seed);
+    const Table semi = ObliviousSemiJoin(tc.t1, tc.t2);
+    const Table anti = ObliviousAntiJoin(tc.t1, tc.t2);
+    EXPECT_EQ(semi.size() + anti.size(), tc.t1.size()) << seed;
+    std::multiset<Record> both = RowSet(semi);
+    for (const Record& r : anti.rows()) both.insert(r);
+    EXPECT_EQ(both, RowSet(tc.t1)) << seed;
+    // Every semi row's key must exist in t2, every anti row's must not.
+    std::set<uint64_t> t2_keys;
+    for (const Record& r : tc.t2.rows()) t2_keys.insert(r.key);
+    for (const Record& r : semi.rows()) EXPECT_TRUE(t2_keys.count(r.key));
+    for (const Record& r : anti.rows()) EXPECT_FALSE(t2_keys.count(r.key));
+  }
+}
+
+TEST(SemiJoinTest, DuplicateLeftRowsAllKept) {
+  const Table t1("T1", {{1, 10}, {1, 10}, {1, 11}});
+  const Table t2("T2", {{1, 99}});
+  EXPECT_EQ(ObliviousSemiJoin(t1, t2).size(), 3u);
+}
+
+TEST(SemiJoinTest, EmptyInputs) {
+  const Table t("T", {{1, 10}});
+  EXPECT_TRUE(ObliviousSemiJoin(Table("e"), t).empty());
+  EXPECT_TRUE(ObliviousSemiJoin(t, Table("e")).empty());
+  EXPECT_EQ(ObliviousAntiJoin(t, Table("e")).size(), 1u);
+}
+
+TEST(SemiJoinTest, TraceDependsOnlyOnSizes) {
+  auto hash_of = [](const Table& t1, const Table& t2) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    (void)ObliviousSemiJoin(t1, t2);
+    return sink.HexDigest();
+  };
+  // Same (n1, n2) and same survivor count (2), different match structure.
+  const Table a1("a1", {{1, 1}, {2, 2}, {3, 3}});
+  const Table a2("a2", {{1, 0}, {2, 0}});
+  const Table b1("b1", {{5, 1}, {6, 2}, {7, 3}});
+  const Table b2("b2", {{7, 0}, {5, 0}});
+  EXPECT_EQ(hash_of(a1, a2), hash_of(b1, b2));
+}
+
+// ---------------------------------------------------------------------------
+// Union + composition.
+
+TEST(UnionTest, ConcatenatesMultisets) {
+  const Table t1("a", {{1, 10}});
+  const Table t2("b", {{1, 10}, {2, 20}});
+  const Table u = ObliviousUnion(t1, t2);
+  EXPECT_EQ(u.size(), 3u);
+}
+
+TEST(OperatorsTest, ComposedQueryPlan) {
+  // SELECT DISTINCT t1.* FROM t1 WHERE payload < 50 AND key IN (SELECT key
+  // FROM t2): select -> semi-join -> distinct, all oblivious.
+  const Table t1("T1", {{1, 10}, {1, 10}, {2, 60}, {3, 30}, {4, 40}});
+  const Table t2("T2", {{1, 0}, {3, 0}, {2, 0}});
+  const Table selected = ObliviousSelect(t1, [](const Record& r) {
+    return ct::LessMask(r.payload[0], 50);
+  });
+  const Table matched = ObliviousSemiJoin(selected, t2);
+  const Table result = ObliviousDistinct(matched);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result.rows()[0], (Record{1, {10, 0}}));
+  EXPECT_EQ(result.rows()[1], (Record{3, {30, 0}}));
+}
+
+}  // namespace
+}  // namespace oblivdb::core

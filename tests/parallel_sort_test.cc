@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "memtrace/oarray.h"
+#include "memtrace/sinks.h"
+#include "obliv/ct.h"
+#include "obliv/parallel_sort.h"
+
+namespace oblivdb::obliv {
+namespace {
+
+struct Item {
+  uint64_t key = 0;
+  uint64_t tag = 0;
+};
+
+struct ItemLess {
+  uint64_t operator()(const Item& a, const Item& b) const {
+    return ct::LessMask(a.key, b.key);
+  }
+};
+
+std::vector<uint64_t> Keys(const memtrace::OArray<Item>& arr) {
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < arr.size(); ++i) keys.push_back(arr.Read(i).key);
+  return keys;
+}
+
+class ParallelSortTest
+    : public ::testing::TestWithParam<std::pair<size_t, unsigned>> {};
+
+TEST_P(ParallelSortTest, MatchesSequentialResult) {
+  const auto [n, threads] = GetParam();
+  crypto::ChaCha20Rng rng(n * 7 + threads);
+  memtrace::OArray<Item> parallel(n, "par");
+  memtrace::OArray<Item> sequential(n, "seq");
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t k = rng();
+    parallel.Write(i, Item{k, i});
+    sequential.Write(i, Item{k, i});
+  }
+  BitonicSortParallel(parallel, ItemLess{}, threads);
+  BitonicSort(sequential, ItemLess{});
+  EXPECT_EQ(Keys(parallel), Keys(sequential));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelSortTest,
+    ::testing::Values(std::pair<size_t, unsigned>{0, 4},
+                      std::pair<size_t, unsigned>{1, 4},
+                      std::pair<size_t, unsigned>{100, 2},
+                      std::pair<size_t, unsigned>{1000, 4},
+                      std::pair<size_t, unsigned>{4096, 2},
+                      std::pair<size_t, unsigned>{10000, 4},
+                      std::pair<size_t, unsigned>{16384, 8},
+                      std::pair<size_t, unsigned>{20000, 3}));
+
+TEST(ParallelSortTest, SingleThreadDelegatesToSequential) {
+  memtrace::OArray<Item> arr(257, "one");
+  for (size_t i = 0; i < 257; ++i) arr.Write(i, Item{257 - i, i});
+  BitonicSortParallel(arr, ItemLess{}, 1);
+  const auto keys = Keys(arr);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(ParallelSortTest, SortsAdversarialPatterns) {
+  for (unsigned threads : {2u, 4u}) {
+    const size_t n = 1 << 13;
+    memtrace::OArray<Item> arr(n, "adv");
+    // Sawtooth pattern stresses the merge phases.
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Item{i % 97, i});
+    BitonicSortParallel(arr, ItemLess{}, threads);
+    const auto keys = Keys(arr);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  }
+}
+
+TEST(ParallelSortDeathTest, RefusesToRunUnderTracing) {
+  memtrace::VectorTraceSink sink;
+  memtrace::TraceScope scope(&sink);
+  memtrace::OArray<Item> arr(8, "traced");
+  EXPECT_DEATH(BitonicSortParallel(arr, ItemLess{}, 4), "OBLIVDB_CHECK");
+}
+
+}  // namespace
+}  // namespace oblivdb::obliv

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "crypto/prob_cipher.h"
+#include "memtrace/encrypted_oarray.h"
+#include "memtrace/sinks.h"
+#include "obliv/bitonic_sort.h"
+#include "obliv/ct.h"
+
+namespace oblivdb {
+namespace {
+
+using crypto::Ciphertext;
+using crypto::ProbCipher;
+
+TEST(ProbCipherTest, RoundTrip) {
+  ProbCipher cipher(/*key=*/42);
+  const std::string msg = "oblivious joins";
+  const Ciphertext ct = cipher.Encrypt(msg.data(), msg.size());
+  std::string out(msg.size(), '\0');
+  ASSERT_TRUE(cipher.Decrypt(ct, out.data()));
+  EXPECT_EQ(out, msg);
+}
+
+TEST(ProbCipherTest, ReEncryptionIsFresh) {
+  // The §3.5 property: identical plaintexts encrypt to different
+  // ciphertexts, so rewritten-but-unswapped cells are indistinguishable
+  // from swapped ones.
+  ProbCipher cipher(7);
+  const uint64_t value = 12345;
+  std::set<std::string> seen;
+  for (int i = 0; i < 64; ++i) {
+    const Ciphertext ct = cipher.Encrypt(&value, sizeof(value));
+    seen.insert(std::string(ct.bytes.begin(), ct.bytes.end()) +
+                std::to_string(ct.nonce));
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(ProbCipherTest, WrongKeyFailsAuthentication) {
+  ProbCipher alice(1), eve(2);
+  const uint64_t value = 99;
+  const Ciphertext ct = alice.Encrypt(&value, sizeof(value));
+  uint64_t out = 0;
+  EXPECT_FALSE(eve.Decrypt(ct, &out));
+}
+
+TEST(ProbCipherTest, TamperedCiphertextRejected) {
+  ProbCipher cipher(3);
+  const uint64_t value = 77;
+  Ciphertext ct = cipher.Encrypt(&value, sizeof(value));
+  ct.bytes[0] ^= 1;
+  uint64_t out = 0;
+  EXPECT_FALSE(cipher.Decrypt(ct, &out));
+}
+
+TEST(ProbCipherTest, TamperedNonceRejected) {
+  ProbCipher cipher(3);
+  const uint64_t value = 77;
+  Ciphertext ct = cipher.Encrypt(&value, sizeof(value));
+  ct.nonce ^= 1;
+  uint64_t out = 0;
+  EXPECT_FALSE(cipher.Decrypt(ct, &out));
+}
+
+TEST(ProbCipherTest, EmptyPlaintext) {
+  ProbCipher cipher(5);
+  const Ciphertext ct = cipher.Encrypt(nullptr, 0);
+  EXPECT_TRUE(cipher.Decrypt(ct, nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// EncryptedOArray.
+
+struct Cell {
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+TEST(EncryptedOArrayTest, ReadsBackWrites) {
+  memtrace::EncryptedOArray<Cell> arr(4, /*key=*/11);
+  arr.Write(2, Cell{5, 6});
+  const Cell c = arr.Read(2);
+  EXPECT_EQ(c.a, 5u);
+  EXPECT_EQ(c.b, 6u);
+  EXPECT_EQ(arr.Read(0).a, 0u);  // zero-initialized
+}
+
+TEST(EncryptedOArrayTest, RewriteChangesCiphertext) {
+  memtrace::EncryptedOArray<Cell> arr(2, 11);
+  arr.Write(0, Cell{9, 9});
+  const crypto::Ciphertext before = arr.CiphertextAt(0);
+  arr.Write(0, Cell{9, 9});  // same plaintext
+  EXPECT_NE(arr.CiphertextAt(0), before);
+  EXPECT_EQ(arr.Read(0).a, 9u);
+}
+
+TEST(EncryptedOArrayDeathTest, TamperingAborts) {
+  memtrace::EncryptedOArray<Cell> arr(2, 11);
+  arr.Write(1, Cell{1, 2});
+  arr.MutableCiphertextAt(1).bytes[3] ^= 0xff;
+  EXPECT_DEATH((void)arr.Read(1), "OBLIVDB_CHECK");
+}
+
+TEST(EncryptedOArrayTest, EmitsTraceEvents) {
+  memtrace::VectorTraceSink sink;
+  memtrace::TraceScope scope(&sink);
+  memtrace::EncryptedOArray<Cell> arr(3, 11);
+  arr.Write(1, Cell{});
+  (void)arr.Read(2);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].kind, memtrace::AccessKind::kWrite);
+  EXPECT_EQ(sink.events()[1].index, 2u);
+}
+
+// A sorting network run over encrypted cells end-to-end: the full §3 model
+// (oblivious indices + probabilistically encrypted contents) in one test.
+struct EncItem {
+  uint64_t key = 0;
+};
+
+TEST(EncryptedOArrayTest, ManualCompareExchangeNetworkSorts) {
+  memtrace::EncryptedOArray<EncItem> arr(8, /*key=*/21);
+  const uint64_t keys[8] = {7, 3, 5, 1, 8, 2, 6, 4};
+  for (size_t i = 0; i < 8; ++i) arr.Write(i, EncItem{keys[i]});
+  // A fixed 8-input bitonic network expressed directly over the encrypted
+  // array (compare-exchange = read both, ct-swap, re-encrypt both).
+  auto compare_exchange = [&arr](size_t i, size_t j, bool up) {
+    EncItem x = arr.Read(i);
+    EncItem y = arr.Read(j);
+    const uint64_t swap =
+        up ? ct::LessMask(y.key, x.key) : ct::LessMask(x.key, y.key);
+    ct::CondSwap(swap, x, y);
+    arr.Write(i, x);
+    arr.Write(j, y);
+  };
+  // Classic in-place power-of-two bitonic schedule.
+  for (size_t k = 2; k <= 8; k *= 2) {
+    for (size_t j = k / 2; j > 0; j /= 2) {
+      for (size_t i = 0; i < 8; ++i) {
+        const size_t l = i ^ j;
+        if (l > i) compare_exchange(i, l, (i & k) == 0);
+      }
+    }
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(arr.Read(i).key, i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace oblivdb

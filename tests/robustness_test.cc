@@ -1,0 +1,136 @@
+// Failure-injection and contract-enforcement tests: the library aborts
+// loudly on broken preconditions instead of silently de-obliviating.
+
+#include <gtest/gtest.h>
+
+#include "core/join.h"
+#include "memtrace/oarray.h"
+#include "memtrace/sinks.h"
+#include "obliv/bitonic_sort.h"
+#include "obliv/ct.h"
+#include "obliv/expand.h"
+#include "sgx_sim/epc_simulator.h"
+#include "table/entry.h"
+#include "workload/generators.h"
+
+namespace oblivdb {
+namespace {
+
+struct Pod {
+  uint64_t v = 0;
+};
+
+TEST(OArrayDeathTest, ReadOutOfBoundsAborts) {
+  memtrace::OArray<Pod> arr(4, "b");
+  EXPECT_DEATH((void)arr.Read(4), "OBLIVDB_CHECK");
+}
+
+TEST(OArrayDeathTest, WriteOutOfBoundsAborts) {
+  memtrace::OArray<Pod> arr(4, "b");
+  EXPECT_DEATH(arr.Write(100, Pod{}), "OBLIVDB_CHECK");
+}
+
+TEST(OArrayDeathTest, EmptyArrayAnyAccessAborts) {
+  memtrace::OArray<Pod> arr(0, "b");
+  EXPECT_DEATH((void)arr.Read(0), "OBLIVDB_CHECK");
+}
+
+struct Item {
+  uint64_t key = 0;
+  uint64_t dest = 0;
+};
+uint64_t GetRouteDest(const Item& e) { return e.dest; }
+void SetRouteDest(Item& e, uint64_t d) { e.dest = d; }
+
+TEST(ContractDeathTest, SortRangeBeyondArrayAborts) {
+  memtrace::OArray<Item> arr(4, "b");
+  struct Less {
+    uint64_t operator()(const Item& a, const Item& b) const {
+      return ct::LessMask(a.key, b.key);
+    }
+  };
+  EXPECT_DEATH(obliv::BitonicSortRange(arr, 2, 3, Less{}), "OBLIVDB_CHECK");
+}
+
+TEST(ContractDeathTest, UndersizedExpandOutputAborts) {
+  memtrace::OArray<Item> input(2, "in");
+  input.Write(0, Item{1, 0});
+  input.Write(1, Item{2, 0});
+  struct Count {
+    uint64_t operator()(const Item&) const { return 5; }
+  };
+  const uint64_t m = obliv::AssignExpandDestinations(input, Count{});
+  EXPECT_EQ(m, 10u);
+  memtrace::OArray<Item> too_small(4, "out");
+  EXPECT_DEATH(obliv::ExpandToDestinations(input, too_small, m),
+               "OBLIVDB_CHECK");
+}
+
+TEST(ContractDeathTest, WorkloadInfeasibleOutputSizeAborts) {
+  // WithOutputSize requires target_m <= floor(n/2).
+  EXPECT_DEATH((void)workload::WithOutputSize(8, 5, 0, 1), "OBLIVDB_CHECK");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism / idempotence under repetition (no hidden global state).
+
+TEST(RobustnessTest, JoinIsPure) {
+  const auto tc = workload::PowerLaw(32, 2.0, 4);
+  const auto first = core::ObliviousJoin(tc.t1, tc.t2);
+  const auto second = core::ObliviousJoin(tc.t1, tc.t2);
+  EXPECT_EQ(first, second);
+}
+
+TEST(RobustnessTest, InterleavedTracedAndUntracedRunsAgree) {
+  const auto tc = workload::PowerLaw(24, 2.0, 5);
+  const auto plain = core::ObliviousJoin(tc.t1, tc.t2);
+  memtrace::HashTraceSink sink;
+  std::vector<JoinedRecord> traced;
+  {
+    memtrace::TraceScope scope(&sink);
+    traced = core::ObliviousJoin(tc.t1, tc.t2);
+  }
+  EXPECT_EQ(plain, traced);
+  EXPECT_EQ(core::ObliviousJoin(tc.t1, tc.t2), plain);
+}
+
+TEST(RobustnessTest, ExtremeKeyAndPayloadValues) {
+  // Max-value keys/payloads stress the branch-free comparisons (borrow /
+  // carry edge cases) through the whole pipeline.
+  const uint64_t maxv = ~uint64_t{0};
+  Table t1("a"), t2("b");
+  t1.Add(maxv, maxv, maxv);
+  t1.Add(maxv, maxv - 1, 0);
+  t1.Add(0, 0, 0);
+  t2.Add(maxv, maxv, 1);
+  t2.Add(0, maxv, maxv);
+  t2.Add(maxv - 1, 3, 3);
+  const auto rows = core::ObliviousJoin(t1, t2);
+  ASSERT_EQ(rows.size(), 3u);  // two maxv pairs + one zero pair
+  EXPECT_EQ(rows[0].key, 0u);
+  EXPECT_EQ(rows[1].key, maxv);
+  EXPECT_EQ(rows[2].key, maxv);
+}
+
+TEST(RobustnessTest, EpcSimulatorLruEvictsColdestPage) {
+  sgx_sim::SgxCostModel model;
+  model.epc_bytes = 2 * 4096;  // two resident pages
+  sgx_sim::EpcSimulator sim(model);
+  memtrace::TraceScope scope(&sim);
+  struct Page {
+    uint8_t bytes[4096];
+  };
+  memtrace::OArray<Page> arr(3, "pages");
+  (void)arr.Read(0);  // fault 1
+  (void)arr.Read(1);  // fault 2
+  (void)arr.Read(0);  // hit, refreshes page 0
+  (void)arr.Read(2);  // fault 3, evicts page 1 (coldest)
+  EXPECT_EQ(sim.page_faults(), 3u);
+  (void)arr.Read(0);  // still resident -> no fault
+  EXPECT_EQ(sim.page_faults(), 3u);
+  (void)arr.Read(1);  // was evicted -> fault 4
+  EXPECT_EQ(sim.page_faults(), 4u);
+}
+
+}  // namespace
+}  // namespace oblivdb

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "memtrace/oarray.h"
+#include "memtrace/sinks.h"
+#include "obliv/routing.h"
+
+namespace oblivdb::obliv {
+namespace {
+
+struct Slot {
+  uint64_t value = 0;
+  uint64_t dest = 0;  // 1-based; 0 = null
+};
+uint64_t GetRouteDest(const Slot& s) { return s.dest; }
+void SetRouteDest(Slot& s, uint64_t d) { s.dest = d; }
+
+// --- RouteForward (distribute direction) -----------------------------------
+
+// Builds an array of size m whose prefix holds n elements with the given
+// (sorted, injective) destinations.
+memtrace::OArray<Slot> MakeForwardInput(const std::vector<uint64_t>& dests,
+                                        size_t m) {
+  memtrace::OArray<Slot> arr(m, "route");
+  for (size_t i = 0; i < dests.size(); ++i) {
+    arr.Write(i, Slot{1000 + i, dests[i]});
+  }
+  return arr;
+}
+
+void ExpectRouted(const memtrace::OArray<Slot>& arr,
+                  const std::vector<uint64_t>& dests) {
+  std::vector<bool> expected_filled(arr.size(), false);
+  for (size_t i = 0; i < dests.size(); ++i) {
+    const Slot s = arr.Read(dests[i] - 1);
+    EXPECT_EQ(s.value, 1000 + i) << "element " << i;
+    expected_filled[dests[i] - 1] = true;
+  }
+  for (size_t p = 0; p < arr.size(); ++p) {
+    if (!expected_filled[p]) {
+      EXPECT_EQ(arr.Read(p).dest, 0u) << "slot " << p << " should be null";
+    }
+  }
+}
+
+TEST(RouteForwardTest, PaperFigure3Example) {
+  // n = 5, m = 8, destinations 1, 3, 4, 6, 8 (already sorted).
+  auto arr = MakeForwardInput({1, 3, 4, 6, 8}, 8);
+  RouteForward(arr);
+  ExpectRouted(arr, {1, 3, 4, 6, 8});
+}
+
+TEST(RouteForwardTest, IdentityWhenAlreadyPlaced) {
+  auto arr = MakeForwardInput({1, 2, 3}, 3);
+  RouteForward(arr);
+  ExpectRouted(arr, {1, 2, 3});
+}
+
+TEST(RouteForwardTest, SingleElementToEnd) {
+  auto arr = MakeForwardInput({16}, 16);
+  RouteForward(arr);
+  ExpectRouted(arr, {16});
+}
+
+TEST(RouteForwardTest, EmptyAndTinyArrays) {
+  memtrace::OArray<Slot> empty(0, "route");
+  RouteForward(empty);  // no-op
+  auto one = MakeForwardInput({1}, 1);
+  RouteForward(one);
+  ExpectRouted(one, {1});
+}
+
+class RouteForwardRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RouteForwardRandomTest, RandomSubsetsRouteCorrectly) {
+  const size_t m = GetParam();
+  crypto::ChaCha20Rng rng(m * 17 + 1);
+  for (int iter = 0; iter < 20; ++iter) {
+    // Random subset of {1..m} of random size, as sorted destinations.
+    std::vector<uint64_t> dests;
+    for (uint64_t d = 1; d <= m; ++d) {
+      if (rng.Uniform(3) == 0) dests.push_back(d);
+    }
+    auto arr = MakeForwardInput(dests, m);
+    RouteForward(arr);
+    ExpectRouted(arr, dests);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RouteForwardRandomTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 16, 31, 64, 100,
+                                           257));
+
+TEST(RouteForwardTest, StatsCountMatchesSchedule) {
+  PrimitiveStats stats;
+  auto arr = MakeForwardInput({1, 4}, 8);
+  RouteForward(arr, &stats);
+  // For m = 8: hops j = 4, 2, 1 touch (m - j) pairs each: 4 + 6 + 7 = 17.
+  EXPECT_EQ(stats.route_ops, 17u);
+}
+
+TEST(RouteForwardTest, TraceDependsOnlyOnLength) {
+  auto traced = [](const std::vector<uint64_t>& dests, size_t m) {
+    memtrace::VectorTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    // Uniform setup: write every slot (element or explicit null) so the
+    // loading pass itself is oblivious too.
+    memtrace::OArray<Slot> arr(m, "route");
+    for (size_t i = 0; i < m; ++i) {
+      arr.Write(i, i < dests.size() ? Slot{1000 + i, dests[i]} : Slot{});
+    }
+    RouteForward(arr);
+    return sink;
+  };
+  const auto a = traced({1, 3, 4, 6, 8}, 8);
+  const auto b = traced({4, 5, 6, 7, 8}, 8);
+  const auto c = traced({2}, 8);
+  EXPECT_TRUE(a.SameTraceAs(b));
+  EXPECT_TRUE(a.SameTraceAs(c));
+}
+
+// --- RouteToFront (compaction direction) ------------------------------------
+
+// Elements scattered at `positions` with rank destinations 1, 2, ...
+memtrace::OArray<Slot> MakeCompactInput(const std::vector<size_t>& positions,
+                                        size_t n) {
+  memtrace::OArray<Slot> arr(n, "compact");
+  for (size_t r = 0; r < positions.size(); ++r) {
+    arr.Write(positions[r], Slot{1000 + r, r + 1});
+  }
+  return arr;
+}
+
+TEST(RouteToFrontTest, GathersScatteredElements) {
+  auto arr = MakeCompactInput({1, 4, 5, 7}, 8);
+  RouteToFront(arr);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(arr.Read(r).value, 1000 + r);
+  }
+  for (size_t p = 4; p < 8; ++p) {
+    EXPECT_EQ(arr.Read(p).dest, 0u);
+  }
+}
+
+TEST(RouteToFrontTest, RegressionDescendingHopsCollide) {
+  // Exact pattern that breaks the naive "mirror of Algorithm 3" (descending
+  // hop sizes): leftward distances 1, 2, 2, 3 make a bit-1 hop land on a
+  // still-resident element unless bit-0 hops run first.
+  auto arr = MakeCompactInput({1, 3, 4, 6}, 7);
+  RouteToFront(arr);
+  for (size_t r = 0; r < 4; ++r) {
+    ASSERT_EQ(arr.Read(r).value, 1000 + r) << r;
+  }
+  for (size_t p = 4; p < 7; ++p) {
+    EXPECT_EQ(arr.Read(p).dest, 0u);
+  }
+}
+
+TEST(RouteToFrontTest, AlreadyCompactIsIdentity) {
+  auto arr = MakeCompactInput({0, 1, 2}, 6);
+  RouteToFront(arr);
+  for (size_t r = 0; r < 3; ++r) EXPECT_EQ(arr.Read(r).value, 1000 + r);
+}
+
+TEST(RouteToFrontTest, SingleElementFromEnd) {
+  auto arr = MakeCompactInput({15}, 16);
+  RouteToFront(arr);
+  EXPECT_EQ(arr.Read(0).value, 1000u);
+}
+
+class RouteToFrontRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RouteToFrontRandomTest, RandomScattersCompactCorrectly) {
+  const size_t n = GetParam();
+  crypto::ChaCha20Rng rng(n * 13 + 5);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<size_t> positions;
+    for (size_t p = 0; p < n; ++p) {
+      if (rng.Uniform(3) == 0) positions.push_back(p);
+    }
+    auto arr = MakeCompactInput(positions, n);
+    RouteToFront(arr);
+    for (size_t r = 0; r < positions.size(); ++r) {
+      ASSERT_EQ(arr.Read(r).value, 1000 + r) << "n=" << n << " iter=" << iter;
+    }
+    for (size_t p = positions.size(); p < n; ++p) {
+      ASSERT_EQ(arr.Read(p).dest, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RouteToFrontRandomTest,
+                         ::testing::Values(2, 3, 5, 8, 13, 16, 31, 64, 100,
+                                           257));
+
+TEST(RouteToFrontTest, TraceDependsOnlyOnLength) {
+  auto traced = [](const std::vector<size_t>& positions, size_t n) {
+    memtrace::VectorTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    // Uniform setup: one write per slot regardless of occupancy.
+    memtrace::OArray<Slot> arr(n, "compact");
+    std::vector<Slot> slots(n);
+    for (size_t r = 0; r < positions.size(); ++r) {
+      slots[positions[r]] = Slot{1000 + r, r + 1};
+    }
+    for (size_t p = 0; p < n; ++p) arr.Write(p, slots[p]);
+    RouteToFront(arr);
+    return sink;
+  };
+  const auto a = traced({0, 3, 9}, 10);
+  const auto b = traced({7, 8, 9}, 10);
+  const auto c = traced({}, 10);
+  EXPECT_TRUE(a.SameTraceAs(b));
+  EXPECT_TRUE(a.SameTraceAs(c));
+}
+
+TEST(RoutingTest, ForwardAndFrontAreMirrors) {
+  // Routing k elements forward from a compact prefix, then compacting the
+  // result, restores the prefix.
+  crypto::ChaCha20Rng rng(9);
+  for (int iter = 0; iter < 30; ++iter) {
+    const size_t m = 2 + rng.Uniform(60);
+    std::vector<uint64_t> dests;
+    for (uint64_t d = 1; d <= m; ++d) {
+      if (rng.Uniform(2) == 0) dests.push_back(d);
+    }
+    auto arr = MakeForwardInput(dests, m);
+    RouteForward(arr);
+    // Reassign rank destinations and compact back.
+    uint64_t rank = 0;
+    for (size_t p = 0; p < m; ++p) {
+      Slot s = arr.Read(p);
+      if (s.dest != 0) s.dest = ++rank;
+      arr.Write(p, s);
+    }
+    RouteToFront(arr);
+    for (size_t r = 0; r < dests.size(); ++r) {
+      ASSERT_EQ(arr.Read(r).value, 1000 + r);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oblivdb::obliv

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/join.h"
+#include "memtrace/oarray.h"
+#include "sgx_sim/epc_simulator.h"
+#include "workload/generators.h"
+
+namespace oblivdb::sgx_sim {
+namespace {
+
+struct Pod {
+  uint64_t w[8];  // 64 bytes -> 64 elements per 4 KiB page
+};
+
+SgxCostModel TinyEpc(uint64_t pages) {
+  SgxCostModel model;
+  model.epc_bytes = pages * 4096;
+  model.seconds_per_fault = 1e-6;
+  return model;
+}
+
+TEST(EpcSimulatorTest, SequentialScanFaultsOncePerPage) {
+  EpcSimulator sim(TinyEpc(4));
+  memtrace::TraceScope scope(&sim);
+  memtrace::OArray<Pod> arr(256, "scan");  // 16 KiB = 4 pages
+  for (size_t i = 0; i < 256; ++i) (void)arr.Read(i);
+  EXPECT_EQ(sim.page_faults(), 4u);
+  EXPECT_EQ(sim.accesses(), 256u);
+}
+
+TEST(EpcSimulatorTest, WorkingSetWithinEpcNeverRefaults) {
+  EpcSimulator sim(TinyEpc(8));
+  memtrace::TraceScope scope(&sim);
+  memtrace::OArray<Pod> arr(256, "fits");  // 4 pages <= 8-page EPC
+  for (int round = 0; round < 10; ++round) {
+    for (size_t i = 0; i < 256; ++i) (void)arr.Read(i);
+  }
+  EXPECT_EQ(sim.page_faults(), 4u);  // cold misses only
+}
+
+TEST(EpcSimulatorTest, WorkingSetBeyondEpcThrashes) {
+  EpcSimulator sim(TinyEpc(2));
+  memtrace::TraceScope scope(&sim);
+  memtrace::OArray<Pod> arr(256, "thrash");  // 4 pages > 2-page EPC
+  for (int round = 0; round < 10; ++round) {
+    for (size_t i = 0; i < 256; ++i) (void)arr.Read(i);
+  }
+  // LRU + cyclic scan over 4 pages with capacity 2: every page re-faults
+  // every round.
+  EXPECT_EQ(sim.page_faults(), 40u);
+}
+
+TEST(EpcSimulatorTest, SeparateArraysGetSeparatePages) {
+  EpcSimulator sim(TinyEpc(64));
+  memtrace::TraceScope scope(&sim);
+  memtrace::OArray<Pod> a(1, "a");  // sub-page, rounded up to one page
+  memtrace::OArray<Pod> b(1, "b");
+  (void)a.Read(0);
+  (void)b.Read(0);
+  EXPECT_EQ(sim.page_faults(), 2u);
+  EXPECT_EQ(sim.footprint_bytes(), 2 * 4096u);
+}
+
+TEST(EpcSimulatorTest, StraddlingAccessTouchesBothPages) {
+  struct Odd {
+    uint8_t bytes[3000];
+  };
+  EpcSimulator sim(TinyEpc(64));
+  memtrace::TraceScope scope(&sim);
+  memtrace::OArray<Odd> arr(2, "straddle");
+  (void)arr.Read(1);  // bytes [3000, 6000) spans pages 0 and 1
+  EXPECT_EQ(sim.page_faults(), 2u);
+}
+
+TEST(EpcSimulatorTest, FaultPenaltyUsesModel) {
+  SgxCostModel model = TinyEpc(1);
+  model.seconds_per_fault = 0.5;
+  EpcSimulator sim(model);
+  memtrace::TraceScope scope(&sim);
+  memtrace::OArray<Pod> arr(128, "p");  // 2 pages, capacity 1
+  (void)arr.Read(0);
+  (void)arr.Read(127);
+  EXPECT_DOUBLE_EQ(sim.FaultPenaltySeconds(), 1.0);
+}
+
+TEST(SimulateSgxRunTest, JoinUnderTinyEpcReportsFaults) {
+  const auto tc = workload::Figure8Workload(64, 1);
+  SgxCostModel model = TinyEpc(2);
+  const SgxRunResult result = SimulateSgxRun(model, [&] {
+    (void)core::ObliviousJoin(tc.t1, tc.t2);
+  });
+  EXPECT_GT(result.page_faults, 0u);
+  EXPECT_GT(result.footprint_bytes, 2 * 4096u);
+  EXPECT_GT(result.sgx_seconds, result.cpu_seconds);
+  EXPECT_GT(result.transformed_seconds, result.sgx_seconds);
+}
+
+TEST(SimulateSgxRunTest, FaultCountIsInputIndependent) {
+  // Obliviousness transfers to the paging layer: same (n1, n2, m) ->
+  // identical fault counts.
+  const auto a = workload::WithOutputSize(32, 8, 0, 1);
+  const auto b = workload::WithOutputSize(32, 8, 3, 99);
+  SgxCostModel model = TinyEpc(3);
+  const auto ra = SimulateSgxRun(model, [&] {
+    (void)core::ObliviousJoin(a.t1, a.t2);
+  });
+  const auto rb = SimulateSgxRun(model, [&] {
+    (void)core::ObliviousJoin(b.t1, b.t2);
+  });
+  EXPECT_EQ(ra.page_faults, rb.page_faults);
+  EXPECT_EQ(ra.footprint_bytes, rb.footprint_bytes);
+}
+
+TEST(EpcSimulatorTest, DefaultModelMatchesPaper) {
+  SgxCostModel model;
+  EXPECT_EQ(model.epc_bytes, 93ull << 20);
+  EXPECT_NEAR(model.transform_factor, 1.111, 0.01);
+}
+
+}  // namespace
+}  // namespace oblivdb::sgx_sim

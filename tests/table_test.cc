@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "obliv/ct.h"
+#include "table/entry.h"
+#include "table/record.h"
+#include "table/table.h"
+
+namespace oblivdb {
+namespace {
+
+TEST(RecordTest, OrderingIsLexicographic) {
+  const Record a{1, {5, 0}};
+  const Record b{1, {6, 0}};
+  const Record c{2, {0, 0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Record{1, {5, 0}}));
+}
+
+TEST(JoinedRecordTest, OrderingIsLexicographic) {
+  const JoinedRecord a{1, {5, 0}, {1, 0}};
+  const JoinedRecord b{1, {5, 0}, {2, 0}};
+  const JoinedRecord c{1, {6, 0}, {0, 0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(EntryTest, MakeEntryRoundTrip) {
+  const Record r{42, {7, 9}};
+  const Entry e = MakeEntry(r, 2);
+  EXPECT_EQ(e.join_key, 42u);
+  EXPECT_EQ(e.payload0, 7u);
+  EXPECT_EQ(e.payload1, 9u);
+  EXPECT_EQ(e.tid, 2u);
+  EXPECT_EQ(e.dest, 0u);
+  EXPECT_EQ(EntryToRecord(e), r);
+}
+
+TEST(EntryTest, RoutingTraitReadsAndWritesDest) {
+  Entry e;
+  EXPECT_EQ(GetRouteDest(e), 0u);
+  SetRouteDest(e, 17);
+  EXPECT_EQ(GetRouteDest(e), 17u);
+  EXPECT_EQ(e.dest, 17u);
+}
+
+TEST(EntryTest, IsWordAlignedForCondSwap) {
+  static_assert(sizeof(Entry) % 8 == 0);
+  static_assert(sizeof(JoinedEntry) % 8 == 0);
+  Entry a = MakeEntry(Record{1, {2, 3}}, 1);
+  Entry b = MakeEntry(Record{9, {8, 7}}, 2);
+  ct::CondSwap(~uint64_t{0}, a, b);
+  EXPECT_EQ(a.join_key, 9u);
+  EXPECT_EQ(b.join_key, 1u);
+}
+
+TEST(JoinedEntryTest, ToJoinedRecord) {
+  const JoinedEntry e{5, 1, 2, 3, 4, 0};
+  const JoinedRecord r = ToJoinedRecord(e);
+  EXPECT_EQ(r.key, 5u);
+  EXPECT_EQ(r.payload1, (std::array<uint64_t, 2>{1, 2}));
+  EXPECT_EQ(r.payload2, (std::array<uint64_t, 2>{3, 4}));
+}
+
+TEST(TableTest, InitializerListConstructor) {
+  const Table t("T", {{1, 10}, {1, 11}, {2, 20}});
+  EXPECT_EQ(t.name(), "T");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.rows()[0].key, 1u);
+  EXPECT_EQ(t.rows()[0].payload[0], 10u);
+  EXPECT_EQ(t.rows()[2].key, 2u);
+}
+
+TEST(TableTest, AddAndEmpty) {
+  Table t("T");
+  EXPECT_TRUE(t.empty());
+  t.Add(3, 30);
+  t.Add(Record{4, {40, 41}});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.rows()[1].payload[1], 41u);
+}
+
+TEST(TableTest, HasUniqueKeys) {
+  Table unique("u", {{1, 0}, {2, 0}, {3, 0}});
+  EXPECT_TRUE(unique.HasUniqueKeys());
+  Table dup("d", {{1, 0}, {2, 0}, {1, 5}});
+  EXPECT_FALSE(dup.HasUniqueKeys());
+  Table empty("e");
+  EXPECT_TRUE(empty.HasUniqueKeys());
+}
+
+}  // namespace
+}  // namespace oblivdb

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baselines/sort_merge.h"
+#include "workload/generators.h"
+
+namespace oblivdb::workload {
+namespace {
+
+TEST(GeneratorsTest, FromGroupSpecShapesAndSize) {
+  const auto tc = FromGroupSpec("t", {{2, 3}, {1, 0}, {0, 2}}, 1);
+  EXPECT_EQ(tc.t1.size(), 3u);
+  EXPECT_EQ(tc.t2.size(), 5u);
+  EXPECT_EQ(tc.expected_m, 6u);
+  EXPECT_EQ(baselines::SortMergeJoinSize(tc.t1, tc.t2), 6u);
+}
+
+TEST(GeneratorsTest, FromGroupSpecDeterministicPerSeed) {
+  const auto a = FromGroupSpec("t", {{2, 2}, {1, 1}}, 7);
+  const auto b = FromGroupSpec("t", {{2, 2}, {1, 1}}, 7);
+  const auto c = FromGroupSpec("t", {{2, 2}, {1, 1}}, 8);
+  EXPECT_EQ(a.t1.rows(), b.t1.rows());
+  EXPECT_EQ(a.t2.rows(), b.t2.rows());
+  EXPECT_NE(a.t1.rows(), c.t1.rows());
+}
+
+TEST(GeneratorsTest, OneToOne) {
+  const auto tc = OneToOne(20, 2);
+  EXPECT_EQ(tc.t1.size() + tc.t2.size(), 20u);
+  EXPECT_EQ(tc.expected_m, 10u);
+  EXPECT_EQ(baselines::SortMergeJoinSize(tc.t1, tc.t2), 10u);
+  EXPECT_TRUE(tc.t1.HasUniqueKeys());
+  EXPECT_TRUE(tc.t2.HasUniqueKeys());
+}
+
+TEST(GeneratorsTest, OneToOneOddN) {
+  const auto tc = OneToOne(21, 2);
+  EXPECT_EQ(tc.t1.size() + tc.t2.size(), 21u);
+  EXPECT_EQ(tc.expected_m, 10u);
+}
+
+TEST(GeneratorsTest, SingleGroup) {
+  const auto tc = SingleGroup(4, 6, 3);
+  EXPECT_EQ(tc.t1.size(), 4u);
+  EXPECT_EQ(tc.t2.size(), 6u);
+  EXPECT_EQ(tc.expected_m, 24u);
+  std::set<uint64_t> keys;
+  for (const auto& r : tc.t1.rows()) keys.insert(r.key);
+  for (const auto& r : tc.t2.rows()) keys.insert(r.key);
+  EXPECT_EQ(keys.size(), 1u);
+}
+
+TEST(GeneratorsTest, PowerLawUsesExactlyNRows) {
+  for (double alpha : {1.5, 2.0, 3.0}) {
+    for (uint64_t n : {10u, 50u, 200u}) {
+      const auto tc = PowerLaw(n, alpha, 11);
+      EXPECT_EQ(tc.t1.size() + tc.t2.size(), n) << alpha << " " << n;
+      EXPECT_EQ(baselines::SortMergeJoinSize(tc.t1, tc.t2), tc.expected_m);
+    }
+  }
+}
+
+TEST(GeneratorsTest, PowerLawProducesSkew) {
+  // With alpha = 1.5 on a decent n, some group should exceed size 3.
+  const auto tc = PowerLaw(400, 1.5, 13);
+  std::map<uint64_t, uint64_t> group_sizes;
+  for (const auto& r : tc.t1.rows()) ++group_sizes[r.key];
+  uint64_t max_size = 0;
+  for (const auto& [k, s] : group_sizes) max_size = std::max(max_size, s);
+  EXPECT_GT(max_size, 3u);
+}
+
+TEST(GeneratorsTest, PrimaryForeign) {
+  const auto tc = PrimaryForeign(8, 30, 4);
+  EXPECT_EQ(tc.t1.size(), 8u);
+  EXPECT_EQ(tc.t2.size(), 30u);
+  EXPECT_TRUE(tc.t1.HasUniqueKeys());
+  EXPECT_EQ(tc.expected_m, 30u);
+  EXPECT_EQ(baselines::SortMergeJoinSize(tc.t1, tc.t2), 30u);
+}
+
+TEST(GeneratorsTest, WithOutputSizeHitsTargets) {
+  for (uint64_t v = 0; v < 5; ++v) {
+    const auto tc = WithOutputSize(40, 10, v, v + 1);
+    EXPECT_EQ(tc.t1.size(), 20u) << v;
+    EXPECT_EQ(tc.t2.size(), 20u) << v;
+    EXPECT_EQ(tc.expected_m, 10u) << v;
+    EXPECT_EQ(baselines::SortMergeJoinSize(tc.t1, tc.t2), 10u) << v;
+  }
+}
+
+TEST(GeneratorsTest, WithOutputSizeVariantsDiffer) {
+  const auto a = WithOutputSize(40, 10, 0, 1);
+  const auto b = WithOutputSize(40, 10, 4, 1);
+  // Same shape parameters, different group structure.
+  EXPECT_NE(a.t1.rows(), b.t1.rows());
+}
+
+TEST(GeneratorsTest, WithOutputSizeZeroM) {
+  const auto tc = WithOutputSize(16, 0, 0, 5);
+  EXPECT_EQ(tc.expected_m, 0u);
+  EXPECT_EQ(baselines::SortMergeJoinSize(tc.t1, tc.t2), 0u);
+}
+
+TEST(GeneratorsTest, SuiteHasTwentyDiverseCases) {
+  const auto suite = GenerateTestSuite(64, 1);
+  EXPECT_EQ(suite.size(), 20u);
+  std::set<std::string> names;
+  for (const auto& tc : suite) {
+    names.insert(tc.name);
+    EXPECT_EQ(baselines::SortMergeJoinSize(tc.t1, tc.t2), tc.expected_m)
+        << tc.name;
+  }
+  EXPECT_EQ(names.size(), suite.size()) << "names should be distinct";
+}
+
+TEST(GeneratorsTest, Figure8WorkloadShape) {
+  const auto tc = Figure8Workload(256, 3);
+  EXPECT_EQ(tc.t1.size() + tc.t2.size(), 256u);
+  // m ~= n/2 (within 15%).
+  EXPECT_GT(tc.expected_m, 256 / 2 * 0.85);
+  EXPECT_LT(double(tc.expected_m), 256 / 2 * 1.3);
+  EXPECT_EQ(baselines::SortMergeJoinSize(tc.t1, tc.t2), tc.expected_m);
+}
+
+TEST(GeneratorsTest, PayloadsAreDistinct) {
+  const auto tc = OneToOne(50, 9);
+  std::set<uint64_t> payloads;
+  for (const auto& r : tc.t1.rows()) payloads.insert(r.payload[0]);
+  for (const auto& r : tc.t2.rows()) payloads.insert(r.payload[0]);
+  EXPECT_EQ(payloads.size(), 50u);
+}
+
+}  // namespace
+}  // namespace oblivdb::workload

@@ -1,0 +1,92 @@
+// Sort-kernel perf trajectory: ns/element for the reference network, the
+// cache-blocked kernel, and the pool-parallel kernel, at the sizes and
+// thread counts bench/run_benches.sh records in BENCH_sort.json.
+//
+//   build/bench_sort_kernel            # JSON to stdout
+//
+// Elements are 16-byte (key, tag) records sorted by key — the shape of the
+// primitive microbenchmarks; see bench_figure8_runtime for full-join
+// numbers on 72-byte entries.
+
+#include <cstdint>
+#include <cstdio>
+
+#include "common/timer.h"
+#include "crypto/chacha20.h"
+#include "memtrace/oarray.h"
+#include "obliv/bitonic_sort.h"
+#include "obliv/ct.h"
+#include "obliv/parallel_sort.h"
+#include "obliv/sort_kernel.h"
+
+namespace {
+
+using namespace oblivdb;
+
+struct Item {
+  uint64_t key = 0;
+  uint64_t tag = 0;
+};
+
+struct ItemKeyLess {
+  uint64_t operator()(const Item& a, const Item& b) const {
+    return ct::LessMask(a.key, b.key);
+  }
+};
+
+memtrace::OArray<Item> MakeInput(size_t n) {
+  memtrace::OArray<Item> arr(n, "bench");
+  crypto::ChaCha20Rng rng(n);
+  for (size_t i = 0; i < n; ++i) arr.Write(i, Item{rng(), i});
+  return arr;
+}
+
+double NsPerElement(double seconds, size_t n) {
+  return seconds * 1e9 / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main() {
+  const size_t sizes[] = {size_t{1} << 14, size_t{1} << 18, size_t{1} << 20};
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bitonic_sort\",\n");
+  std::printf("  \"element_bytes\": %zu,\n", sizeof(Item));
+  std::printf("  \"results\": [\n");
+
+  bool first = true;
+  auto emit = [&](const char* policy, unsigned threads, size_t n,
+                  double seconds) {
+    std::printf("%s    {\"policy\": \"%s\", \"threads\": %u, \"n\": %zu, "
+                "\"seconds\": %.6f, \"ns_per_element\": %.2f}",
+                first ? "" : ",\n", policy, threads, n, seconds,
+                NsPerElement(seconds, n));
+    first = false;
+  };
+
+  for (const size_t n : sizes) {
+    Timer timer;
+    {
+      memtrace::OArray<Item> arr = MakeInput(n);
+      timer.Start();
+      obliv::BitonicSort(arr, ItemKeyLess{});
+      emit("reference", 1, n, timer.ElapsedSeconds());
+    }
+    {
+      memtrace::OArray<Item> arr = MakeInput(n);
+      timer.Start();
+      obliv::BitonicSortBlocked(arr, ItemKeyLess{});
+      emit("blocked", 1, n, timer.ElapsedSeconds());
+    }
+    for (const unsigned threads : {1u, 8u}) {
+      memtrace::OArray<Item> arr = MakeInput(n);
+      timer.Start();
+      obliv::BitonicSortParallel(arr, ItemKeyLess{}, threads);
+      emit("blocked_parallel", threads, n, timer.ElapsedSeconds());
+    }
+  }
+
+  std::printf("\n  ]\n}\n");
+  return 0;
+}

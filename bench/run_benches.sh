@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the sort-kernel benchmark and records the perf trajectory in
+# BENCH_sort.json so future PRs have numbers to regress against.
+#
+#   bench/run_benches.sh [output.json]
+#
+# Environment:
+#   BUILD_DIR  cmake build directory (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+out="${1:-$repo_root/BENCH_sort.json}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target bench_sort_kernel -j >/dev/null
+
+"$build_dir/bench_sort_kernel" >"$out"
+echo "wrote $out"

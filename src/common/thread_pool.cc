@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace oblivdb {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  workers = std::max(1u, workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  activity_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  activity_cv_.notify_all();
+}
+
+bool ThreadPool::RunOneTask() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  activity_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::WaitForActivity() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // The bounded wait covers the race where a task completes between the
+  // caller's pending check and this wait; 1 ms caps the staleness.
+  activity_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                        [this] { return stopping_ || !queue_.empty(); });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    activity_cv_.notify_all();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void TaskGroup::Run(ThreadPool::Task task) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  pool_.Submit([this, task = std::move(task)] {
+    task();
+    pending_.fetch_sub(1, std::memory_order_release);
+  });
+}
+
+void TaskGroup::Wait() {
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (!pool_.RunOneTask()) pool_.WaitForActivity();
+  }
+}
+
+}  // namespace oblivdb

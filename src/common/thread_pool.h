@@ -1,0 +1,94 @@
+// Persistent fixed-size worker pool with a single shared FIFO queue.
+//
+// The parallel sorting networks fork coarse slabs of comparator passes, so
+// a plain mutex-protected queue is contention-free in practice — no work
+// stealing needed.  The pool is created once (Global()) and reused by every
+// sort in every join, replacing the thread-per-task cost of std::async.
+//
+// Fork-join discipline: tasks are grouped in a TaskGroup; Wait() *helps* by
+// running queued tasks on the waiting thread until the group drains.
+// Helping makes nested parallel regions deadlock-free even when every
+// worker is itself blocked in a Wait: some thread always finds runnable
+// work, so the task DAG keeps making progress.
+//
+// Tasks must not throw (the library reports contract violations via
+// OBLIVDB_CHECK / abort, not exceptions).
+
+#ifndef OBLIVDB_COMMON_THREAD_POOL_H_
+#define OBLIVDB_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oblivdb {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  // Spawns `workers` threads (at least one).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Enqueues a task for any worker (or a helping waiter) to run.
+  void Submit(Task task);
+
+  // Runs one queued task on the calling thread; returns false if the queue
+  // was empty.  This is the helping primitive TaskGroup::Wait builds on.
+  bool RunOneTask();
+
+  // Blocks (bounded) until new work is queued or some task completes, so a
+  // waiter with nothing to help with does not spin at full CPU.
+  void WaitForActivity();
+
+  // Process-wide pool, created on first use with hardware_concurrency()
+  // workers and reused across all parallel sorts.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;            // workers: work available / stop
+  std::condition_variable activity_cv_;   // waiters: queue grew or task done
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Fork-join scope.  Run() enqueues a task counted against this group;
+// Wait() blocks until every task Run through the group has finished,
+// executing queued work (from any group — helping is global) meanwhile.
+// The destructor waits, so a TaskGroup can never outlive its tasks.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Run(ThreadPool::Task task);
+  void Wait();
+
+ private:
+  ThreadPool& pool_;
+  std::atomic<uint64_t> pending_{0};
+};
+
+}  // namespace oblivdb
+
+#endif  // OBLIVDB_COMMON_THREAD_POOL_H_

@@ -7,7 +7,7 @@
 namespace oblivdb::core {
 
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
-                uint64_t* sort_comparisons) {
+                uint64_t* sort_comparisons, obliv::SortPolicy sort_policy) {
   OBLIVDB_CHECK_LE(m, s2.size());
 
   // Linear pass: q counts the entry's 0-based position within its group
@@ -31,8 +31,8 @@ void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
     s2.Write(i, e);
   }
 
-  obliv::BitonicSortRange(s2, 0, m, ByJoinKeyThenAlignIndexLess{},
-                          sort_comparisons);
+  obliv::SortRange(s2, 0, m, ByJoinKeyThenAlignIndexLess{}, sort_policy,
+                   sort_comparisons);
 }
 
 }  // namespace oblivdb::core

@@ -22,14 +22,17 @@
 #include <cstdint>
 
 #include "memtrace/oarray.h"
+#include "obliv/sort_kernel.h"
 #include "table/entry.h"
 
 namespace oblivdb::core {
 
 // Reorders s2[0, m) in place.  `sort_comparisons`, when non-null,
-// accumulates the alignment sort's compare-exchange count.
+// accumulates the alignment sort's compare-exchange count.  `sort_policy`
+// selects the (schedule-identical) sort implementation.
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
-                uint64_t* sort_comparisons = nullptr);
+                uint64_t* sort_comparisons = nullptr,
+                obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
 
 }  // namespace oblivdb::core
 

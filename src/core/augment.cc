@@ -1,8 +1,10 @@
 #include "core/augment.h"
 
+#include <algorithm>
+
 #include "core/comparators.h"
-#include "obliv/bitonic_sort.h"
 #include "obliv/ct.h"
+#include "obliv/sort_kernel.h"
 
 namespace oblivdb::core {
 
@@ -55,30 +57,52 @@ uint64_t FillDimensions(memtrace::OArray<Entry>& tc) {
   return output_size;
 }
 
+namespace {
+
+// Staging chunk for span-batched bulk writes (one sink test per chunk
+// instead of per element; the emitted per-element events are unchanged).
+constexpr size_t kSpanChunk = 256;
+
+}  // namespace
+
 AugmentResult AugmentTables(const Table& table1, const Table& table2,
-                            uint64_t* sort_comparisons) {
+                            uint64_t* sort_comparisons,
+                            obliv::SortPolicy sort_policy) {
   const size_t n1 = table1.size();
   const size_t n2 = table2.size();
   const size_t n = n1 + n2;
 
-  // TC <- (T1 x {tid=1}) u (T2 x {tid=2})
+  // TC <- (T1 x {tid=1}) u (T2 x {tid=2}), staged span-wise: the event
+  // sequence is the same <W, TC, 0..n-1> an element-wise loop emits.
   memtrace::OArray<Entry> tc(n, "TC");
-  for (size_t i = 0; i < n1; ++i) {
-    tc.Write(i, MakeEntry(table1.rows()[i], /*tid=*/1));
+  Entry staged[kSpanChunk];
+  for (size_t i = 0; i < n1;) {
+    const size_t c = std::min(kSpanChunk, n1 - i);
+    for (size_t k = 0; k < c; ++k) {
+      staged[k] = MakeEntry(table1.rows()[i + k], /*tid=*/1);
+    }
+    tc.WriteSpan(i, c, staged);
+    i += c;
   }
-  for (size_t i = 0; i < n2; ++i) {
-    tc.Write(n1 + i, MakeEntry(table2.rows()[i], /*tid=*/2));
+  for (size_t i = 0; i < n2;) {
+    const size_t c = std::min(kSpanChunk, n2 - i);
+    for (size_t k = 0; k < c; ++k) {
+      staged[k] = MakeEntry(table2.rows()[i + k], /*tid=*/2);
+    }
+    tc.WriteSpan(n1 + i, c, staged);
+    i += c;
   }
 
-  obliv::BitonicSort(tc, ByJoinKeyThenTidLess{}, sort_comparisons);
+  obliv::Sort(tc, ByJoinKeyThenTidLess{}, sort_policy, sort_comparisons);
   const uint64_t output_size = FillDimensions(tc);
-  obliv::BitonicSort(tc, ByTidThenJoinKeyThenDataLess{}, sort_comparisons);
+  obliv::Sort(tc, ByTidThenJoinKeyThenDataLess{}, sort_policy,
+              sort_comparisons);
 
   // TC[0, n1) is now the augmented T1 and TC[n1, n) the augmented T2.
   AugmentResult result{memtrace::OArray<Entry>(n1, "T1aug"),
                        memtrace::OArray<Entry>(n2, "T2aug"), output_size};
-  for (size_t i = 0; i < n1; ++i) result.t1.Write(i, tc.Read(i));
-  for (size_t i = 0; i < n2; ++i) result.t2.Write(i, tc.Read(n1 + i));
+  memtrace::CopySpan(tc, 0, result.t1, 0, n1);
+  memtrace::CopySpan(tc, n1, result.t2, 0, n2);
   return result;
 }
 

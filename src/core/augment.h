@@ -13,6 +13,7 @@
 
 #include "memtrace/oarray.h"
 #include "obliv/routing.h"
+#include "obliv/sort_kernel.h"
 #include "table/entry.h"
 #include "table/table.h"
 
@@ -26,8 +27,12 @@ struct AugmentResult {
 
 // Runs Algorithm 2 on the two input tables.  `sort_comparisons`, when
 // non-null, accumulates the compare-exchange count of both bitonic sorts.
-AugmentResult AugmentTables(const Table& table1, const Table& table2,
-                            uint64_t* sort_comparisons = nullptr);
+// `sort_policy` selects the sort implementation; both policies execute the
+// identical comparator schedule (see obliv/sort_kernel.h).
+AugmentResult AugmentTables(
+    const Table& table1, const Table& table2,
+    uint64_t* sort_comparisons = nullptr,
+    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
 
 // Fill-Dimensions: the forward/backward pass pair of Figure 2.  Expects tc
 // sorted by (j, tid); on return every entry carries its group's final

@@ -28,12 +28,13 @@ template <typename CountFn>
 memtrace::OArray<Entry> ExpandTable(memtrace::OArray<Entry>& source,
                                     uint64_t expected_m, const char* name,
                                     const CountFn& g,
-                                    obliv::PrimitiveStats* stats) {
+                                    obliv::PrimitiveStats* stats,
+                                    obliv::SortPolicy sort_policy) {
   const uint64_t m = obliv::AssignExpandDestinations(source, g);
   OBLIVDB_CHECK_EQ(m, expected_m);
   memtrace::OArray<Entry> expanded(
       std::max<uint64_t>(source.size(), m), name);
-  obliv::ExpandToDestinations(source, expanded, m, stats);
+  obliv::ExpandToDestinations(source, expanded, m, stats, sort_policy);
   return expanded;
 }
 
@@ -52,8 +53,8 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   Timer phase_timer;
 
   // (1) Group dimensions (Algorithm 2).
-  AugmentResult augmented =
-      AugmentTables(table1, table2, &stats->augment_sort_comparisons);
+  AugmentResult augmented = AugmentTables(
+      table1, table2, &stats->augment_sort_comparisons, options.sort_policy);
   const uint64_t m = augmented.output_size;
   stats->m = m;
   stats->augment_seconds = phase_timer.ElapsedSeconds();
@@ -61,27 +62,38 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   // (2)+(3) Oblivious expansion of both tables (Algorithms 3 and 4).
   phase_timer.Start();
   obliv::PrimitiveStats expand_stats;
-  memtrace::OArray<Entry> s1 =
-      ExpandTable(augmented.t1, m, "S1", CountAlpha2{}, &expand_stats);
-  memtrace::OArray<Entry> s2 =
-      ExpandTable(augmented.t2, m, "S2", CountAlpha1{}, &expand_stats);
+  memtrace::OArray<Entry> s1 = ExpandTable(
+      augmented.t1, m, "S1", CountAlpha2{}, &expand_stats, options.sort_policy);
+  memtrace::OArray<Entry> s2 = ExpandTable(
+      augmented.t2, m, "S2", CountAlpha1{}, &expand_stats, options.sort_policy);
   stats->expand_sort_comparisons = expand_stats.sort_comparisons;
   stats->expand_route_ops = expand_stats.route_ops;
   stats->expand_seconds = phase_timer.ElapsedSeconds();
 
   // (4) Align S2 with S1 (Algorithm 5).
   phase_timer.Start();
-  AlignTable(s2, m, &stats->align_sort_comparisons);
+  AlignTable(s2, m, &stats->align_sort_comparisons, options.sort_policy);
   stats->align_seconds = phase_timer.ElapsedSeconds();
 
-  // (5) Zip the aligned rows into the output (Algorithm 1, lines 6-9).
+  // (5) Zip the aligned rows into the output (Algorithm 1, lines 6-9),
+  // span-batched: reads of S1/S2 and writes of TD stay per-element events.
   phase_timer.Start();
   memtrace::OArray<JoinedEntry> output(m, "TD");
-  for (uint64_t i = 0; i < m; ++i) {
-    const Entry left = s1.Read(i);
-    const Entry right = s2.Read(i);
-    output.Write(i, JoinedEntry{left.join_key, left.payload0, left.payload1,
-                                right.payload0, right.payload1, 0});
+  constexpr uint64_t kChunk = 256;
+  Entry left[kChunk];
+  Entry right[kChunk];
+  JoinedEntry zipped[kChunk];
+  for (uint64_t i = 0; i < m;) {
+    const uint64_t c = std::min(kChunk, m - i);
+    s1.ReadSpan(i, c, left);
+    s2.ReadSpan(i, c, right);
+    for (uint64_t k = 0; k < c; ++k) {
+      zipped[k] = JoinedEntry{left[k].join_key, left[k].payload0,
+                              left[k].payload1, right[k].payload0,
+                              right[k].payload1, 0};
+    }
+    output.WriteSpan(i, c, zipped);
+    i += c;
   }
 
   // Crossing the trust boundary: the output (of public length m) is handed

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/stats.h"
+#include "obliv/sort_kernel.h"
 #include "table/record.h"
 #include "table/table.h"
 
@@ -22,6 +23,13 @@ namespace oblivdb::core {
 struct JoinOptions {
   // When non-null, receives per-phase counters and timings (Table 3).
   JoinStats* stats = nullptr;
+
+  // Sort implementation for every bitonic sort in the pipeline
+  // (Augment-Tables, both expansions, Align-Table).  The policies execute
+  // the identical comparator schedule — same output, same comparison
+  // counts, same access trace — so this is purely a speed knob;
+  // kBlocked is the cache-resident kernel of obliv/sort_kernel.h.
+  obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked;
 };
 
 // The full oblivious equi-join.  Reveals (and returns rows of) the output

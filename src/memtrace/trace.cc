@@ -3,9 +3,10 @@
 namespace oblivdb::memtrace {
 namespace {
 
-// The library is single-threaded (the paper's prototype is sequential); a
-// plain global keeps the access fast path cheap.
-TraceSink* g_sink = nullptr;
+// Tracing is a sequential-mode activity (parallel sorts require the sink to
+// be off); a plain global id counter keeps registration cheap.  The sink
+// pointer itself lives in trace.h as an inline variable so the per-access
+// test inlines everywhere.
 uint32_t g_next_array_id = 0;
 
 }  // namespace
@@ -13,11 +14,9 @@ uint32_t g_next_array_id = 0;
 void TraceSink::OnAlloc(uint32_t /*array_id*/, const std::string& /*name*/,
                         size_t /*length*/, size_t /*elem_size*/) {}
 
-TraceSink* GetTraceSink() { return g_sink; }
-
 TraceSink* SetTraceSink(TraceSink* sink) {
-  TraceSink* previous = g_sink;
-  g_sink = sink;
+  TraceSink* previous = internal::g_trace_sink;
+  internal::g_trace_sink = sink;
   g_next_array_id = 0;
   return previous;
 }
@@ -25,7 +24,9 @@ TraceSink* SetTraceSink(TraceSink* sink) {
 uint32_t RegisterArray(const std::string& name, size_t length,
                        size_t elem_size) {
   const uint32_t id = g_next_array_id++;
-  if (g_sink != nullptr) g_sink->OnAlloc(id, name, length, elem_size);
+  if (internal::g_trace_sink != nullptr) {
+    internal::g_trace_sink->OnAlloc(id, name, length, elem_size);
+  }
   return id;
 }
 

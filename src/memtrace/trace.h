@@ -47,8 +47,17 @@ class TraceSink {
   virtual void OnAccess(const AccessEvent& event) = 0;
 };
 
+namespace internal {
+// Storage for the installed sink.  Defined inline in the header so the
+// per-access sink test in OArray::Read/Write compiles down to a single
+// load-and-branch at every call site (no cross-TU function call); when no
+// sink is installed the access is a raw vector access.  Mutated only
+// through SetTraceSink below.
+inline TraceSink* g_trace_sink = nullptr;
+}  // namespace internal
+
 // Currently-installed sink, or nullptr when tracing is off.
-TraceSink* GetTraceSink();
+inline TraceSink* GetTraceSink() { return internal::g_trace_sink; }
 
 // Installs `sink` (may be nullptr) and resets the array-id counter so that
 // traces from consecutive sessions are comparable.  Returns the previous

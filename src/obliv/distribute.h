@@ -24,6 +24,7 @@
 #include "memtrace/oarray.h"
 #include "obliv/bitonic_sort.h"
 #include "obliv/routing.h"
+#include "obliv/sort_kernel.h"
 
 namespace oblivdb::obliv {
 
@@ -34,11 +35,12 @@ namespace oblivdb::obliv {
 // On exit: each non-null element x sits at index GetRouteDest(x) - 1.
 template <Routable T>
 void ObliviousDistribute(memtrace::OArray<T>& a, size_t n,
-                         PrimitiveStats* stats = nullptr) {
+                         PrimitiveStats* stats = nullptr,
+                         SortPolicy sort_policy = SortPolicy::kBlocked) {
   OBLIVDB_CHECK_LE(n, a.size());
   uint64_t* comparisons = stats != nullptr ? &stats->sort_comparisons : nullptr;
   // Sort only the occupied prefix (O(n log^2 n)); the tail is already null.
-  BitonicSortRange(a, 0, n, NullsLastByDestLess{}, comparisons);
+  SortRange(a, 0, n, NullsLastByDestLess{}, sort_policy, comparisons);
   RouteForward(a, stats);
 }
 

@@ -13,6 +13,7 @@
 #ifndef OBLIVDB_OBLIV_EXPAND_H_
 #define OBLIVDB_OBLIV_EXPAND_H_
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
 
@@ -55,14 +56,16 @@ uint64_t AssignExpandDestinations(memtrace::OArray<T>& x, const CountFn& g) {
 // (zero-initialized entries have dest 0, so a fresh OArray qualifies).
 template <Routable T>
 void ExpandToDestinations(const memtrace::OArray<T>& x, memtrace::OArray<T>& out,
-                          uint64_t m, PrimitiveStats* stats = nullptr) {
+                          uint64_t m, PrimitiveStats* stats = nullptr,
+                          SortPolicy sort_policy = SortPolicy::kBlocked) {
   const size_t n = x.size();
   OBLIVDB_CHECK_GE(out.size(), std::max<uint64_t>(n, m));
 
-  // Move the inputs into the working array's prefix.
-  for (size_t i = 0; i < n; ++i) out.Write(i, x.Read(i));
+  // Move the inputs into the working array's prefix, span-batched (same
+  // per-element events as an access loop, one sink test per chunk).
+  memtrace::CopySpan(x, 0, out, 0, n);
 
-  ObliviousDistribute(out, n, stats);
+  ObliviousDistribute(out, n, stats, sort_policy);
 
   // Fill-down: each slot that still holds a null inherits the most recent
   // real element.  The blend touches every slot identically.

@@ -4,85 +4,115 @@
 //
 // The recursive structure parallelizes directly: the two half-sorts of
 // BitonicSort are independent, as are the two sub-merges of BitonicMerge
-// after its cross-half compare-exchange pass.  Tasks are spawned down to a
-// size cutoff, giving ~2^depth-way parallelism with the same comparator
-// schedule — and therefore the same *set* of public accesses — as the
-// sequential network (the interleaving across threads varies, which is why
-// parallel runs require the trace sink to be disabled: trace-based
+// after its cross-half compare-exchange pass (whose (i, i+m) pairs are
+// pairwise disjoint, so the pass itself splits into independent chunks).
+// Tasks run on the persistent process-wide ThreadPool — no thread is
+// spawned per task — and leaves execute through the cache-blocked raw
+// kernel of sort_kernel.h.  The comparator schedule, and therefore the
+// *set* of public accesses, is identical to the sequential network; only
+// the interleaving across threads varies, which is why parallel runs
+// require the trace sink to be disabled (checked below): trace-based
 // verification is a sequential-mode activity, matching the paper's
-// sequential prototype).
+// sequential prototype.
 
 #ifndef OBLIVDB_OBLIV_PARALLEL_SORT_H_
 #define OBLIVDB_OBLIV_PARALLEL_SORT_H_
 
-#include <future>
+#include <algorithm>
 
+#include "common/thread_pool.h"
 #include "memtrace/oarray.h"
 #include "obliv/bitonic_sort.h"
+#include "obliv/sort_kernel.h"
 
 namespace oblivdb::obliv {
 
 namespace internal {
 
+// Below this size a subproblem runs sequentially on the owning thread.
 constexpr size_t kParallelCutoff = 1 << 12;
+
+// Chunk granularity for splitting a cross-half compare-exchange pass.
+constexpr size_t kCrossPassChunk = 1 << 14;
 
 template <typename T, typename Less>
   requires CtLess<Less, T>
-void ParallelBitonicMerge(memtrace::OArray<T>& a, size_t lo, size_t n,
+void ParallelBitonicMerge(ThreadPool& pool, T* d, size_t lo, size_t n,
                           bool up, const Less& less, int depth) {
   if (n <= 1) return;
   if (depth <= 0 || n < kParallelCutoff) {
-    BitonicMerge(a, lo, n, up, less, nullptr);
+    RawBitonicMerge<false>(d, lo, n, up, less, nullptr, nullptr);
     return;
   }
   const size_t m = GreatestPow2LessThan(n);
-  // The cross-half pass touches (i, i+m) pairs; it must finish before the
-  // halves merge independently.
-  for (size_t i = lo; i < lo + n - m; ++i) {
-    CompareExchange(a, i, i + m, up, less, nullptr);
+  // The cross-half pass touches pairwise-disjoint (i, i+m) pairs; chunks
+  // are independent, but the whole pass must finish before the halves
+  // merge independently.
+  const size_t span = n - m;
+  if (span >= 2 * kCrossPassChunk) {
+    TaskGroup group(pool);
+    for (size_t start = 0; start < span; start += kCrossPassChunk) {
+      const size_t len = std::min(kCrossPassChunk, span - start);
+      group.Run([d, lo, start, len, m, up, &less] {
+        for (size_t i = lo + start; i < lo + start + len; ++i) {
+          RawCompareExchange<false>(d, i, i + m, up, less, nullptr, nullptr);
+        }
+      });
+    }
+    group.Wait();
+  } else {
+    for (size_t i = lo; i < lo + span; ++i) {
+      RawCompareExchange<false>(d, i, i + m, up, less, nullptr, nullptr);
+    }
   }
-  auto left = std::async(std::launch::async, [&] {
-    ParallelBitonicMerge(a, lo, m, up, less, depth - 1);
+  TaskGroup group(pool);
+  group.Run([&pool, d, lo, m, up, &less, depth] {
+    ParallelBitonicMerge(pool, d, lo, m, up, less, depth - 1);
   });
-  ParallelBitonicMerge(a, lo + m, n - m, up, less, depth - 1);
-  left.get();
+  ParallelBitonicMerge(pool, d, lo + m, n - m, up, less, depth - 1);
+  group.Wait();
 }
 
 template <typename T, typename Less>
   requires CtLess<Less, T>
-void ParallelBitonicSort(memtrace::OArray<T>& a, size_t lo, size_t n, bool up,
+void ParallelBitonicSort(ThreadPool& pool, T* d, size_t lo, size_t n, bool up,
                          const Less& less, int depth) {
   if (n <= 1) return;
   if (depth <= 0 || n < kParallelCutoff) {
-    BitonicSortRecursive(a, lo, n, up, less, nullptr);
+    RawBitonicSort<false>(d, lo, n, up, less, nullptr, nullptr);
     return;
   }
   const size_t m = n / 2;
-  auto left = std::async(std::launch::async, [&] {
-    ParallelBitonicSort(a, lo, m, !up, less, depth - 1);
+  TaskGroup group(pool);
+  group.Run([&pool, d, lo, m, up, &less, depth] {
+    ParallelBitonicSort(pool, d, lo, m, !up, less, depth - 1);
   });
-  ParallelBitonicSort(a, lo + m, n - m, up, less, depth - 1);
-  left.get();
-  ParallelBitonicMerge(a, lo, n, up, less, depth);
+  ParallelBitonicSort(pool, d, lo + m, n - m, up, less, depth - 1);
+  group.Wait();
+  ParallelBitonicMerge(pool, d, lo, n, up, less, depth);
 }
 
 }  // namespace internal
 
 // Sorts the whole array ascending under `less` using up to ~2^depth
-// concurrent tasks, where depth = ceil(log2(threads)).  Requires tracing to
-// be off (checked): concurrent sink calls would race.
+// concurrent tasks, where depth = ceil(log2(threads)), on the persistent
+// global ThreadPool.  threads == 0 means "one task slot per pool worker".
+// Requires tracing to be off (checked): concurrent sink calls would race.
 template <typename T, typename Less>
   requires CtLess<Less, T>
 void BitonicSortParallel(memtrace::OArray<T>& a, const Less& less,
-                         unsigned threads) {
+                         unsigned threads = 0) {
   OBLIVDB_CHECK(memtrace::GetTraceSink() == nullptr);
-  if (threads <= 1) {
-    BitonicSort(a, less);
+  ThreadPool& pool = ThreadPool::Global();
+  if (threads == 0) threads = pool.worker_count();
+  if (threads <= 1 || a.size() < internal::kParallelCutoff) {
+    BitonicSortBlocked(a, less);
     return;
   }
   int depth = 0;
   while ((1u << depth) < threads) ++depth;
-  internal::ParallelBitonicSort(a, 0, a.size(), /*up=*/true, less, depth);
+  internal::ParallelBitonicSort(pool, a.UntracedData(), 0, a.size(),
+                                /*up=*/true, less, depth);
 }
 
 }  // namespace oblivdb::obliv

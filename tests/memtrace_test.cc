@@ -149,6 +149,134 @@ TEST(HashTraceSinkTest, AllocationShapeIsFoldedIn) {
   EXPECT_NE(run(4), run(5));
 }
 
+// --- Moves ----------------------------------------------------------------
+
+OArray<Pod> MakeByValue(size_t len) {
+  OArray<Pod> arr(len, "byvalue");
+  arr.Write(0, Pod{11, 22});
+  return arr;  // the ExpandTable-style return-by-value path
+}
+
+TEST(OArrayMoveTest, MoveConstructionTransfersIdentity) {
+  VectorTraceSink sink;
+  TraceScope scope(&sink);
+  OArray<Pod> original(4, "moved");
+  const uint32_t id = original.array_id();
+
+  OArray<Pod> target(std::move(original));
+  EXPECT_EQ(target.array_id(), id);
+  EXPECT_EQ(target.name(), "moved");
+  EXPECT_EQ(target.size(), 4u);
+  EXPECT_TRUE(target.valid());
+
+  // The moved-from array no longer owns the registered id: it cannot emit
+  // events that would be attributed to `target`.
+  EXPECT_FALSE(original.valid());
+  EXPECT_EQ(original.array_id(), OArray<Pod>::kInvalidArrayId);
+  EXPECT_EQ(original.size(), 0u);
+
+  // Only one registration happened despite the move.
+  ASSERT_EQ(sink.allocations().size(), 1u);
+  target.Write(1, Pod{5, 6});
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.events()[0].array_id, id);
+}
+
+TEST(OArrayMoveTest, MoveAssignmentTransfersIdentity) {
+  OArray<Pod> a(3, "a");
+  OArray<Pod> b(5, "b");
+  const uint32_t b_id = b.array_id();
+  b.Write(4, Pod{9, 9});
+
+  a = std::move(b);
+  EXPECT_EQ(a.array_id(), b_id);
+  EXPECT_EQ(a.name(), "b");
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.Read(4).a, 9u);
+  EXPECT_FALSE(b.valid());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(OArrayMoveTest, ReturnByValueKeepsContentsAndIdentity) {
+  VectorTraceSink sink;
+  TraceScope scope(&sink);
+  OArray<Pod> arr = MakeByValue(4);
+  EXPECT_TRUE(arr.valid());
+  EXPECT_EQ(arr.Read(0).a, 11u);
+  ASSERT_EQ(sink.allocations().size(), 1u);
+  EXPECT_EQ(arr.array_id(), sink.allocations()[0].array_id);
+}
+
+// --- Spans and regions ----------------------------------------------------
+
+TEST(OArraySpanTest, SpanEventsMatchElementwiseLoop) {
+  VectorTraceSink elementwise, spanned;
+  {
+    TraceScope scope(&elementwise);
+    OArray<Pod> arr(8, "s");
+    for (size_t i = 2; i < 7; ++i) (void)arr.Read(i);
+    for (size_t i = 1; i < 4; ++i) arr.Write(i, Pod{i, i});
+  }
+  {
+    TraceScope scope(&spanned);
+    OArray<Pod> arr(8, "s");
+    Pod buffer[5];
+    arr.ReadSpan(2, 5, buffer);
+    Pod values[3] = {{1, 1}, {2, 2}, {3, 3}};
+    arr.WriteSpan(1, 3, values);
+  }
+  EXPECT_TRUE(elementwise.SameTraceAs(spanned));
+}
+
+TEST(OArraySpanTest, SpanMovesData) {
+  OArray<Pod> arr(6, "data");
+  Pod values[3] = {{1, 10}, {2, 20}, {3, 30}};
+  arr.WriteSpan(2, 3, values);
+  Pod read_back[3];
+  arr.ReadSpan(2, 3, read_back);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(read_back[i].a, values[i].a);
+    EXPECT_EQ(read_back[i].b, values[i].b);
+  }
+  EXPECT_EQ(arr.Read(0).a, 0u);  // outside the span untouched
+  EXPECT_EQ(arr.Read(5).a, 0u);
+}
+
+TEST(OArrayScopedRegionTest, StagesEmitsAndWritesBack) {
+  VectorTraceSink sink;
+  TraceScope scope(&sink);
+  OArray<Pod> arr(8, "region");
+  arr.Write(3, Pod{7, 8});
+  const size_t events_before = sink.events().size();
+  {
+    Pod block[4];
+    OArray<Pod>::ScopedRegion region(arr, 2, 4, block);
+    EXPECT_TRUE(region.traced());
+    EXPECT_EQ(region.data()[1].a, 7u);  // staged copy of arr[3]
+    region.EmitRead(1);
+    region.data()[1].a = 42;
+    region.EmitWrite(1);
+  }
+  // The block was written back on scope exit...
+  EXPECT_EQ(arr.Read(3).a, 42u);
+  // ...and the emitted events carry absolute indices on the array's id.
+  ASSERT_GE(sink.events().size(), events_before + 2);
+  EXPECT_EQ(sink.events()[events_before].kind, AccessKind::kRead);
+  EXPECT_EQ(sink.events()[events_before].index, 3u);
+  EXPECT_EQ(sink.events()[events_before + 1].kind, AccessKind::kWrite);
+  EXPECT_EQ(sink.events()[events_before + 1].index, 3u);
+}
+
+TEST(OArrayScopedRegionTest, UntracedRegionEmitsNothing) {
+  ASSERT_EQ(GetTraceSink(), nullptr);
+  OArray<Pod> arr(4, "quiet");
+  Pod block[4];
+  OArray<Pod>::ScopedRegion region(arr, 0, 4, block);
+  EXPECT_FALSE(region.traced());
+  region.EmitRead(0);  // no sink: must be a no-op, not a crash
+  region.EmitWrite(0);
+}
+
 TEST(CountingTraceSinkTest, CountsPerArray) {
   CountingTraceSink sink;
   TraceScope scope(&sink);

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace oblivdb {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  TaskGroup group(pool);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    group.Run([&sum, i] { sum.fetch_add(i); });
+  }
+  group.Wait();
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST(ThreadPoolTest, RunOneTaskReturnsFalseWhenIdle) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.RunOneTask());
+}
+
+TEST(ThreadPoolTest, WaitHelpsWithQueuedWork) {
+  // A single-worker pool given more concurrent waiters than workers can
+  // only finish if Wait() executes queued tasks on the waiting thread.
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.Run([&pool, &done] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 4; ++j) {
+        inner.Run([&done] { done.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(done.load(), 16);
+}
+
+// Recursive fork-join (the parallel sort's shape): every frame forks a
+// child into the pool and waits on it.  With helping this terminates on a
+// pool of any size; without helping it deadlocks as soon as depth exceeds
+// the worker count.
+uint64_t ForkSum(ThreadPool& pool, uint64_t lo, uint64_t hi) {
+  if (hi - lo <= 8) {
+    uint64_t s = 0;
+    for (uint64_t i = lo; i < hi; ++i) s += i;
+    return s;
+  }
+  const uint64_t mid = lo + (hi - lo) / 2;
+  uint64_t left = 0;
+  TaskGroup group(pool);
+  group.Run([&pool, &left, lo, mid] { left = ForkSum(pool, lo, mid); });
+  const uint64_t right = ForkSum(pool, mid, hi);
+  group.Wait();
+  return left + right;
+}
+
+TEST(ThreadPoolTest, NestedForkJoinDoesNotDeadlock) {
+  ThreadPool pool(2);
+  EXPECT_EQ(ForkSum(pool, 0, 1 << 12), uint64_t{1 << 12} * ((1 << 12) - 1) / 2);
+}
+
+TEST(ThreadPoolTest, GroupDestructorWaits) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  {
+    TaskGroup group(pool);
+    group.Run([&ran] { ran.store(true); });
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsPersistent) {
+  ThreadPool& first = ThreadPool::Global();
+  ThreadPool& second = ThreadPool::Global();
+  EXPECT_EQ(&first, &second);
+  EXPECT_GE(first.worker_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyGroups) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) group.Run([&count] { count.fetch_add(1); });
+    group.Wait();
+    ASSERT_EQ(count.load(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace oblivdb

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_trace_viz.dir/examples/access_trace_viz.cpp.o"
+  "CMakeFiles/access_trace_viz.dir/examples/access_trace_viz.cpp.o.d"
+  "access_trace_viz"
+  "access_trace_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_trace_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure8_runtime.dir/bench/bench_figure8_runtime.cc.o"
+  "CMakeFiles/bench_figure8_runtime.dir/bench/bench_figure8_runtime.cc.o.d"
+  "bench_figure8_runtime"
+  "bench_figure8_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

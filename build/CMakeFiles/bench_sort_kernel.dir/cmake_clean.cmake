@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sort_kernel.dir/bench/bench_sort_kernel.cc.o"
+  "CMakeFiles/bench_sort_kernel.dir/bench/bench_sort_kernel.cc.o.d"
+  "bench_sort_kernel"
+  "bench_sort_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sort_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_levels.dir/bench/bench_table2_levels.cc.o"
+  "CMakeFiles/bench_table2_levels.dir/bench/bench_table2_levels.cc.o.d"
+  "bench_table2_levels"
+  "bench_table2_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitonic_sort_test.dir/tests/bitonic_sort_test.cc.o"
+  "CMakeFiles/bitonic_sort_test.dir/tests/bitonic_sort_test.cc.o.d"
+  "bitonic_sort_test"
+  "bitonic_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitonic_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_test.dir/tests/compact_test.cc.o"
+  "CMakeFiles/compact_test.dir/tests/compact_test.cc.o.d"
+  "compact_test"
+  "compact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparators_test.dir/tests/comparators_test.cc.o"
+  "CMakeFiles/comparators_test.dir/tests/comparators_test.cc.o.d"
+  "comparators_test"
+  "comparators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_test.dir/tests/ct_test.cc.o"
+  "CMakeFiles/ct_test.dir/tests/ct_test.cc.o.d"
+  "ct_test"
+  "ct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

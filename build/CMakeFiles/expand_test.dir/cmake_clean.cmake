@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expand_test.dir/tests/expand_test.cc.o"
+  "CMakeFiles/expand_test.dir/tests/expand_test.cc.o.d"
+  "expand_test"
+  "expand_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_analytics.dir/examples/medical_analytics.cpp.o"
+  "CMakeFiles/medical_analytics.dir/examples/medical_analytics.cpp.o.d"
+  "medical_analytics"
+  "medical_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtrace_test.dir/tests/memtrace_test.cc.o"
+  "CMakeFiles/memtrace_test.dir/tests/memtrace_test.cc.o.d"
+  "memtrace_test"
+  "memtrace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiway_query.dir/examples/multiway_query.cpp.o"
+  "CMakeFiles/multiway_query.dir/examples/multiway_query.cpp.o.d"
+  "multiway_query"
+  "multiway_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiway_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

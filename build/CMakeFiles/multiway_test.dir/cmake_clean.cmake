@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiway_test.dir/tests/multiway_test.cc.o"
+  "CMakeFiles/multiway_test.dir/tests/multiway_test.cc.o.d"
+  "multiway_test"
+  "multiway_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/nested_loop.cc" "CMakeFiles/oblivdb.dir/src/baselines/nested_loop.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/baselines/nested_loop.cc.o.d"
+  "/root/repo/src/baselines/opaque_join.cc" "CMakeFiles/oblivdb.dir/src/baselines/opaque_join.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/baselines/opaque_join.cc.o.d"
+  "/root/repo/src/baselines/oram_join.cc" "CMakeFiles/oblivdb.dir/src/baselines/oram_join.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/baselines/oram_join.cc.o.d"
+  "/root/repo/src/baselines/sort_merge.cc" "CMakeFiles/oblivdb.dir/src/baselines/sort_merge.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/baselines/sort_merge.cc.o.d"
+  "/root/repo/src/common/bits.cc" "CMakeFiles/oblivdb.dir/src/common/bits.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/common/bits.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/oblivdb.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/timer.cc" "CMakeFiles/oblivdb.dir/src/common/timer.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/common/timer.cc.o.d"
+  "/root/repo/src/core/aggregate.cc" "CMakeFiles/oblivdb.dir/src/core/aggregate.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/core/aggregate.cc.o.d"
+  "/root/repo/src/core/align.cc" "CMakeFiles/oblivdb.dir/src/core/align.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/core/align.cc.o.d"
+  "/root/repo/src/core/augment.cc" "CMakeFiles/oblivdb.dir/src/core/augment.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/core/augment.cc.o.d"
+  "/root/repo/src/core/join.cc" "CMakeFiles/oblivdb.dir/src/core/join.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/core/join.cc.o.d"
+  "/root/repo/src/core/multiway.cc" "CMakeFiles/oblivdb.dir/src/core/multiway.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/core/multiway.cc.o.d"
+  "/root/repo/src/core/operators.cc" "CMakeFiles/oblivdb.dir/src/core/operators.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/core/operators.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "CMakeFiles/oblivdb.dir/src/crypto/chacha20.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/crypto/chacha20.cc.o.d"
+  "/root/repo/src/crypto/feistel_prp.cc" "CMakeFiles/oblivdb.dir/src/crypto/feistel_prp.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/crypto/feistel_prp.cc.o.d"
+  "/root/repo/src/crypto/prob_cipher.cc" "CMakeFiles/oblivdb.dir/src/crypto/prob_cipher.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/crypto/prob_cipher.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "CMakeFiles/oblivdb.dir/src/crypto/sha256.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/crypto/sha256.cc.o.d"
+  "/root/repo/src/memtrace/sinks.cc" "CMakeFiles/oblivdb.dir/src/memtrace/sinks.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/memtrace/sinks.cc.o.d"
+  "/root/repo/src/memtrace/trace.cc" "CMakeFiles/oblivdb.dir/src/memtrace/trace.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/memtrace/trace.cc.o.d"
+  "/root/repo/src/obliv/bitonic_sort.cc" "CMakeFiles/oblivdb.dir/src/obliv/bitonic_sort.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/obliv/bitonic_sort.cc.o.d"
+  "/root/repo/src/oram/path_oram.cc" "CMakeFiles/oblivdb.dir/src/oram/path_oram.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/oram/path_oram.cc.o.d"
+  "/root/repo/src/sgx_sim/epc_simulator.cc" "CMakeFiles/oblivdb.dir/src/sgx_sim/epc_simulator.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/sgx_sim/epc_simulator.cc.o.d"
+  "/root/repo/src/table/table.cc" "CMakeFiles/oblivdb.dir/src/table/table.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/table/table.cc.o.d"
+  "/root/repo/src/typecheck/ast.cc" "CMakeFiles/oblivdb.dir/src/typecheck/ast.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/typecheck/ast.cc.o.d"
+  "/root/repo/src/typecheck/checker.cc" "CMakeFiles/oblivdb.dir/src/typecheck/checker.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/typecheck/checker.cc.o.d"
+  "/root/repo/src/typecheck/interpreter.cc" "CMakeFiles/oblivdb.dir/src/typecheck/interpreter.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/typecheck/interpreter.cc.o.d"
+  "/root/repo/src/typecheck/programs.cc" "CMakeFiles/oblivdb.dir/src/typecheck/programs.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/typecheck/programs.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "CMakeFiles/oblivdb.dir/src/workload/generators.cc.o" "gcc" "CMakeFiles/oblivdb.dir/src/workload/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

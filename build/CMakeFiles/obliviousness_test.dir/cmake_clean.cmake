@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obliviousness_test.dir/tests/obliviousness_test.cc.o"
+  "CMakeFiles/obliviousness_test.dir/tests/obliviousness_test.cc.o.d"
+  "obliviousness_test"
+  "obliviousness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obliviousness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sort_test.dir/tests/parallel_sort_test.cc.o"
+  "CMakeFiles/parallel_sort_test.dir/tests/parallel_sort_test.cc.o.d"
+  "parallel_sort_test"
+  "parallel_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

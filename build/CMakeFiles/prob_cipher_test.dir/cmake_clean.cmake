@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prob_cipher_test.dir/tests/prob_cipher_test.cc.o"
+  "CMakeFiles/prob_cipher_test.dir/tests/prob_cipher_test.cc.o.d"
+  "prob_cipher_test"
+  "prob_cipher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prob_cipher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgx_sim_test.dir/tests/sgx_sim_test.cc.o"
+  "CMakeFiles/sgx_sim_test.dir/tests/sgx_sim_test.cc.o.d"
+  "sgx_sim_test"
+  "sgx_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgx_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_kernel_test.dir/tests/sort_kernel_test.cc.o"
+  "CMakeFiles/sort_kernel_test.dir/tests/sort_kernel_test.cc.o.d"
+  "sort_kernel_test"
+  "sort_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

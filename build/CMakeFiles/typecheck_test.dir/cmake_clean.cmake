@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typecheck_test.dir/tests/typecheck_test.cc.o"
+  "CMakeFiles/typecheck_test.dir/tests/typecheck_test.cc.o.d"
+  "typecheck_test"
+  "typecheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typecheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,23 +1,25 @@
-// Sort-kernel perf trajectory: ns/element for the reference network, the
-// cache-blocked kernel, and the pool-parallel kernel, at the sizes and
-// thread counts bench/run_benches.sh records in BENCH_sort.json.
+// Sort-kernel perf trajectory: ns/element for every SortPolicy — reference
+// network, cache-blocked kernel, pool-parallel kernel, and the key/payload-
+// separated tag sort — at the element widths that matter: the 16-byte
+// (key, tag) microbenchmark shape AND the pipeline's 72-byte Entry, where
+// tag sort earns its keep (the 9-word CondSwap is bandwidth-bound, so
+// narrowing the network to 24-byte tags plus one Beneš payload pass wins).
 //
 //   build/bench_sort_kernel            # JSON to stdout
+//   build/bench_sort_kernel --smoke    # small-n sanity run (CI smoke target)
 //
-// Elements are 16-byte (key, tag) records sorted by key — the shape of the
-// primitive microbenchmarks; see bench_figure8_runtime for full-join
-// numbers on 72-byte entries.
+// bench/run_benches.sh records the full run in BENCH_sort.json.
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "common/timer.h"
+#include "core/comparators.h"
 #include "crypto/chacha20.h"
 #include "memtrace/oarray.h"
-#include "obliv/bitonic_sort.h"
-#include "obliv/ct.h"
-#include "obliv/parallel_sort.h"
 #include "obliv/sort_kernel.h"
+#include "table/entry.h"
 
 namespace {
 
@@ -32,12 +34,31 @@ struct ItemKeyLess {
   uint64_t operator()(const Item& a, const Item& b) const {
     return ct::LessMask(a.key, b.key);
   }
+
+  static constexpr size_t kSortKeyWords = 1;
+  static obliv::SortKey<1> SortKeyOf(const Item& it) {
+    return obliv::SortKey<1>{{it.key}};
+  }
 };
 
-memtrace::OArray<Item> MakeInput(size_t n) {
+memtrace::OArray<Item> MakeItems(size_t n) {
   memtrace::OArray<Item> arr(n, "bench");
   crypto::ChaCha20Rng rng(n);
   for (size_t i = 0; i < n; ++i) arr.Write(i, Item{rng(), i});
+  return arr;
+}
+
+memtrace::OArray<Entry> MakeEntries(size_t n) {
+  memtrace::OArray<Entry> arr(n, "bench_e");
+  crypto::ChaCha20Rng rng(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    Entry e;
+    e.join_key = rng.Uniform(n / 2 + 1);
+    e.payload0 = rng();
+    e.payload1 = rng();
+    e.tid = 1 + rng.Uniform(2);
+    arr.Write(i, e);
+  }
   return arr;
 }
 
@@ -45,46 +66,66 @@ double NsPerElement(double seconds, size_t n) {
   return seconds * 1e9 / static_cast<double>(n);
 }
 
+bool g_first = true;
+
+void Emit(const char* policy, unsigned threads, size_t elem_bytes, size_t n,
+          double seconds) {
+  std::printf("%s    {\"policy\": \"%s\", \"threads\": %u, "
+              "\"elem_bytes\": %zu, \"n\": %zu, \"seconds\": %.6f, "
+              "\"ns_per_element\": %.2f}",
+              g_first ? "" : ",\n", policy, threads, elem_bytes, n, seconds,
+              NsPerElement(seconds, n));
+  g_first = false;
+}
+
+template <typename T, typename Less, typename MakeFn>
+void BenchWidth(size_t n, const Less& less, const MakeFn& make) {
+  Timer timer;
+  {
+    auto arr = make(n);
+    timer.Start();
+    obliv::BitonicSortRange(arr, 0, n, less);
+    Emit("reference", 1, sizeof(T), n, timer.ElapsedSeconds());
+  }
+  {
+    auto arr = make(n);
+    timer.Start();
+    obliv::BitonicSortBlocked(arr, less);
+    Emit("blocked", 1, sizeof(T), n, timer.ElapsedSeconds());
+  }
+  for (const unsigned threads : {1u, 8u}) {
+    auto arr = make(n);
+    timer.Start();
+    obliv::BitonicSortParallel(arr, less, threads);
+    Emit("blocked_parallel", threads, sizeof(T), n, timer.ElapsedSeconds());
+  }
+  {
+    auto arr = make(n);
+    timer.Start();
+    obliv::BitonicSortTagged(arr, less);
+    Emit("tag", 1, sizeof(T), n, timer.ElapsedSeconds());
+  }
+}
+
 }  // namespace
 
-int main() {
-  const size_t sizes[] = {size_t{1} << 14, size_t{1} << 18, size_t{1} << 20};
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  const size_t full_sizes[] = {size_t{1} << 14, size_t{1} << 18,
+                               size_t{1} << 20};
+  const size_t smoke_sizes[] = {size_t{1} << 10};
+  const size_t* sizes = smoke ? smoke_sizes : full_sizes;
+  const size_t size_count = smoke ? 1 : 3;
 
   std::printf("{\n");
   std::printf("  \"bench\": \"bitonic_sort\",\n");
-  std::printf("  \"element_bytes\": %zu,\n", sizeof(Item));
   std::printf("  \"results\": [\n");
 
-  bool first = true;
-  auto emit = [&](const char* policy, unsigned threads, size_t n,
-                  double seconds) {
-    std::printf("%s    {\"policy\": \"%s\", \"threads\": %u, \"n\": %zu, "
-                "\"seconds\": %.6f, \"ns_per_element\": %.2f}",
-                first ? "" : ",\n", policy, threads, n, seconds,
-                NsPerElement(seconds, n));
-    first = false;
-  };
-
-  for (const size_t n : sizes) {
-    Timer timer;
-    {
-      memtrace::OArray<Item> arr = MakeInput(n);
-      timer.Start();
-      obliv::BitonicSort(arr, ItemKeyLess{});
-      emit("reference", 1, n, timer.ElapsedSeconds());
-    }
-    {
-      memtrace::OArray<Item> arr = MakeInput(n);
-      timer.Start();
-      obliv::BitonicSortBlocked(arr, ItemKeyLess{});
-      emit("blocked", 1, n, timer.ElapsedSeconds());
-    }
-    for (const unsigned threads : {1u, 8u}) {
-      memtrace::OArray<Item> arr = MakeInput(n);
-      timer.Start();
-      obliv::BitonicSortParallel(arr, ItemKeyLess{}, threads);
-      emit("blocked_parallel", threads, n, timer.ElapsedSeconds());
-    }
+  for (size_t s = 0; s < size_count; ++s) {
+    const size_t n = sizes[s];
+    BenchWidth<Item>(n, ItemKeyLess{}, MakeItems);
+    BenchWidth<Entry>(n, core::ByJoinKeyThenTidLess{}, MakeEntries);
   }
 
   std::printf("\n  ]\n}\n");

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# CI smoke pass: configure a warning-strict build, compile everything
+# (-Wall -Wextra -Werror — any new warning fails the build), run the unit
+# tests, and run the small-n sort bench across every SortPolicy.
+#
+#   bench/smoke.sh [build-dir]      # default: build-smoke
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-smoke}"
+
+cmake -B "$build_dir" -S "$repo_root" -DOBLIVDB_WERROR=ON >/dev/null
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+cmake --build "$build_dir" --target bench_smoke
+echo "smoke OK"

@@ -2,9 +2,9 @@
 
 #include "core/comparators.h"
 #include "memtrace/oarray.h"
-#include "obliv/bitonic_sort.h"
 #include "obliv/compact.h"
 #include "obliv/ct.h"
+#include "obliv/sort_kernel.h"
 #include "table/entry.h"
 
 namespace oblivdb::core {
@@ -20,8 +20,9 @@ struct KeepMarkedBoundary {
 
 }  // namespace
 
-std::vector<JoinGroupAggregate> ObliviousJoinAggregate(const Table& table1,
-                                                       const Table& table2) {
+std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
+    const Table& table1, const Table& table2,
+    obliv::SortPolicy sort_policy) {
   const size_t n1 = table1.size();
   const size_t n2 = table2.size();
   const size_t n = n1 + n2;
@@ -33,7 +34,7 @@ std::vector<JoinGroupAggregate> ObliviousJoinAggregate(const Table& table1,
   for (size_t i = 0; i < n2; ++i) {
     tc.Write(n1 + i, MakeEntry(table2.rows()[i], /*tid=*/2));
   }
-  obliv::BitonicSort(tc, ByJoinKeyThenTidLess{});
+  obliv::Sort(tc, ByJoinKeyThenTidLess{}, sort_policy);
 
   // Forward pass: per-group counters and payload-word-0 sums.  The sums are
   // stashed in the fields the aggregate does not otherwise need

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obliv/sort_kernel.h"
 #include "table/table.h"
 
 namespace oblivdb::core {
@@ -38,8 +39,11 @@ struct JoinGroupAggregate {
 
 // One aggregate row per join value present in both tables, in ascending key
 // order.  Access pattern depends only on (n1, n2) and the result count.
-std::vector<JoinGroupAggregate> ObliviousJoinAggregate(const Table& table1,
-                                                       const Table& table2);
+// `sort_policy` picks the execution strategy of the single bitonic sort
+// (obliv/sort_kernel.h) — identical output for every policy.
+std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
+    const Table& table1, const Table& table2,
+    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
 
 }  // namespace oblivdb::core
 

@@ -25,10 +25,14 @@ struct JoinOptions {
   JoinStats* stats = nullptr;
 
   // Sort implementation for every bitonic sort in the pipeline
-  // (Augment-Tables, both expansions, Align-Table).  The policies execute
-  // the identical comparator schedule — same output, same comparison
-  // counts, same access trace — so this is purely a speed knob;
-  // kBlocked is the cache-resident kernel of obliv/sort_kernel.h.
+  // (Augment-Tables, both expansions, Align-Table).  All policies produce
+  // the same element order and comparison counts, and every policy's trace
+  // is input-independent, so this is purely a speed knob.  kReference,
+  // kBlocked and kParallel emit the bit-identical network log; kTagSort
+  // (key/payload separation, obliv/tag_sort.h) emits a *different* — still
+  // length-determined — sequence, so compare its traces only against
+  // kTagSort runs.  kBlocked is the cache-resident kernel of
+  // obliv/sort_block.h.
   obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked;
 };
 

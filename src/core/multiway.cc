@@ -4,12 +4,13 @@
 
 namespace oblivdb::core {
 
-Table ObliviousMultiwayJoin(const std::vector<Table>& tables) {
+Table ObliviousMultiwayJoin(const std::vector<Table>& tables,
+                            const JoinOptions& options) {
   OBLIVDB_CHECK_GE(tables.size(), 1u);
   Table accumulated = tables[0];
   for (size_t t = 1; t < tables.size(); ++t) {
     const std::vector<JoinedRecord> joined =
-        ObliviousJoin(accumulated, tables[t]);
+        ObliviousJoin(accumulated, tables[t], options);
     Table next("join");
     next.rows().reserve(joined.size());
     for (const JoinedRecord& r : joined) {
@@ -23,16 +24,18 @@ Table ObliviousMultiwayJoin(const std::vector<Table>& tables) {
 
 std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
                                                const Table& t2,
-                                               const Table& t3) {
+                                               const Table& t3,
+                                               const JoinOptions& options) {
   // First join: intermediate rows carry (d1, d2) in the two payload words.
-  const std::vector<JoinedRecord> first = ObliviousJoin(t1, t2);
+  const std::vector<JoinedRecord> first = ObliviousJoin(t1, t2, options);
   Table intermediate("t1_t2");
   intermediate.rows().reserve(first.size());
   for (const JoinedRecord& r : first) {
     intermediate.rows().push_back(Record{r.key, {r.payload1[0], r.payload2[0]}});
   }
 
-  const std::vector<JoinedRecord> second = ObliviousJoin(intermediate, t3);
+  const std::vector<JoinedRecord> second =
+      ObliviousJoin(intermediate, t3, options);
   std::vector<ThreeWayRow> rows;
   rows.reserve(second.size());
   for (const JoinedRecord& r : second) {

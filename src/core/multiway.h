@@ -25,8 +25,10 @@ namespace oblivdb::core {
 // Joins all tables on the shared key.  Requires at least one table; with
 // exactly one, returns it unchanged.  Each cascade step is a full oblivious
 // binary join, so every step's access pattern depends only on its input and
-// output sizes.
-Table ObliviousMultiwayJoin(const std::vector<Table>& tables);
+// output sizes.  `options` (notably options.sort_policy) applies to every
+// cascade step; options.stats, if set, receives the last step's counters.
+Table ObliviousMultiwayJoin(const std::vector<Table>& tables,
+                            const JoinOptions& options = {});
 
 // Exact three-way join, lossless in both payload words of every table:
 // returns rows (j, d1, d2, d3) with d_i the first payload word of table i.
@@ -40,7 +42,8 @@ struct ThreeWayRow {
 };
 std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
                                                const Table& t2,
-                                               const Table& t3);
+                                               const Table& t3,
+                                               const JoinOptions& options = {});
 
 }  // namespace oblivdb::core
 

@@ -2,9 +2,9 @@
 
 #include "core/comparators.h"
 #include "memtrace/oarray.h"
-#include "obliv/bitonic_sort.h"
 #include "obliv/compact.h"
 #include "obliv/ct.h"
+#include "obliv/sort_kernel.h"
 #include "table/entry.h"
 
 namespace oblivdb::core {
@@ -52,9 +52,9 @@ Table ObliviousSelect(const Table& input, const CtRowPredicate& keep) {
   return ExtractKept(arr, input.name() + "_selected");
 }
 
-Table ObliviousDistinct(const Table& input) {
+Table ObliviousDistinct(const Table& input, obliv::SortPolicy sort_policy) {
   memtrace::OArray<Entry> arr = LoadEntries(input, 1, "DST");
-  obliv::BitonicSort(arr, ByTidThenJoinKeyThenDataLess{});
+  obliv::Sort(arr, ByTidThenJoinKeyThenDataLess{}, sort_policy);
   // Equal rows are now adjacent; flag every row equal to its predecessor.
   uint64_t prev_key = 0, prev_d0 = 0, prev_d1 = 0;
   for (size_t i = 0; i < arr.size(); ++i) {
@@ -83,7 +83,7 @@ namespace {
 // by-(j, d) ordering needs the d tiebreak, so we sort the tagged union by
 // (j, tid, d) up front — survivors are then (j, d)-sorted automatically.
 Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
-                     const char* label) {
+                     const char* label, obliv::SortPolicy sort_policy) {
   const size_t n1 = t1.size();
   const size_t n2 = t2.size();
   const size_t n = n1 + n2;
@@ -95,18 +95,7 @@ Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
     arr.Write(n1 + i, MakeEntry(t2.rows()[i], 2));
   }
   // (j ^, tid ^, d ^): groups contiguous, T1 before T2, T1 rows d-sorted.
-  struct ByJTidDataLess {
-    uint64_t operator()(const Entry& a, const Entry& b) const {
-      const uint64_t eq_j = ct::EqMask(a.join_key, b.join_key);
-      const uint64_t eq_tid = ct::EqMask(a.tid, b.tid);
-      const uint64_t eq_d0 = ct::EqMask(a.payload0, b.payload0);
-      return ct::LessMask(a.join_key, b.join_key) |
-             (eq_j & ct::LessMask(a.tid, b.tid)) |
-             (eq_j & eq_tid & ct::LessMask(a.payload0, b.payload0)) |
-             (eq_j & eq_tid & eq_d0 & ct::LessMask(a.payload1, b.payload1));
-    }
-  };
-  obliv::BitonicSort(arr, ByJTidDataLess{});
+  obliv::Sort(arr, ByJoinKeyThenTidThenDataLess{}, sort_policy);
 
   // Backward pass: within a group the T2 rows (tid 2) come last, so a
   // carried "group has T2" bit reaches every T1 row of the group.
@@ -132,12 +121,15 @@ Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
 
 }  // namespace
 
-Table ObliviousSemiJoin(const Table& t1, const Table& t2) {
-  return SemiOrAntiJoin(t1, t2, /*want_match=*/true, "semijoin");
+Table ObliviousSemiJoin(const Table& t1, const Table& t2,
+                        obliv::SortPolicy sort_policy) {
+  return SemiOrAntiJoin(t1, t2, /*want_match=*/true, "semijoin", sort_policy);
 }
 
-Table ObliviousAntiJoin(const Table& t1, const Table& t2) {
-  return SemiOrAntiJoin(t1, t2, /*want_match=*/false, "antijoin");
+Table ObliviousAntiJoin(const Table& t1, const Table& t2,
+                        obliv::SortPolicy sort_policy) {
+  return SemiOrAntiJoin(t1, t2, /*want_match=*/false, "antijoin",
+                        sort_policy);
 }
 
 Table ObliviousUnion(const Table& t1, const Table& t2) {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obliv/sort_kernel.h"
 #include "table/table.h"
 
 namespace oblivdb::core {
@@ -37,16 +38,24 @@ using CtRowPredicate = std::function<uint64_t(const Record&)>;
 Table ObliviousSelect(const Table& input, const CtRowPredicate& keep);
 
 // delta: sort by (j, d), mark later duplicates in one pass, compact.
-// O(n log^2 n); output sorted by (j, d).
-Table ObliviousDistinct(const Table& input);
+// O(n log^2 n); output sorted by (j, d).  `sort_policy` picks the sort
+// execution strategy (obliv/sort_kernel.h) — pure speed knob, identical
+// output and obliviousness for every policy.
+Table ObliviousDistinct(
+    const Table& input,
+    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
 
 // T1 |x<: every T1 row whose join value occurs in T2, each at most once
 // regardless of the match count on the T2 side.  Augment-style pass over
 // the tagged union, then compaction.  O(n log^2 n); output sorted by (j, d).
-Table ObliviousSemiJoin(const Table& t1, const Table& t2);
+Table ObliviousSemiJoin(
+    const Table& t1, const Table& t2,
+    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
 
 // T1 |><: the complement of the semi-join.  Same cost and leakage.
-Table ObliviousAntiJoin(const Table& t1, const Table& t2);
+Table ObliviousAntiJoin(
+    const Table& t1, const Table& t2,
+    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
 
 // Multiset union: a fixed-pattern concatenation (no data-dependent work at
 // all; exposed so query plans can stay inside the oblivious API).

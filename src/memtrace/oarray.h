@@ -36,6 +36,18 @@
 
 namespace oblivdb::memtrace {
 
+// No-op stand-in for an event emitter in untraced kernel instantiations:
+// the kernels' kTraced = false branches compile the emitter calls away, but
+// a concrete pointee type is still needed for template deduction.  Shared
+// by the sort, routing, and permutation kernels.
+struct NullEventEmitter {
+  void EmitRead(size_t) {}
+  void EmitWrite(size_t) {}
+};
+
+// Convenience for the untraced call sites.
+inline constexpr NullEventEmitter* kNoEmitter = nullptr;
+
 template <typename T>
 class OArray {
   static_assert(std::is_trivially_copyable_v<T>,
@@ -191,11 +203,47 @@ class OArray {
     TraceSink* sink_;
   };
 
+  // Caches the installed sink and this array's identity so a kernel running
+  // on raw storage (UntracedData) can report the public accesses it
+  // logically performs with one sink test per kernel instead of one per
+  // access.  The same contract as ScopedRegion, minus the staging copy:
+  // the emitted events are the adversary-visible story, so the kernel must
+  // emit exactly the per-element sequence the element-wise implementation
+  // would.  Indices are absolute (array-relative).
+  class EventEmitter {
+   public:
+    explicit EventEmitter(const OArray& array)
+        : array_id_(array.array_id_), sink_(GetTraceSink()) {}
+
+    bool traced() const { return sink_ != nullptr; }
+
+    // Emits <R, id, i>.
+    void EmitRead(size_t i) const {
+      if (sink_ != nullptr) {
+        sink_->OnAccess(AccessEvent{AccessKind::kRead, array_id_, i,
+                                    static_cast<uint32_t>(sizeof(T))});
+      }
+    }
+
+    // Emits <W, id, i>.
+    void EmitWrite(size_t i) const {
+      if (sink_ != nullptr) {
+        sink_->OnAccess(AccessEvent{AccessKind::kWrite, array_id_, i,
+                                    static_cast<uint32_t>(sizeof(T))});
+      }
+    }
+
+   private:
+    uint32_t array_id_;
+    TraceSink* sink_;
+  };
+
   // Untraced bulk access.  Only for (a) loading inputs / reading outputs at
   // the trust boundary, (b) non-oblivious baselines, where the point is
   // precisely that their accesses are input-dependent, and (c) kernels that
   // have checked that no sink is installed (nothing observes the trace, so
-  // the comparator schedule may run on raw memory).
+  // the comparator schedule may run on raw memory) or that report their
+  // logical accesses through an EventEmitter.
   T* UntracedData() { return data_.data(); }
   const T* UntracedData() const { return data_.data(); }
 

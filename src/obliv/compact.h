@@ -19,8 +19,8 @@
 #include <cstdint>
 
 #include "memtrace/oarray.h"
-#include "obliv/bitonic_sort.h"
 #include "obliv/routing.h"
+#include "obliv/sort_kernel.h"
 
 namespace oblivdb::obliv {
 
@@ -62,10 +62,11 @@ uint64_t ObliviousCompact(memtrace::OArray<T>& a, const Keep& keep,
 template <Routable T, typename Keep>
   requires CtPredicate<Keep, T>
 uint64_t ObliviousCompactBySort(memtrace::OArray<T>& a, const Keep& keep,
-                                PrimitiveStats* stats = nullptr) {
+                                PrimitiveStats* stats = nullptr,
+                                SortPolicy sort_policy = SortPolicy::kBlocked) {
   const uint64_t kept = AssignCompactionRanks(a, keep);
   uint64_t* comparisons = stats != nullptr ? &stats->sort_comparisons : nullptr;
-  BitonicSort(a, NullsLastByDestLess{}, comparisons);
+  Sort(a, NullsLastByDestLess{}, sort_policy, comparisons);
   return kept;
 }
 

@@ -51,7 +51,9 @@ void ObliviousDistribute(memtrace::OArray<T>& a, size_t n,
 template <Routable T>
 void ObliviousDistributeProbabilistic(memtrace::OArray<T>& a, size_t n,
                                       uint64_t prp_key,
-                                      PrimitiveStats* stats = nullptr) {
+                                      PrimitiveStats* stats = nullptr,
+                                      SortPolicy sort_policy =
+                                          SortPolicy::kBlocked) {
   const size_t m = a.size();
   OBLIVDB_CHECK_LE(n, m);
   crypto::FeistelPrp prp(m, prp_key);
@@ -77,7 +79,7 @@ void ObliviousDistributeProbabilistic(memtrace::OArray<T>& a, size_t n,
 
   // Sorting by the key undoes the permutation's masking.
   uint64_t* comparisons = stats != nullptr ? &stats->sort_comparisons : nullptr;
-  BitonicSort(scattered, NullsLastByDestLess{}, comparisons);
+  Sort(scattered, NullsLastByDestLess{}, sort_policy, comparisons);
 
   for (size_t s = 0; s < m; ++s) a.Write(s, scattered.Read(s));
 }

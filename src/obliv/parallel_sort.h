@@ -7,23 +7,35 @@
 // after its cross-half compare-exchange pass (whose (i, i+m) pairs are
 // pairwise disjoint, so the pass itself splits into independent chunks).
 // Tasks run on the persistent process-wide ThreadPool — no thread is
-// spawned per task — and leaves execute through the cache-blocked raw
-// kernel of sort_kernel.h.  The comparator schedule, and therefore the
-// *set* of public accesses, is identical to the sequential network; only
-// the interleaving across threads varies, which is why parallel runs
-// require the trace sink to be disabled (checked below): trace-based
-// verification is a sequential-mode activity, matching the paper's
-// sequential prototype.
+// spawned per task — and leaves execute through the raw kernel of
+// sort_block.h.  The comparator schedule, and therefore the *set* of
+// public accesses, is identical to the sequential network; only the
+// interleaving across threads varies.
+//
+// Tracing: a single shared sink cannot be called from concurrent tasks, and
+// an interleaved log would be non-deterministic anyway.  Instead, when a
+// sink is installed each task records its events into a private buffer
+// hung off a node of a task tree whose shape mirrors the sequential
+// recursion; after the sort completes, a depth-first walk replays the
+// buffers into the real sink in sequential-schedule order.  The resulting
+// log is bit-identical to the reference network's
+// (tests/parallel_sort_test.cc proves it), so parallel runs are
+// trace-verifiable — at the cost of buffering the events in memory, which
+// confines traced parallel runs to verification-sized inputs, exactly like
+// the vector sinks themselves.
 
 #ifndef OBLIVDB_OBLIV_PARALLEL_SORT_H_
 #define OBLIVDB_OBLIV_PARALLEL_SORT_H_
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "memtrace/oarray.h"
 #include "obliv/bitonic_sort.h"
-#include "obliv/sort_kernel.h"
+#include "obliv/sort_block.h"
 
 namespace oblivdb::obliv {
 
@@ -35,13 +47,75 @@ constexpr size_t kParallelCutoff = 1 << 12;
 // Chunk granularity for splitting a cross-half compare-exchange pass.
 constexpr size_t kCrossPassChunk = 1 << 14;
 
-template <typename T, typename Less>
+// Adds a task's locally-accumulated comparison count to the shared total.
+inline void FlushComparisons(std::atomic<uint64_t>* total, uint64_t local) {
+  if (total != nullptr && local != 0) {
+    total->fetch_add(local, std::memory_order_relaxed);
+  }
+}
+
+// Emitter writing into a task-private buffer (absolute indices; the raw
+// kernel runs on the whole array's storage).
+struct TraceBufferEmitter {
+  std::vector<memtrace::AccessEvent>* out;
+  uint32_t array_id;
+  uint32_t elem_size;
+
+  void EmitRead(size_t i) {
+    out->push_back(memtrace::AccessEvent{memtrace::AccessKind::kRead,
+                                         array_id, i, elem_size});
+  }
+  void EmitWrite(size_t i) {
+    out->push_back(memtrace::AccessEvent{memtrace::AccessKind::kWrite,
+                                         array_id, i, elem_size});
+  }
+};
+
+// One node of the deterministic-merge tree.  A node's own events precede
+// its children in replay order; children replay in creation order.  Nodes
+// and child slots are created by the parent task *before* any fork, so the
+// tree shape is a pure function of (n, depth) and no two tasks ever touch
+// the same buffer.
+struct TraceNode {
+  std::vector<std::unique_ptr<TraceNode>> children;
+  std::vector<memtrace::AccessEvent> events;
+
+  TraceNode* AddChild() {
+    children.push_back(std::make_unique<TraceNode>());
+    return children.back().get();
+  }
+};
+
+inline void ReplayTraceTree(const TraceNode& node, memtrace::TraceSink* sink) {
+  for (const memtrace::AccessEvent& event : node.events) {
+    sink->OnAccess(event);
+  }
+  for (const std::unique_ptr<TraceNode>& child : node.children) {
+    ReplayTraceTree(*child, sink);
+  }
+}
+
+// kTraced = false: events discarded, node may be null.  kTraced = true:
+// events buffered into the task tree rooted at `node`.
+template <bool kTraced, typename T, typename Less>
   requires CtLess<Less, T>
-void ParallelBitonicMerge(ThreadPool& pool, T* d, size_t lo, size_t n,
-                          bool up, const Less& less, int depth) {
+void ParallelBitonicMerge(ThreadPool& pool, T* d, uint32_t array_id,
+                          size_t lo, size_t n, bool up, const Less& less,
+                          int depth, TraceNode* node,
+                          std::atomic<uint64_t>* comparisons,
+                          size_t cross_chunk) {
   if (n <= 1) return;
   if (depth <= 0 || n < kParallelCutoff) {
-    RawBitonicMerge<false>(d, lo, n, up, less, nullptr, nullptr);
+    uint64_t local = 0;
+    if constexpr (kTraced) {
+      TraceBufferEmitter em{&node->events, array_id,
+                            static_cast<uint32_t>(sizeof(T))};
+      RawBitonicMerge<true>(d, lo, n, up, less, &em, &local);
+    } else {
+      RawBitonicMerge<false>(d, lo, n, up, less, memtrace::kNoEmitter,
+                             comparisons != nullptr ? &local : nullptr);
+    }
+    FlushComparisons(comparisons, local);
     return;
   }
   const size_t m = GreatestPow2LessThan(n);
@@ -49,70 +123,164 @@ void ParallelBitonicMerge(ThreadPool& pool, T* d, size_t lo, size_t n,
   // are independent, but the whole pass must finish before the halves
   // merge independently.
   const size_t span = n - m;
-  if (span >= 2 * kCrossPassChunk) {
+  if (span >= 2 * cross_chunk) {
     TaskGroup group(pool);
-    for (size_t start = 0; start < span; start += kCrossPassChunk) {
-      const size_t len = std::min(kCrossPassChunk, span - start);
-      group.Run([d, lo, start, len, m, up, &less] {
-        for (size_t i = lo + start; i < lo + start + len; ++i) {
-          RawCompareExchange<false>(d, i, i + m, up, less, nullptr, nullptr);
+    for (size_t start = 0; start < span; start += cross_chunk) {
+      const size_t len = std::min(cross_chunk, span - start);
+      TraceNode* chunk_node = nullptr;
+      if constexpr (kTraced) chunk_node = node->AddChild();
+      group.Run([d, array_id, lo, start, len, m, up, &less, chunk_node,
+                 comparisons] {
+        uint64_t local = 0;
+        if constexpr (kTraced) {
+          TraceBufferEmitter em{&chunk_node->events, array_id,
+                                static_cast<uint32_t>(sizeof(T))};
+          for (size_t i = lo + start; i < lo + start + len; ++i) {
+            RawCompareExchange<true>(d, i, i + m, up, less, &em, &local);
+          }
+        } else {
+          uint64_t* count = comparisons != nullptr ? &local : nullptr;
+          for (size_t i = lo + start; i < lo + start + len; ++i) {
+            RawCompareExchange<false>(d, i, i + m, up, less,
+                                      memtrace::kNoEmitter, count);
+          }
         }
+        FlushComparisons(comparisons, local);
       });
     }
     group.Wait();
   } else {
-    for (size_t i = lo; i < lo + span; ++i) {
-      RawCompareExchange<false>(d, i, i + m, up, less, nullptr, nullptr);
+    uint64_t local = 0;
+    if constexpr (kTraced) {
+      TraceBufferEmitter em{&node->events, array_id,
+                            static_cast<uint32_t>(sizeof(T))};
+      for (size_t i = lo; i < lo + span; ++i) {
+        RawCompareExchange<true>(d, i, i + m, up, less, &em, &local);
+      }
+    } else {
+      uint64_t* count = comparisons != nullptr ? &local : nullptr;
+      for (size_t i = lo; i < lo + span; ++i) {
+        RawCompareExchange<false>(d, i, i + m, up, less,
+                                  memtrace::kNoEmitter, count);
+      }
     }
+    FlushComparisons(comparisons, local);
+  }
+  TraceNode* lo_node = nullptr;
+  TraceNode* hi_node = nullptr;
+  if constexpr (kTraced) {
+    lo_node = node->AddChild();
+    hi_node = node->AddChild();
   }
   TaskGroup group(pool);
-  group.Run([&pool, d, lo, m, up, &less, depth] {
-    ParallelBitonicMerge(pool, d, lo, m, up, less, depth - 1);
+  group.Run([&pool, d, array_id, lo, m, up, &less, depth, lo_node,
+             comparisons, cross_chunk] {
+    ParallelBitonicMerge<kTraced>(pool, d, array_id, lo, m, up, less,
+                                  depth - 1, lo_node, comparisons,
+                                  cross_chunk);
   });
-  ParallelBitonicMerge(pool, d, lo + m, n - m, up, less, depth - 1);
+  ParallelBitonicMerge<kTraced>(pool, d, array_id, lo + m, n - m, up, less,
+                                depth - 1, hi_node, comparisons, cross_chunk);
   group.Wait();
 }
 
-template <typename T, typename Less>
+template <bool kTraced, typename T, typename Less>
   requires CtLess<Less, T>
-void ParallelBitonicSort(ThreadPool& pool, T* d, size_t lo, size_t n, bool up,
-                         const Less& less, int depth) {
+void ParallelBitonicSort(ThreadPool& pool, T* d, uint32_t array_id, size_t lo,
+                         size_t n, bool up, const Less& less, int depth,
+                         TraceNode* node,
+                         std::atomic<uint64_t>* comparisons,
+                         size_t cross_chunk) {
   if (n <= 1) return;
   if (depth <= 0 || n < kParallelCutoff) {
-    RawBitonicSort<false>(d, lo, n, up, less, nullptr, nullptr);
+    uint64_t local = 0;
+    if constexpr (kTraced) {
+      TraceBufferEmitter em{&node->events, array_id,
+                            static_cast<uint32_t>(sizeof(T))};
+      RawBitonicSort<true>(d, lo, n, up, less, &em, &local);
+    } else {
+      RawBitonicSort<false>(d, lo, n, up, less, memtrace::kNoEmitter,
+                            comparisons != nullptr ? &local : nullptr);
+    }
+    FlushComparisons(comparisons, local);
     return;
   }
   const size_t m = n / 2;
+  TraceNode* lo_node = nullptr;
+  TraceNode* hi_node = nullptr;
+  TraceNode* merge_node = nullptr;
+  if constexpr (kTraced) {
+    lo_node = node->AddChild();
+    hi_node = node->AddChild();
+    merge_node = node->AddChild();
+  }
   TaskGroup group(pool);
-  group.Run([&pool, d, lo, m, up, &less, depth] {
-    ParallelBitonicSort(pool, d, lo, m, !up, less, depth - 1);
+  group.Run([&pool, d, array_id, lo, m, up, &less, depth, lo_node,
+             comparisons, cross_chunk] {
+    ParallelBitonicSort<kTraced>(pool, d, array_id, lo, m, !up, less,
+                                 depth - 1, lo_node, comparisons,
+                                 cross_chunk);
   });
-  ParallelBitonicSort(pool, d, lo + m, n - m, up, less, depth - 1);
+  ParallelBitonicSort<kTraced>(pool, d, array_id, lo + m, n - m, up, less,
+                               depth - 1, hi_node, comparisons, cross_chunk);
   group.Wait();
-  ParallelBitonicMerge(pool, d, lo, n, up, less, depth);
+  ParallelBitonicMerge<kTraced>(pool, d, array_id, lo, n, up, less, depth,
+                                merge_node, comparisons, cross_chunk);
 }
 
 }  // namespace internal
 
-// Sorts the whole array ascending under `less` using up to ~2^depth
+// Sorts a[lo, lo+len) ascending under `less` using up to ~2^depth
 // concurrent tasks, where depth = ceil(log2(threads)), on the persistent
 // global ThreadPool.  threads == 0 means "one task slot per pool worker".
-// Requires tracing to be off (checked): concurrent sink calls would race.
+// With a TraceSink installed, per-task buffers are replayed in
+// deterministic sequential order after the sort, yielding the exact
+// reference-network log.  `cross_chunk` overrides the cross-half pass
+// splitting granularity — a test hook so the chunked traced path is
+// exercisable at unit-test sizes; production callers leave the default.
 template <typename T, typename Less>
   requires CtLess<Less, T>
-void BitonicSortParallel(memtrace::OArray<T>& a, const Less& less,
-                         unsigned threads = 0) {
-  OBLIVDB_CHECK(memtrace::GetTraceSink() == nullptr);
+void BitonicSortRangeParallel(memtrace::OArray<T>& a, size_t lo, size_t len,
+                              const Less& less, unsigned threads = 0,
+                              uint64_t* comparisons = nullptr,
+                              size_t cross_chunk = internal::kCrossPassChunk) {
+  OBLIVDB_CHECK_LE(lo, a.size());
+  OBLIVDB_CHECK_LE(len, a.size() - lo);
   ThreadPool& pool = ThreadPool::Global();
   if (threads == 0) threads = pool.worker_count();
-  if (threads <= 1 || a.size() < internal::kParallelCutoff) {
-    BitonicSortBlocked(a, less);
+  if (threads <= 1 || len < internal::kParallelCutoff) {
+    BitonicSortRangeBlocked(a, lo, len, less, comparisons);
     return;
   }
   int depth = 0;
   while ((1u << depth) < threads) ++depth;
-  internal::ParallelBitonicSort(pool, a.UntracedData(), 0, a.size(),
-                                /*up=*/true, less, depth);
+  std::atomic<uint64_t> counter{0};
+  std::atomic<uint64_t>* counter_ptr = comparisons != nullptr ? &counter
+                                                              : nullptr;
+  memtrace::TraceSink* sink = memtrace::GetTraceSink();
+  if (sink == nullptr) {
+    internal::ParallelBitonicSort<false>(pool, a.UntracedData(), a.array_id(),
+                                         lo, len, /*up=*/true, less, depth,
+                                         nullptr, counter_ptr, cross_chunk);
+  } else {
+    internal::TraceNode root;
+    internal::ParallelBitonicSort<true>(pool, a.UntracedData(), a.array_id(),
+                                        lo, len, /*up=*/true, less, depth,
+                                        &root, counter_ptr, cross_chunk);
+    internal::ReplayTraceTree(root, sink);
+  }
+  if (comparisons != nullptr) {
+    *comparisons += counter.load(std::memory_order_relaxed);
+  }
+}
+
+// Sorts the whole array ascending under `less` on the global pool.
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void BitonicSortParallel(memtrace::OArray<T>& a, const Less& less,
+                         unsigned threads = 0,
+                         uint64_t* comparisons = nullptr) {
+  BitonicSortRangeParallel(a, 0, a.size(), less, threads, comparisons);
 }
 
 }  // namespace oblivdb::obliv

@@ -1,0 +1,251 @@
+// Oblivious application of an arbitrary (secret) permutation: the payload
+// half of the key/payload-separated sort (obliv/tag_sort.h).
+//
+// A Beneš network routes any permutation of m = 2^k elements through
+// 2k - 1 columns of conditional exchanges at hop distances
+//
+//     m/2, m/4, ..., 2, 1, 2, ..., m/4, m/2
+//
+// — i.e. the RouteForward hop schedule (obliv/routing.h) followed by its
+// RouteToFront mirror, with the data-dependent *comparisons* of those
+// networks replaced by precomputed switch bits.  The gate topology is a
+// function of m alone, every gate reads and rewrites both endpoints whether
+// or not it swaps, and the switch bits never reach public memory, so the
+// access trace is input-independent — the same level II guarantee as the
+// sorting networks, at (2 log m - 1) / 2 conditional swaps per element
+// instead of the sort's ~log^2(m)/4 compare-exchanges.
+//
+// Switch configuration runs the classic Beneš looping (cycle 2-coloring)
+// algorithm on the permutation.  The permutation and the O(m log m) switch
+// bits live in *local* memory for the duration of the pass.  This relaxes
+// the paper's constant-size working set in the same spirit as the blocked
+// sort kernel's staging block (obliv/sort_block.h): local memory is
+// invisible to the adversary by the model of §3.1, and nothing
+// data-dependent ever surfaces in the public access sequence.  The
+// trade-off is documented in README.md ("sort tiers").
+
+#ifndef OBLIVDB_OBLIV_PERMUTE_H_
+#define OBLIVDB_OBLIV_PERMUTE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "memtrace/oarray.h"
+#include "obliv/ct.h"
+
+namespace oblivdb::obliv {
+
+// Switch plan for routing one fixed permutation.  Build once per
+// permutation, apply to any array of matching length.
+class BenesNetwork {
+ public:
+  // Plans the network that transforms an input array `in` into `out` with
+  //
+  //     out[p] = in[perm[p]]      for p in [0, perm.size())
+  //
+  // perm must be a permutation of {0, ..., perm.size() - 1}.  Non-power-of-
+  // two sizes are padded internally with fixed points; callers route
+  // through a scratch array of network_size() slots in that case
+  // (ObliviousPermuteRange below handles both shapes).
+  explicit BenesNetwork(std::vector<uint32_t> perm)
+      : n_(perm.size()), m_(n_ <= 1 ? n_ : CeilPow2(n_)) {
+    if (m_ < 2) return;
+    perm.resize(m_);
+    for (size_t p = n_; p < m_; ++p) perm[p] = static_cast<uint32_t>(p);
+    // Reject non-permutations up front: a duplicate or out-of-range value
+    // would leave stale entries in the routing scratch's per-block inverse
+    // and corrupt memory instead of failing loudly.  O(m), negligible next
+    // to the switch-planning pass itself.
+    std::vector<uint8_t> seen(m_, 0);
+    for (size_t p = 0; p < m_; ++p) {
+      OBLIVDB_CHECK_LT(perm[p], m_);
+      OBLIVDB_CHECK_EQ(seen[perm[p]], 0);
+      seen[perm[p]] = 1;
+    }
+    const size_t k = Log2Floor(m_);
+    switches_.assign(2 * k - 1, std::vector<uint64_t>((m_ + 63) / 64, 0));
+    Route(std::move(perm));
+  }
+
+  size_t input_size() const { return n_; }    // permutation length n
+  size_t network_size() const { return m_; }  // padded length, CeilPow2(n)
+  size_t depth() const { return switches_.size(); }
+
+  // Hop distance of column `level` (descending then ascending powers of 2).
+  size_t Hop(size_t level) const {
+    const size_t k = (depth() + 1) / 2;
+    return level < k ? (m_ >> (level + 1)) : (size_t{1} << (level - k + 1));
+  }
+
+  // Applies the network in place to d[0, network_size()).  The gate
+  // sequence — and therefore the emitted trace — depends only on
+  // network_size().  kTraced mirrors the sort kernel's compile-time split;
+  // the emitter must provide EmitRead/EmitWrite (e.g.
+  // OArray<T>::EventEmitter) and receives network-local indices through
+  // the caller-supplied adapter.
+  template <bool kTraced, typename T, typename Emitter>
+  void Apply(T* d, Emitter* emitter) const {
+    for (size_t level = 0; level < depth(); ++level) {
+      const size_t h = Hop(level);
+      const std::vector<uint64_t>& bits = switches_[level];
+      for (size_t base = 0; base < m_; base += 2 * h) {
+        for (size_t i = base; i < base + h; ++i) {
+          if constexpr (kTraced) {
+            emitter->EmitRead(i);
+            emitter->EmitRead(i + h);
+          }
+          const uint64_t mask = ct::ToMask((bits[i >> 6] >> (i & 63)) & 1);
+          ct::CondSwap(mask, d[i], d[i + h]);
+          if constexpr (kTraced) {
+            emitter->EmitWrite(i);
+            emitter->EmitWrite(i + h);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  void Set(size_t level, size_t i, bool bit) {
+    if (bit) switches_[level][i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  // Configures the whole network level-synchronously: at depth d, `cur`
+  // holds the concatenated local permutations of every size-(m >> d) block.
+  // For each block the loop 2-colors the constraint cycles so that partner
+  // inputs and partner outputs land in different halves, sets the block's
+  // entry/exit columns, and writes the two induced half-permutations into
+  // the ping-pong buffer for the next depth.  All scratch (inverse, colors,
+  // both permutation buffers) is allocated once — the routing pass is the
+  // fixed cost in front of the O(n log n) payload swaps, so it stays
+  // allocation-free and mostly sequential.
+  void Route(std::vector<uint32_t> perm) {
+    const size_t k = Log2Floor(m_);
+    std::vector<uint32_t> cur = std::move(perm);
+    std::vector<uint32_t> next(m_);
+    std::vector<uint32_t> inv(m_);
+    std::vector<int8_t> color(m_);
+    for (size_t d = 0; d + 1 < k; ++d) {
+      const size_t s = m_ >> d;
+      const size_t half = s / 2;
+      const size_t in_level = d;
+      const size_t out_level = depth() - 1 - d;
+      for (size_t base = 0; base < m_; base += s) {
+        const uint32_t* pm = cur.data() + base;
+        uint32_t* iv = inv.data() + base;
+        int8_t* cl = color.data() + base;
+        for (size_t x = 0; x < s; ++x) iv[pm[x]] = static_cast<uint32_t>(x);
+        std::memset(cl, -1, s);
+
+        // cl[p]: which half-network carries the element exiting at local
+        // output p (0 = top).  Constraints: outputs p and p^half differ;
+        // outputs fed by inputs q and q^half differ.  The constraint graph
+        // is a disjoint union of even cycles, walked one cycle at a time.
+        for (size_t p0 = 0; p0 < s; ++p0) {
+          if (cl[p0] != -1) continue;
+          size_t p = p0;
+          while (cl[p] == -1) {
+            cl[p] = 0;
+            const size_t po = p ^ half;
+            if (cl[po] == -1) cl[po] = 1;
+            p = iv[pm[po] ^ half];  // the partner input rides the top too
+          }
+        }
+
+        // Entry column: input q crosses to the bottom half iff the output
+        // it feeds is colored bottom.  Exit column: final output p takes
+        // the bottom half's candidate iff p is colored bottom.
+        for (size_t q = 0; q < half; ++q) {
+          Set(in_level, base + q, cl[iv[q]] == 1);
+        }
+        for (size_t p = 0; p < half; ++p) {
+          Set(out_level, base + p, cl[p] == 1);
+        }
+
+        // Half-permutations: the top half's local output j carries the
+        // element for final output j (if j stayed top) or j + half (if the
+        // exit column swaps the pair); symmetrically for the bottom half.
+        // Local input slots are the global slots reduced mod half.
+        uint32_t* nx = next.data() + base;
+        for (size_t j = 0; j < half; ++j) {
+          const size_t ft = cl[j] == 0 ? j : j + half;
+          const size_t fb = cl[j] == 1 ? j : j + half;
+          nx[j] = pm[ft] & static_cast<uint32_t>(half - 1);
+          nx[j + half] = pm[fb] & static_cast<uint32_t>(half - 1);
+        }
+      }
+      std::swap(cur, next);
+    }
+    // Depth k-1: size-2 blocks, one switch each at the middle column.
+    for (size_t base = 0; base < m_; base += 2) {
+      Set(k - 1, base, cur[base] == 1);
+    }
+  }
+
+  size_t n_;
+  size_t m_;
+  std::vector<std::vector<uint64_t>> switches_;
+};
+
+namespace internal {
+
+// Emitter adapter translating network-local gate indices to absolute
+// positions of the routed subrange.
+template <typename T>
+struct ShiftedEmitter {
+  typename memtrace::OArray<T>::EventEmitter em;
+  size_t offset;
+  void EmitRead(size_t i) { em.EmitRead(offset + i); }
+  void EmitWrite(size_t i) { em.EmitWrite(offset + i); }
+};
+
+}  // namespace internal
+
+// Routes a[lo, lo+len) through `net` so that, on return,
+// a[lo + p] = old a[lo + net_perm[p]].  len must equal net.input_size().
+// Power-of-two lengths run in place; ragged lengths stage through a padded
+// scratch array (its allocation and linear copies are functions of len
+// alone, so the trace stays input-independent).
+template <typename T>
+void ObliviousPermuteRange(memtrace::OArray<T>& a, size_t lo,
+                           const BenesNetwork& net) {
+  const size_t n = net.input_size();
+  OBLIVDB_CHECK_LE(lo, a.size());
+  OBLIVDB_CHECK_LE(n, a.size() - lo);
+  if (n < 2) return;
+  if (net.network_size() == n) {
+    internal::ShiftedEmitter<T> shifted{
+        typename memtrace::OArray<T>::EventEmitter(a), lo};
+    if (shifted.em.traced()) {
+      net.Apply<true>(a.UntracedData() + lo, &shifted);
+    } else {
+      net.Apply<false>(a.UntracedData() + lo, memtrace::kNoEmitter);
+    }
+    return;
+  }
+  memtrace::OArray<T> scratch(net.network_size(), "benes");
+  memtrace::CopySpan(a, lo, scratch, 0, n);
+  typename memtrace::OArray<T>::EventEmitter em(scratch);
+  if (em.traced()) {
+    net.Apply<true>(scratch.UntracedData(), &em);
+  } else {
+    net.Apply<false>(scratch.UntracedData(), memtrace::kNoEmitter);
+  }
+  memtrace::CopySpan(scratch, 0, a, lo, n);
+}
+
+// Whole-array convenience: a becomes a[perm[0]], a[perm[1]], ...
+template <typename T>
+void ObliviousPermute(memtrace::OArray<T>& a, std::vector<uint32_t> perm) {
+  OBLIVDB_CHECK_EQ(perm.size(), a.size());
+  const BenesNetwork net(std::move(perm));
+  ObliviousPermuteRange(a, 0, net);
+}
+
+}  // namespace oblivdb::obliv
+
+#endif  // OBLIVDB_OBLIV_PERMUTE_H_

@@ -8,6 +8,14 @@
 // reads and writes for every input of a given length: the hop schedule is a
 // function of the array size alone, and each step reads and rewrites both
 // endpoints whether or not they swap.
+//
+// Execution gets the blocked treatment of the sort kernel
+// (obliv/sort_block.h): the hop passes run on the array's raw storage with
+// an in-place CondSwap — no per-access bounds check, sink test, or by-value
+// element copies — while a cached OArray::EventEmitter reports the exact
+// <R,i> <R,i+j> <W,i> <W,i+j> per-step event sequence the element-wise
+// loops used to perform, so the adversary-visible trace is unchanged
+// (tests/routing_test.cc pins both the trace and its data-independence).
 
 #ifndef OBLIVDB_OBLIV_ROUTING_H_
 #define OBLIVDB_OBLIV_ROUTING_H_
@@ -18,6 +26,7 @@
 #include "common/bits.h"
 #include "memtrace/oarray.h"
 #include "obliv/ct.h"
+#include "obliv/sort_key.h"
 
 namespace oblivdb::obliv {
 
@@ -35,6 +44,61 @@ struct PrimitiveStats {
   uint64_t route_ops = 0;         // read-pair/write-pair routing steps
 };
 
+namespace internal {
+
+// Raw-memory hop passes.  kTraced splits at compile time exactly like the
+// sort kernel: the untraced configuration touches nothing but the data.
+
+template <bool kTraced, typename T, typename Emitter>
+void RawRouteForward(T* d, size_t n, Emitter* emitter,
+                     PrimitiveStats* stats) {
+  // Hop sizes 2^(ceil(log2 n) - 1), ..., 2, 1: each element advances by the
+  // hops in the binary expansion of its remaining distance.
+  for (uint64_t j = CeilPow2(n) / 2; j >= 1; j /= 2) {
+    for (size_t i = n - j; i-- > 0;) {
+      if constexpr (kTraced) {
+        emitter->EmitRead(i);
+        emitter->EmitRead(i + j);
+      }
+      // 1-based condition from Algorithm 3: f(y) >= i + j, i.e. y can hop a
+      // full j without overshooting.  Null dest 0 never satisfies it.
+      const uint64_t hop = ct::GeqMask(GetRouteDest(d[i]), i + j + 1);
+      ct::CondSwap(hop, d[i], d[i + j]);
+      if constexpr (kTraced) {
+        emitter->EmitWrite(i);
+        emitter->EmitWrite(i + j);
+      }
+      if (stats != nullptr) ++stats->route_ops;
+    }
+  }
+}
+
+template <bool kTraced, typename T, typename Emitter>
+void RawRouteToFront(T* d, size_t n, Emitter* emitter,
+                     PrimitiveStats* stats) {
+  for (uint64_t j = 1; j < n; j *= 2) {
+    for (size_t p = j; p < n; ++p) {
+      if constexpr (kTraced) {
+        emitter->EmitRead(p - j);
+        emitter->EmitRead(p);
+      }
+      // y (at 1-based position p+1) hops back by j when bit log2(j) of its
+      // remaining distance (p+1 - dest) is set; nulls never hop.
+      const uint64_t dest = GetRouteDest(d[p]);
+      const uint64_t hop =
+          ct::NeqMask(dest, 0) & ct::NeqMask((p + 1 - dest) & j, 0);
+      ct::CondSwap(hop, d[p - j], d[p]);
+      if constexpr (kTraced) {
+        emitter->EmitWrite(p - j);
+        emitter->EmitWrite(p);
+      }
+      if (stats != nullptr) ++stats->route_ops;
+    }
+  }
+}
+
+}  // namespace internal
+
 // Algorithm 3's O(N log N) forward-routing loop.  Precondition (established
 // by sorting, or by any placement satisfying Theorem 1's invariant): the
 // non-null elements appear at strictly increasing indices, with strictly
@@ -46,20 +110,12 @@ template <Routable T>
 void RouteForward(memtrace::OArray<T>& a, PrimitiveStats* stats = nullptr) {
   const size_t n = a.size();
   if (n < 2) return;
-  // Hop sizes 2^(ceil(log2 n) - 1), ..., 2, 1: each element advances by the
-  // hops in the binary expansion of its remaining distance.
-  for (uint64_t j = CeilPow2(n) / 2; j >= 1; j /= 2) {
-    for (size_t i = n - j; i-- > 0;) {
-      T y = a.Read(i);
-      T y_ahead = a.Read(i + j);
-      // 1-based condition from Algorithm 3: f(y) >= i + j, i.e. y can hop a
-      // full j without overshooting.  Null dest 0 never satisfies it.
-      const uint64_t hop = ct::GeqMask(GetRouteDest(y), i + j + 1);
-      ct::CondSwap(hop, y, y_ahead);
-      a.Write(i, y);
-      a.Write(i + j, y_ahead);
-      if (stats != nullptr) ++stats->route_ops;
-    }
+  typename memtrace::OArray<T>::EventEmitter emitter(a);
+  if (emitter.traced()) {
+    internal::RawRouteForward<true>(a.UntracedData(), n, &emitter, stats);
+  } else {
+    internal::RawRouteForward<false>(a.UntracedData(), n,
+                                     memtrace::kNoEmitter, stats);
   }
 }
 
@@ -83,20 +139,12 @@ template <Routable T>
 void RouteToFront(memtrace::OArray<T>& a, PrimitiveStats* stats = nullptr) {
   const size_t n = a.size();
   if (n < 2) return;
-  for (uint64_t j = 1; j < n; j *= 2) {
-    for (size_t p = j; p < n; ++p) {
-      T behind = a.Read(p - j);
-      T y = a.Read(p);
-      // y (at 1-based position p+1) hops back by j when bit log2(j) of its
-      // remaining distance (p+1 - dest) is set; nulls never hop.
-      const uint64_t dest = GetRouteDest(y);
-      const uint64_t hop =
-          ct::NeqMask(dest, 0) & ct::NeqMask((p + 1 - dest) & j, 0);
-      ct::CondSwap(hop, behind, y);
-      a.Write(p - j, behind);
-      a.Write(p, y);
-      if (stats != nullptr) ++stats->route_ops;
-    }
+  typename memtrace::OArray<T>::EventEmitter emitter(a);
+  if (emitter.traced()) {
+    internal::RawRouteToFront<true>(a.UntracedData(), n, &emitter, stats);
+  } else {
+    internal::RawRouteToFront<false>(a.UntracedData(), n,
+                                     memtrace::kNoEmitter, stats);
   }
 }
 
@@ -113,6 +161,16 @@ struct NullsLastByDestLess {
     // (null flag asc, dest asc) lexicographically.
     return ct::LessMask(null_a, null_b) |
            (ct::EqMask(null_a, null_b) & ct::LessMask(da, db));
+  }
+
+  // Faithful single-word projection for the tag-sort path: dest - 1 maps
+  // real destinations to their ascending order and wraps the null marker 0
+  // to 2^64 - 1, above any real destination — exactly the (null flag asc,
+  // dest asc) order of operator().
+  static constexpr size_t kSortKeyWords = 1;
+  template <typename T>
+  static SortKey<1> SortKeyOf(const T& e) {
+    return SortKey<1>{{GetRouteDest(e) - 1}};
   }
 };
 

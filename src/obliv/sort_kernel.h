@@ -1,246 +1,74 @@
-// Cache-resident execution of the bitonic comparator schedule.
+// SortPolicy: one knob, four executions of the same logical sort.
 //
-// BitonicSortRange (bitonic_sort.h) is the reference network: every
-// compare-exchange performs four individually bounds-checked, sink-tested,
-// by-value OArray accesses.  Since the schedule is a function of the public
-// range length alone, the *same* schedule can be executed far faster
-// without changing what the adversary sees:
+//   kReference — the recursive network of bitonic_sort.h; four
+//                individually sink-tested OArray accesses per
+//                compare-exchange.  The semantic baseline.
+//   kBlocked   — the cache-blocked kernel of sort_block.h.  Identical
+//                comparator schedule, element order, comparison count and
+//                (when traced) bit-identical access trace; simply faster.
+//   kParallel  — the task-parallel network of parallel_sort.h on the
+//                persistent ThreadPool.  Same schedule; traced runs replay
+//                per-task buffers in deterministic order, so the log is
+//                again bit-identical to the reference.
+//   kTagSort   — the key/payload-separated path of tag_sort.h: sort narrow
+//                (key, index) tags with the blocked kernel, then route the
+//                wide payloads through one Beneš pass (permute.h).  Same
+//                element order and comparison count; the access trace is a
+//                *different* — but still input-independent — function of
+//                the range length.  Requires a faithful SortKey projection
+//                (sort_key.h); comparators without one fall back to
+//                kBlocked.
 //
-//   * subranges that fit an L1/L2-sized block are staged into local memory
-//     once (OArray::ScopedRegion) and every pass whose stride fits the
-//     block runs in-place on raw words with branch-free CondSwap;
-//   * passes whose stride exceeds the block (the cross-half passes of the
-//     outer merges) run through the same per-element path as the reference
-//     network;
-//   * when a TraceSink is installed, the block kernel emits exactly the
-//     <R,i> <R,j> <W,i> <W,j> event sequence per compare-exchange that the
-//     reference network emits, in the same recursion order, so the full
-//     trace is bit-identical (tests/sort_kernel_test.cc proves this);
-//     when no sink is installed the kernel carries no per-access test at
-//     all and runs directly on the array's storage.
-//
-// The comparator count is likewise unchanged: BitonicComparisonCount(n)
-// holds for both implementations.
+// Every policy preserves level II obliviousness; the policy choice itself
+// is public configuration.  tests/sort_kernel_test.cc and
+// tests/tag_sort_test.cc pin the equivalences.
 
 #ifndef OBLIVDB_OBLIV_SORT_KERNEL_H_
 #define OBLIVDB_OBLIV_SORT_KERNEL_H_
 
-#include <algorithm>
 #include <cstdint>
-#include <vector>
 
-#include "common/bits.h"
 #include "memtrace/oarray.h"
 #include "obliv/bitonic_sort.h"
+#include "obliv/parallel_sort.h"
+#include "obliv/sort_block.h"
+#include "obliv/tag_sort.h"
 
 namespace oblivdb::obliv {
 
-// Which implementation of the (identical) comparator schedule runs.  The
-// two policies produce the same element order, the same comparison count,
-// and — when tracing — the same access trace; kBlocked is simply faster.
+// Which implementation of the (same) logical sort runs.  All policies
+// produce the same element order and comparison count; see the header
+// comment for their trace relationships.
 enum class SortPolicy : uint8_t {
   kReference,  // recursive network, four OArray accesses per compare-exchange
   kBlocked,    // cache-blocked kernel, raw-memory passes inside the block
+  kParallel,   // blocked leaves fanned out on the persistent thread pool
+  kTagSort,    // narrow tag network + one Beneš payload permutation
 };
 
-// Default local-block budget for the blocked kernel.  Sized to sit inside a
-// typical per-core L2 with headroom for the comparator's working set.
-inline constexpr size_t kSortBlockBytes = size_t{1024} * 1024;
-
-namespace internal {
-
-// Compare-exchange on local (block) memory.  kTraced is a compile-time
-// split: the untraced configuration has no per-access test at all, the
-// traced one reports through the region's cached sink.  Event order matches
-// CompareExchange in bitonic_sort.h: R i, R j, W i, W j.
-template <bool kTraced, typename T, typename Less>
-inline void RawCompareExchange(T* d, size_t i, size_t j, bool up,
-                               const Less& less,
-                               typename memtrace::OArray<T>::ScopedRegion* region,
-                               uint64_t* comparisons) {
-  if constexpr (kTraced) {
-    region->EmitRead(i);
-    region->EmitRead(j);
-  }
-  // `up` is public (a function of the range shape), so selecting the
-  // comparison direction by branch leaks nothing.
-  const uint64_t swap = up ? less(d[j], d[i]) : less(d[i], d[j]);
-  ct::CondSwap(swap, d[i], d[j]);
-  if constexpr (kTraced) {
-    region->EmitWrite(i);
-    region->EmitWrite(j);
-  }
-  if (comparisons != nullptr) ++*comparisons;
-}
-
-// Batcher's hop without the cross-TU call in the power-of-two case (the
-// common shape inside a block, where subranges are block-aligned).
-inline size_t MergeHop(size_t n) {
-  return IsPow2(n) ? n / 2 : GreatestPow2LessThan(n);
-}
-
-// Raw-memory mirror of BitonicMerge: same generalized-Batcher recursion,
-// same compare-exchange order.
-template <bool kTraced, typename T, typename Less>
-void RawBitonicMerge(T* d, size_t lo, size_t n, bool up, const Less& less,
-                     typename memtrace::OArray<T>::ScopedRegion* region,
-                     uint64_t* comparisons) {
-  if (n <= 1) return;
-  if (n == 2) {  // leaf: one compare-exchange, no further recursion
-    RawCompareExchange<kTraced>(d, lo, lo + 1, up, less, region, comparisons);
-    return;
-  }
-  const size_t m = MergeHop(n);
-  for (size_t i = lo; i < lo + n - m; ++i) {
-    RawCompareExchange<kTraced>(d, i, i + m, up, less, region, comparisons);
-  }
-  RawBitonicMerge<kTraced>(d, lo, m, up, less, region, comparisons);
-  RawBitonicMerge<kTraced>(d, lo + m, n - m, up, less, region, comparisons);
-}
-
-// Raw-memory mirror of BitonicSortRecursive.
-template <bool kTraced, typename T, typename Less>
-void RawBitonicSort(T* d, size_t lo, size_t n, bool up, const Less& less,
-                    typename memtrace::OArray<T>::ScopedRegion* region,
-                    uint64_t* comparisons) {
-  if (n <= 1) return;
-  if (n == 2) {
-    RawCompareExchange<kTraced>(d, lo, lo + 1, up, less, region, comparisons);
-    return;
-  }
-  const size_t m = n / 2;
-  RawBitonicSort<kTraced>(d, lo, m, !up, less, region, comparisons);
-  RawBitonicSort<kTraced>(d, lo + m, n - m, up, less, region, comparisons);
-  RawBitonicMerge<kTraced>(d, lo, n, up, less, region, comparisons);
-}
-
-template <typename T, typename Less>
-struct BlockedSortCtx {
-  memtrace::OArray<T>& a;
-  const Less& less;
-  uint64_t* comparisons;
-  size_t block_elems;
-  bool traced;
-  std::vector<T> block;  // staging storage, allocated once per sort
-};
-
-// Runs one whole sub-sort or sub-merge that fits the block.  Traced runs
-// stage through a ScopedRegion (emitting the reference event sequence);
-// untraced runs operate in place on the array's raw storage — same
-// schedule, zero staging.
-template <bool kIsMerge, typename T, typename Less>
-void RunBlock(BlockedSortCtx<T, Less>& ctx, size_t lo, size_t n, bool up) {
-  if (ctx.traced) {
-    typename memtrace::OArray<T>::ScopedRegion region(ctx.a, lo, n,
-                                                      ctx.block.data());
-    if constexpr (kIsMerge) {
-      RawBitonicMerge<true>(region.data(), 0, n, up, ctx.less, &region,
-                            ctx.comparisons);
-    } else {
-      RawBitonicSort<true>(region.data(), 0, n, up, ctx.less, &region,
-                           ctx.comparisons);
-    }
-  } else {
-    T* d = ctx.a.UntracedData();
-    if constexpr (kIsMerge) {
-      RawBitonicMerge<false>(d, lo, n, up, ctx.less, nullptr,
-                             ctx.comparisons);
-    } else {
-      RawBitonicSort<false>(d, lo, n, up, ctx.less, nullptr,
-                            ctx.comparisons);
-    }
-  }
-}
-
-template <typename T, typename Less>
-void BlockedMerge(BlockedSortCtx<T, Less>& ctx, size_t lo, size_t n, bool up) {
-  if (n <= 1) return;
-  if (n <= ctx.block_elems) {
-    RunBlock</*kIsMerge=*/true>(ctx, lo, n, up);
-    return;
-  }
-  // Cross-half pass at a stride too large for the block: per-element, like
-  // the reference network (or raw when nothing observes the trace).
-  const size_t m = MergeHop(n);
-  if (ctx.traced) {
-    for (size_t i = lo; i < lo + n - m; ++i) {
-      CompareExchange(ctx.a, i, i + m, up, ctx.less, ctx.comparisons);
-    }
-  } else {
-    T* d = ctx.a.UntracedData();
-    for (size_t i = lo; i < lo + n - m; ++i) {
-      RawCompareExchange<false>(d, i, i + m, up, ctx.less, nullptr,
-                                ctx.comparisons);
-    }
-  }
-  BlockedMerge(ctx, lo, m, up);
-  BlockedMerge(ctx, lo + m, n - m, up);
-}
-
-template <typename T, typename Less>
-void BlockedSort(BlockedSortCtx<T, Less>& ctx, size_t lo, size_t n, bool up) {
-  if (n <= 1) return;
-  if (n <= ctx.block_elems) {
-    RunBlock</*kIsMerge=*/false>(ctx, lo, n, up);
-    return;
-  }
-  const size_t m = n / 2;
-  BlockedSort(ctx, lo, m, !up);
-  BlockedSort(ctx, lo + m, n - m, up);
-  BlockedMerge(ctx, lo, n, up);
-}
-
-// Largest power of two worth of elements that fits the block budget (at
-// least 1; with a degenerate budget the kernel gracefully degrades to the
-// reference access pattern).
-template <typename T>
-size_t BlockElems(size_t block_bytes) {
-  size_t elems = 1;
-  while (elems * 2 * sizeof(T) <= block_bytes) elems *= 2;
-  return elems;
-}
-
-}  // namespace internal
-
-// Sorts a[lo, lo+len) ascending under `less` with the cache-blocked kernel.
-// Same comparator schedule, element order, comparison count, and (when
-// traced) access trace as BitonicSortRange.
-template <typename T, typename Less>
-  requires CtLess<Less, T>
-void BitonicSortRangeBlocked(memtrace::OArray<T>& a, size_t lo, size_t len,
-                             const Less& less,
-                             uint64_t* comparisons = nullptr,
-                             size_t block_bytes = kSortBlockBytes) {
-  OBLIVDB_CHECK_LE(lo, a.size());
-  OBLIVDB_CHECK_LE(len, a.size() - lo);
-  internal::BlockedSortCtx<T, Less> ctx{
-      a, less, comparisons, internal::BlockElems<T>(block_bytes),
-      memtrace::GetTraceSink() != nullptr, {}};
-  if (ctx.traced) {
-    ctx.block.resize(std::min(ctx.block_elems, len));
-  }
-  internal::BlockedSort(ctx, lo, len, /*up=*/true);
-}
-
-// Sorts the whole array ascending under `less` with the blocked kernel.
-template <typename T, typename Less>
-  requires CtLess<Less, T>
-void BitonicSortBlocked(memtrace::OArray<T>& a, const Less& less,
-                        uint64_t* comparisons = nullptr,
-                        size_t block_bytes = kSortBlockBytes) {
-  BitonicSortRangeBlocked(a, 0, a.size(), less, comparisons, block_bytes);
-}
-
-// Policy dispatchers: one call site, either implementation.
+// Policy dispatchers: one call site, any implementation.
 template <typename T, typename Less>
   requires CtLess<Less, T>
 void SortRange(memtrace::OArray<T>& a, size_t lo, size_t len,
                const Less& less, SortPolicy policy,
                uint64_t* comparisons = nullptr) {
-  if (policy == SortPolicy::kBlocked) {
-    BitonicSortRangeBlocked(a, lo, len, less, comparisons);
-  } else {
-    BitonicSortRange(a, lo, len, less, comparisons);
+  switch (policy) {
+    case SortPolicy::kBlocked:
+      BitonicSortRangeBlocked(a, lo, len, less, comparisons);
+      break;
+    case SortPolicy::kParallel:
+      BitonicSortRangeParallel(a, lo, len, less, /*threads=*/0, comparisons);
+      break;
+    case SortPolicy::kTagSort:
+      if constexpr (TagProjectable<Less, T>) {
+        BitonicSortRangeTagged(a, lo, len, less, comparisons);
+      } else {
+        BitonicSortRangeBlocked(a, lo, len, less, comparisons);
+      }
+      break;
+    case SortPolicy::kReference:
+      BitonicSortRange(a, lo, len, less, comparisons);
+      break;
   }
 }
 

@@ -1,0 +1,65 @@
+// Fixed-width lexicographic sort keys: the projection contract behind the
+// key/payload-separated sort ("tag sort", obliv/tag_sort.h).
+//
+// A comparator that wants to be eligible for SortPolicy::kTagSort exposes a
+// *faithful* projection of the element into W 64-bit words compared
+// big-endian-lexicographically:
+//
+//   static constexpr size_t kSortKeyWords = W;
+//   static SortKey<W> SortKeyOf(const T& element);
+//
+// Faithful means: for all a, b,
+//
+//   less(a, b)  ==  SortKeyLess(SortKeyOf(a), SortKeyOf(b))
+//
+// i.e. the projection captures every field the comparator consults, in
+// comparator order.  Under a faithful projection the bitonic network makes
+// bit-identical swap decisions on the keys alone, so sorting 8(W+1)-byte
+// (key, index) tags reproduces the exact element permutation the reference
+// network would produce on the full-width elements — including its
+// (deterministic, network-shaped) placement of ties.  tests/tag_sort_test.cc
+// cross-checks faithfulness for every pipeline comparator.
+
+#ifndef OBLIVDB_OBLIV_SORT_KEY_H_
+#define OBLIVDB_OBLIV_SORT_KEY_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+#include "obliv/ct.h"
+
+namespace oblivdb::obliv {
+
+// W words compared most-significant-word first.
+template <size_t W>
+struct SortKey {
+  uint64_t w[W];
+};
+
+// Constant-time strict lexicographic "less" over two keys: all-ones iff
+// a < b.  The usual mask composition  lt(w0) | eq(w0) & lt(w1) | ...
+template <size_t W>
+inline uint64_t SortKeyLess(const SortKey<W>& a, const SortKey<W>& b) {
+  uint64_t lt = 0;
+  uint64_t eq = ~uint64_t{0};
+  for (size_t i = 0; i < W; ++i) {
+    lt |= eq & ct::LessMask(a.w[i], b.w[i]);
+    eq &= ct::EqMask(a.w[i], b.w[i]);
+  }
+  return lt;
+}
+
+// Comparators eligible for the tag-sort path: they project elements onto a
+// fixed-width key whose lexicographic order *is* the comparator's order.
+template <typename Less, typename T>
+concept TagProjectable = requires(const T& t) {
+  { Less::kSortKeyWords } -> std::convertible_to<size_t>;
+  {
+    Less::SortKeyOf(t)
+  } -> std::same_as<SortKey<Less::kSortKeyWords>>;
+};
+
+}  // namespace oblivdb::obliv
+
+#endif  // OBLIVDB_OBLIV_SORT_KEY_H_

@@ -1,0 +1,145 @@
+// Key/payload-separated oblivious sort ("tag sort").
+//
+// The blocked kernel (obliv/sort_block.h) narrowed the gap to the hardware
+// but a compare-exchange over a 72-byte Entry is still a 9-word CondSwap —
+// the L2 bandwidth floor.  The comparator, however, only ever consults a
+// few words.  Tag sort exploits that:
+//
+//   1. extract an 8(W+1)-byte tag — the comparator's faithful SortKey<W>
+//      projection (obliv/sort_key.h) plus the element's range-relative
+//      index — with one linear pass;
+//   2. run the ordinary blocked bitonic kernel on the narrow tags.  A
+//      faithful projection makes every swap decision identical to what the
+//      network would decide on the full elements, so the sorted tags carry
+//      the *exact* reference permutation, ties included;
+//   3. route the wide payloads to their slots with one Beneš pass
+//      (obliv/permute.h): ~(2 log n - 1)/2 comparator-free conditional
+//      swaps per element instead of ~log^2(n)/4 full compare-exchanges.
+//
+// Every phase's public access sequence is a function of the range length
+// alone, so level II obliviousness is preserved deterministically; the
+// permutation and switch plan stay in local memory (see permute.h for the
+// working-set note).  tests/tag_sort_test.cc proves output equality with
+// the reference network for all pipeline comparators and trace
+// data-independence of the whole composite.
+
+#ifndef OBLIVDB_OBLIV_TAG_SORT_H_
+#define OBLIVDB_OBLIV_TAG_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "memtrace/oarray.h"
+#include "obliv/permute.h"
+#include "obliv/sort_block.h"
+#include "obliv/sort_key.h"
+
+namespace oblivdb::obliv {
+
+// Below this length the fixed per-sort overhead (tag array, switch plan)
+// outweighs the width saving and the blocked kernel runs directly.  Public
+// constant, so the choice leaks nothing.
+inline constexpr size_t kTagSortMinLen = 32;
+
+namespace internal {
+
+// The unit that actually moves through the narrow network: key words plus
+// the element's range-relative index riding along (never compared, so ties
+// resolve exactly as the wide network would resolve them).
+template <size_t W>
+struct SortTag {
+  SortKey<W> key;
+  uint64_t idx;
+};
+
+template <size_t W>
+struct SortTagKeyLess {
+  uint64_t operator()(const SortTag<W>& a, const SortTag<W>& b) const {
+    return SortKeyLess(a.key, b.key);
+  }
+};
+
+// Span-staging chunk walk shared by the tag extraction and permutation
+// readback passes: one place defines the chunk granularity, so the two
+// phases' access patterns cannot silently diverge.
+inline constexpr size_t kTagSortChunk = 256;
+
+template <typename Fn>
+void ForSpanChunks(size_t len, const Fn& fn) {
+  for (size_t done = 0; done < len;) {
+    const size_t c = std::min(kTagSortChunk, len - done);
+    fn(done, c);
+    done += c;
+  }
+}
+
+}  // namespace internal
+
+// Sorts a[lo, lo+len) ascending under `less` via the tag-sort path.  Same
+// element order as BitonicSortRange under any faithful projection; same
+// comparison count (the tag network runs the identical schedule).
+template <typename T, typename Less>
+  requires CtLess<Less, T> && TagProjectable<Less, T>
+void BitonicSortRangeTagged(memtrace::OArray<T>& a, size_t lo, size_t len,
+                            const Less& less,
+                            uint64_t* comparisons = nullptr,
+                            size_t block_bytes = kSortBlockBytes) {
+  OBLIVDB_CHECK_LE(lo, a.size());
+  OBLIVDB_CHECK_LE(len, a.size() - lo);
+  if (len < kTagSortMinLen) {
+    BitonicSortRangeBlocked(a, lo, len, less, comparisons, block_bytes);
+    return;
+  }
+  OBLIVDB_CHECK_LE(len, uint64_t{1} << 32);
+
+  constexpr size_t W = Less::kSortKeyWords;
+  using Tag = internal::SortTag<W>;
+
+  // Phase 1: project, span-batched.  Events: R a[lo..lo+len), W tags[0..len).
+  memtrace::OArray<Tag> tags(len, "tags");
+  {
+    T staged[internal::kTagSortChunk];
+    Tag tag_chunk[internal::kTagSortChunk];
+    internal::ForSpanChunks(len, [&](size_t done, size_t c) {
+      a.ReadSpan(lo + done, c, staged);
+      for (size_t k = 0; k < c; ++k) {
+        tag_chunk[k] = Tag{Less::SortKeyOf(staged[k]), done + k};
+      }
+      tags.WriteSpan(done, c, tag_chunk);
+    });
+  }
+
+  // Phase 2: the narrow network.  Identical comparator schedule, so the
+  // comparison count matches the wide sort's BitonicComparisonCount(len).
+  BitonicSortRangeBlocked(tags, 0, len, internal::SortTagKeyLess<W>{},
+                          comparisons, block_bytes);
+
+  // Phase 3: read off the permutation (sequential span reads) and route the
+  // payloads through it once.
+  std::vector<uint32_t> perm(len);
+  {
+    Tag staged[internal::kTagSortChunk];
+    internal::ForSpanChunks(len, [&](size_t done, size_t c) {
+      tags.ReadSpan(done, c, staged);
+      for (size_t k = 0; k < c; ++k) {
+        perm[done + k] = static_cast<uint32_t>(staged[k].idx);
+      }
+    });
+  }
+  const BenesNetwork net(std::move(perm));
+  ObliviousPermuteRange(a, lo, net);
+}
+
+// Whole-array convenience.
+template <typename T, typename Less>
+  requires CtLess<Less, T> && TagProjectable<Less, T>
+void BitonicSortTagged(memtrace::OArray<T>& a, const Less& less,
+                       uint64_t* comparisons = nullptr,
+                       size_t block_bytes = kSortBlockBytes) {
+  BitonicSortRangeTagged(a, 0, a.size(), less, comparisons, block_bytes);
+}
+
+}  // namespace oblivdb::obliv
+
+#endif  // OBLIVDB_OBLIV_TAG_SORT_H_

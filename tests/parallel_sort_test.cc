@@ -78,11 +78,102 @@ TEST(ParallelSortTest, SortsAdversarialPatterns) {
   }
 }
 
-TEST(ParallelSortDeathTest, RefusesToRunUnderTracing) {
-  memtrace::VectorTraceSink sink;
+// The per-task trace buffers, replayed in deterministic order, must yield
+// the exact log of the sequential reference network — this is the property
+// that makes parallel runs trace-verifiable at all.
+class TracedParallelSortTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TracedParallelSortTest, TraceIdenticalToReference) {
+  const size_t n = GetParam();
+
+  memtrace::VectorTraceSink reference_trace;
+  {
+    memtrace::TraceScope scope(&reference_trace);
+    memtrace::OArray<Item> arr(n, "arr");
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Item{(i * 2654435761u) % n, i});
+    BitonicSort(arr, ItemLess{});
+  }
+
+  memtrace::VectorTraceSink parallel_trace;
+  {
+    memtrace::TraceScope scope(&parallel_trace);
+    memtrace::OArray<Item> arr(n, "arr");
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Item{(i * 2654435761u) % n, i});
+    BitonicSortParallel(arr, ItemLess{}, /*threads=*/4);
+  }
+
+  EXPECT_TRUE(reference_trace.SameTraceAs(parallel_trace))
+      << "parallel trace diverged from the reference network at n = " << n;
+}
+
+// Sizes straddling the parallel cutoff (1 << 12) and the cross-pass chunk
+// threshold, power-of-two and ragged.
+INSTANTIATE_TEST_SUITE_P(Sizes, TracedParallelSortTest,
+                         ::testing::Values(100, 4096, 5000, 8192, 10000));
+
+// Exercises the *chunked* traced cross-half pass (span >= 2 * cross_chunk)
+// via the test hook: a tiny chunk granularity makes every big merge's
+// cross pass split into parallel chunk tasks whose buffers must still
+// replay in ascending-start order, reproducing the reference log exactly.
+TEST(TracedParallelSortTest, ChunkedCrossPassTraceIdenticalToReference) {
+  const size_t n = 6000;
+
+  memtrace::VectorTraceSink reference_trace;
+  {
+    memtrace::TraceScope scope(&reference_trace);
+    memtrace::OArray<Item> arr(n, "arr");
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Item{(i * 40503u) % n, i});
+    BitonicSort(arr, ItemLess{});
+  }
+
+  memtrace::VectorTraceSink parallel_trace;
+  {
+    memtrace::TraceScope scope(&parallel_trace);
+    memtrace::OArray<Item> arr(n, "arr");
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Item{(i * 40503u) % n, i});
+    BitonicSortRangeParallel(arr, 0, n, ItemLess{}, /*threads=*/4,
+                             /*comparisons=*/nullptr, /*cross_chunk=*/256);
+  }
+
+  EXPECT_TRUE(reference_trace.SameTraceAs(parallel_trace));
+}
+
+TEST(TracedParallelSortTest, TraceIsDataIndependent) {
+  auto hash_of = [](uint64_t seed) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    const size_t n = 6000;
+    memtrace::OArray<Item> arr(n, "arr");
+    crypto::ChaCha20Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Item{rng(), i});
+    BitonicSortParallel(arr, ItemLess{}, 4);
+    return sink.HexDigest();
+  };
+  EXPECT_EQ(hash_of(1), hash_of(999));
+}
+
+TEST(TracedParallelSortTest, TracedRunStillSortsAndCounts) {
+  const size_t n = 9000;
+  memtrace::HashTraceSink sink;
   memtrace::TraceScope scope(&sink);
-  memtrace::OArray<Item> arr(8, "traced");
-  EXPECT_DEATH(BitonicSortParallel(arr, ItemLess{}, 4), "OBLIVDB_CHECK");
+  memtrace::OArray<Item> arr(n, "arr");
+  crypto::ChaCha20Rng rng(7);
+  for (size_t i = 0; i < n; ++i) arr.Write(i, Item{rng(), i});
+  uint64_t comparisons = 0;
+  BitonicSortParallel(arr, ItemLess{}, 4, &comparisons);
+  const auto keys = Keys(arr);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(comparisons, BitonicComparisonCount(n));
+}
+
+TEST(ParallelSortTest, CountsComparisonsUntraced) {
+  const size_t n = 20000;
+  memtrace::OArray<Item> arr(n, "cnt");
+  crypto::ChaCha20Rng rng(11);
+  for (size_t i = 0; i < n; ++i) arr.Write(i, Item{rng(), i});
+  uint64_t comparisons = 0;
+  BitonicSortParallel(arr, ItemLess{}, 4, &comparisons);
+  EXPECT_EQ(comparisons, BitonicComparisonCount(n));
 }
 
 }  // namespace

@@ -218,6 +218,94 @@ TEST(RouteToFrontTest, TraceDependsOnlyOnLength) {
   EXPECT_TRUE(a.SameTraceAs(c));
 }
 
+// The blocked (raw-memory + cached-emitter) execution must emit exactly the
+// event sequence the per-element reference loops define: per step, R i,
+// R i+j, W i, W i+j, hops descending (forward) / ascending (to-front).
+// This pins the schedule itself, not just data-independence.
+TEST(RoutingTest, BlockedForwardEmitsReferenceSchedule) {
+  const size_t n = 11;
+  memtrace::VectorTraceSink sink;
+  std::vector<memtrace::AccessEvent> expected;
+  {
+    memtrace::TraceScope scope(&sink);
+    memtrace::OArray<Slot> arr(n, "route");
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Slot{});  // setup events
+    expected = sink.events();
+    const uint32_t id = arr.array_id();
+    for (uint64_t j = CeilPow2(n) / 2; j >= 1; j /= 2) {
+      for (size_t i = n - j; i-- > 0;) {
+        using memtrace::AccessKind;
+        const uint32_t es = sizeof(Slot);
+        expected.push_back({AccessKind::kRead, id, i, es});
+        expected.push_back({AccessKind::kRead, id, i + j, es});
+        expected.push_back({AccessKind::kWrite, id, i, es});
+        expected.push_back({AccessKind::kWrite, id, i + j, es});
+      }
+    }
+    RouteForward(arr);
+  }
+  ASSERT_EQ(sink.events().size(), expected.size());
+  for (size_t k = 0; k < expected.size(); ++k) {
+    ASSERT_EQ(sink.events()[k].kind, expected[k].kind) << k;
+    ASSERT_EQ(sink.events()[k].array_id, expected[k].array_id) << k;
+    ASSERT_EQ(sink.events()[k].index, expected[k].index) << k;
+  }
+}
+
+TEST(RoutingTest, BlockedToFrontEmitsReferenceSchedule) {
+  const size_t n = 13;
+  memtrace::VectorTraceSink sink;
+  std::vector<memtrace::AccessEvent> expected;
+  {
+    memtrace::TraceScope scope(&sink);
+    memtrace::OArray<Slot> arr(n, "compact");
+    for (size_t i = 0; i < n; ++i) arr.Write(i, Slot{});
+    expected = sink.events();
+    const uint32_t id = arr.array_id();
+    for (uint64_t j = 1; j < n; j *= 2) {
+      for (size_t p = j; p < n; ++p) {
+        using memtrace::AccessKind;
+        const uint32_t es = sizeof(Slot);
+        expected.push_back({AccessKind::kRead, id, p - j, es});
+        expected.push_back({AccessKind::kRead, id, p, es});
+        expected.push_back({AccessKind::kWrite, id, p - j, es});
+        expected.push_back({AccessKind::kWrite, id, p, es});
+      }
+    }
+    RouteToFront(arr);
+  }
+  ASSERT_EQ(sink.events().size(), expected.size());
+  for (size_t k = 0; k < expected.size(); ++k) {
+    ASSERT_EQ(sink.events()[k].kind, expected[k].kind) << k;
+    ASSERT_EQ(sink.events()[k].index, expected[k].index) << k;
+  }
+}
+
+// Larger-n determinism via hashed logs: same length, any data, same trace.
+TEST(RoutingTest, BlockedSchedulesAreDataIndependentAtScale) {
+  auto forward_hash = [](uint64_t seed) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    const size_t m = 700;
+    crypto::ChaCha20Rng rng(seed);
+    memtrace::OArray<Slot> arr(m, "route");
+    uint64_t dest = 0;
+    size_t at = 0;
+    for (size_t p = 0; p < m; ++p) {
+      Slot s{};
+      if (dest < m && rng.Uniform(2) == 0) {
+        dest += 1 + rng.Uniform(3);
+        if (dest <= m) s = Slot{at++, dest};
+      }
+      arr.Write(p, s);
+    }
+    RouteForward(arr);
+    RouteToFront(arr);
+    return sink.HexDigest();
+  };
+  EXPECT_EQ(forward_hash(12), forward_hash(999));
+}
+
 TEST(RoutingTest, ForwardAndFrontAreMirrors) {
   // Routing k elements forward from a compact prefix, then compacting the
   // result, restores the prefix.

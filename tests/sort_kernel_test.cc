@@ -162,9 +162,13 @@ TEST(SortKernelTest, SubrangeSortLeavesRestUntouched) {
   EXPECT_TRUE(std::is_sorted(after.begin() + 50, after.begin() + 150));
 }
 
-TEST(SortKernelTest, PolicyDispatcherRunsBothPaths) {
+TEST(SortKernelTest, PolicyDispatcherRunsEveryPolicy) {
+  // ItemLexLess carries no SortKey projection, so kTagSort falls back to
+  // the blocked kernel here (the real tag path is covered by
+  // tests/tag_sort_test.cc); every policy must sort and count identically.
   for (const SortPolicy policy :
-       {SortPolicy::kReference, SortPolicy::kBlocked}) {
+       {SortPolicy::kReference, SortPolicy::kBlocked, SortPolicy::kParallel,
+        SortPolicy::kTagSort}) {
     memtrace::OArray<Item> arr(333, "disp");
     FillRandom(arr, 42);
     uint64_t comparisons = 0;

@@ -15,7 +15,7 @@
 #include <string>
 #include <vector>
 
-#include "core/join.h"
+#include "core/plan.h"
 #include "memtrace/sinks.h"
 #include "workload/generators.h"
 
@@ -36,11 +36,16 @@ int main(int argc, char** argv) {
       {{1, 2}, {3, 2}},
   };
 
+  // The join runs through the plan Executor (the standard query path);
+  // plan execution adds no public-memory accesses of its own, so this is
+  // the same trace ObliviousJoin emits directly.
   std::vector<memtrace::VectorTraceSink> sinks(specs.size());
   for (size_t v = 0; v < specs.size(); ++v) {
     const auto tc = workload::FromGroupSpec("fig7", specs[v], v + 1);
-    memtrace::TraceScope scope(&sinks[v]);
-    (void)core::ObliviousJoin(tc.t1, tc.t2);
+    core::ExecContext ctx;
+    ctx.trace_sink = &sinks[v];
+    core::Executor executor(ctx);
+    (void)executor.Execute(core::Join(core::Scan(tc.t1), core::Scan(tc.t2)));
   }
 
   const auto& reference = sinks[0];

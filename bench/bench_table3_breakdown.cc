@@ -35,10 +35,10 @@ int main(int argc, char** argv) {
 
   const auto tc = workload::Figure8Workload(n, /*seed=*/7);
   core::JoinStats stats;
-  core::JoinOptions options;
-  options.stats = &stats;
+  core::ExecContext ctx;
+  ctx.stats = &stats;
   Timer timer;
-  const auto rows = core::ObliviousJoin(tc.t1, tc.t2, options);
+  const auto rows = core::ObliviousJoin(tc.t1, tc.t2, ctx);
   const double total = timer.ElapsedSeconds();
   const double lg = std::log2(double(n));
   const double lg1 = std::log2(double(stats.n1));

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI smoke pass: configure a warning-strict build, compile everything
 # (-Wall -Wextra -Werror — any new warning fails the build), run the unit
-# tests, and run the small-n sort bench across every SortPolicy.
+# tests (including the plan-layer suite), run the small-n sort bench across
+# every SortPolicy, and run the query-plan demo (plan-vs-direct cross-check).
 #
 #   bench/smoke.sh [build-dir]      # default: build-smoke
 
@@ -13,5 +14,12 @@ build_dir="${1:-$repo_root/build-smoke}"
 cmake -B "$build_dir" -S "$repo_root" -DOBLIVDB_WERROR=ON >/dev/null
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+# The plan layer gates the whole query path: run its suite once more,
+# loudly, so a plan regression is unmissable in the CI log.  (The binary
+# only exists when GTest does — ctest above already covered it then.)
+if [ -x "$build_dir/plan_test" ]; then
+  "$build_dir/plan_test" --gtest_brief=1
+fi
 cmake --build "$build_dir" --target bench_smoke
+cmake --build "$build_dir" --target plan_smoke
 echo "smoke OK"

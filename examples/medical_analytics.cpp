@@ -53,11 +53,14 @@ int main(int argc, char** argv) {
   std::printf("hospital A: %zu patients, %zu prescriptions\n",
               patients.size(), prescriptions.size());
 
-  // 1. Oblivious join.
+  // 1. Oblivious join.  One ExecContext serves the whole session; the
+  // collecting sink records per-operator telemetry as queries run.
+  core::CollectingStatsSink telemetry;
   core::JoinStats stats;
-  core::JoinOptions options;
-  options.stats = &stats;
-  const auto joined = core::ObliviousJoin(patients, prescriptions, options);
+  core::ExecContext ctx;
+  ctx.stats = &stats;
+  ctx.stats_sink = &telemetry;
+  const auto joined = core::ObliviousJoin(patients, prescriptions, ctx);
   std::printf("oblivious join: %zu linked records in %.3f s\n", joined.size(),
               stats.total_seconds);
   const auto reference = baselines::SortMergeJoin(patients, prescriptions);
@@ -66,7 +69,7 @@ int main(int argc, char** argv) {
 
   // 2. Per-patient aggregates without materializing the join.
   const auto aggregates =
-      core::ObliviousJoinAggregate(patients, prescriptions);
+      core::ObliviousJoinAggregate(patients, prescriptions, ctx);
   uint64_t heaviest_count = 0, total_cost = 0;
   for (const auto& agg : aggregates) {
     heaviest_count = std::max(heaviest_count, agg.count);
@@ -76,6 +79,10 @@ int main(int argc, char** argv) {
               "total cost %llu\n",
               aggregates.size(), (unsigned long long)heaviest_count,
               (unsigned long long)total_cost);
+  std::printf("telemetry: %zu operator reports, %llu total compare-exchange/"
+              "route steps\n",
+              telemetry.reports().size(),
+              (unsigned long long)telemetry.TotalComparisons());
 
   // 3. The leak the oblivious join closes: same-shape hospitals, same trace.
   const auto hospital_b = workload::WithOutputSize(40, 10, 0, 7);

@@ -17,6 +17,7 @@
 #include "core/aggregate.h"
 #include "core/join.h"
 #include "core/multiway.h"
+#include "core/plan.h"
 
 int main() {
   using namespace oblivdb;
@@ -53,12 +54,22 @@ int main() {
   // Each binary step is fully oblivious; the composition reveals only the
   // intermediate and final sizes, like any join pipeline built from the
   // paper's operator.
-  const Table pairwise = core::ObliviousMultiwayJoin({customers, orders});
+  core::Executor executor(core::ExecContext{});
+  const Table pairwise =
+      executor
+          .Execute(core::MultiwayJoin(
+              {core::Scan(customers), core::Scan(orders)}))
+          .table;
   std::printf("\nintermediate customers |><| orders size: %zu\n",
               pairwise.size());
 
   // --- Query 2: grouped aggregate without expansion -----------------------
-  const auto aggs = core::ObliviousJoinAggregate(customers, orders);
+  // Composed as a plan and run through the Executor: the operator-tree
+  // path every compound query takes.
+  const auto aggs =
+      executor
+          .Execute(core::Aggregate(core::Scan(customers), core::Scan(orders)))
+          .aggregate_rows;
   std::printf("\nper-customer order stats (COUNT, SUM(amount)):\n");
   std::printf("%-5s %-6s %-10s\n", "cid", "count", "sum");
   for (const auto& a : aggs) {

@@ -3,11 +3,14 @@
 //   build/examples/quickstart
 //
 // Demonstrates the three-call public API: build Tables, call
-// core::ObliviousJoin, read JoinedRecords — plus the optional JoinStats.
+// core::ObliviousJoin, read JoinedRecords — plus the ExecContext that
+// carries the stats hookup (see examples/plan_demo.cpp for whole-query
+// plans over the same operators).
 
 #include <cstdio>
 
 #include "baselines/sort_merge.h"
+#include "core/exec_context.h"
 #include "core/join.h"
 
 int main() {
@@ -28,10 +31,10 @@ int main() {
   departments.Add(4, 7004);  // no employees: drops out of the join
 
   core::JoinStats stats;
-  core::JoinOptions options;
-  options.stats = &stats;
+  core::ExecContext ctx;
+  ctx.stats = &stats;
   const std::vector<JoinedRecord> joined =
-      core::ObliviousJoin(employees, departments, options);
+      core::ObliviousJoin(employees, departments, ctx);
 
   std::printf("employees |><| departments  (%zu rows)\n", joined.size());
   std::printf("%-6s %-10s %-8s\n", "dept", "employee", "site");

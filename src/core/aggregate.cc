@@ -1,5 +1,6 @@
 #include "core/aggregate.h"
 
+#include "common/timer.h"
 #include "core/comparators.h"
 #include "memtrace/oarray.h"
 #include "obliv/compact.h"
@@ -21,8 +22,11 @@ struct KeepMarkedBoundary {
 }  // namespace
 
 std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
-    const Table& table1, const Table& table2,
-    obliv::SortPolicy sort_policy) {
+    const Table& table1, const Table& table2, const ExecContext& ctx) {
+  JoinStats stats;
+  stats.n1 = table1.size();
+  stats.n2 = table2.size();
+  Timer timer;
   const size_t n1 = table1.size();
   const size_t n2 = table2.size();
   const size_t n = n1 + n2;
@@ -34,7 +38,8 @@ std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
   for (size_t i = 0; i < n2; ++i) {
     tc.Write(n1 + i, MakeEntry(table2.rows()[i], /*tid=*/2));
   }
-  obliv::Sort(tc, ByJoinKeyThenTidLess{}, sort_policy);
+  obliv::Sort(tc, ByJoinKeyThenTidLess{}, ctx.sort_policy,
+              &stats.op_sort_comparisons, ctx.pool);
 
   // Forward pass: per-group counters and payload-word-0 sums.  The sums are
   // stashed in the fields the aggregate does not otherwise need
@@ -78,7 +83,10 @@ std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
   // Compact the surviving boundaries to the front (order-preserving, so the
   // result stays sorted by key); the survivor count is the revealed output
   // length, the aggregate analogue of m.
-  const uint64_t groups = obliv::ObliviousCompact(tc, KeepMarkedBoundary{});
+  obliv::PrimitiveStats compact_stats;
+  const uint64_t groups =
+      obliv::ObliviousCompact(tc, KeepMarkedBoundary{}, &compact_stats);
+  stats.op_route_ops += compact_stats.route_ops;
 
   std::vector<JoinGroupAggregate> result;
   result.reserve(groups);
@@ -88,7 +96,17 @@ std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
                                         e.alpha2 * e.align_ii,
                                         e.alpha1 * e.payload1});
   }
+  stats.m = groups;
+  stats.total_seconds = timer.ElapsedSeconds();
+  ctx.ReportStats("aggregate", stats);
   return result;
+}
+
+std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
+    const Table& table1, const Table& table2, obliv::SortPolicy sort_policy) {
+  ExecContext ctx;
+  ctx.sort_policy = sort_policy;
+  return ObliviousJoinAggregate(table1, table2, ctx);
 }
 
 }  // namespace oblivdb::core

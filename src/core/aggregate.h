@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/exec_context.h"
 #include "obliv/sort_kernel.h"
 #include "table/table.h"
 
@@ -39,11 +40,15 @@ struct JoinGroupAggregate {
 
 // One aggregate row per join value present in both tables, in ascending key
 // order.  Access pattern depends only on (n1, n2) and the result count.
-// `sort_policy` picks the execution strategy of the single bitonic sort
-// (obliv/sort_kernel.h) — identical output for every policy.
+// ctx.sort_policy picks the execution strategy of the single bitonic sort
+// (obliv/sort_kernel.h) — identical output for every policy; phase counters
+// are reported through ctx.ReportStats as "aggregate".
 std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
-    const Table& table1, const Table& table2,
-    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
+    const Table& table1, const Table& table2, const ExecContext& ctx = {});
+
+// Deprecated shim over the ExecContext form.
+std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
+    const Table& table1, const Table& table2, obliv::SortPolicy sort_policy);
 
 }  // namespace oblivdb::core
 

@@ -7,7 +7,7 @@
 namespace oblivdb::core {
 
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
-                uint64_t* sort_comparisons, obliv::SortPolicy sort_policy) {
+                const ExecContext& ctx, uint64_t* sort_comparisons) {
   OBLIVDB_CHECK_LE(m, s2.size());
 
   // Linear pass: q counts the entry's 0-based position within its group
@@ -31,8 +31,15 @@ void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
     s2.Write(i, e);
   }
 
-  obliv::SortRange(s2, 0, m, ByJoinKeyThenAlignIndexLess{}, sort_policy,
-                   sort_comparisons);
+  obliv::SortRange(s2, 0, m, ByJoinKeyThenAlignIndexLess{}, ctx.sort_policy,
+                   sort_comparisons, ctx.pool);
+}
+
+void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
+                uint64_t* sort_comparisons, obliv::SortPolicy sort_policy) {
+  ExecContext ctx;
+  ctx.sort_policy = sort_policy;
+  AlignTable(s2, m, ctx, sort_comparisons);
 }
 
 }  // namespace oblivdb::core

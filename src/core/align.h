@@ -21,18 +21,24 @@
 
 #include <cstdint>
 
+#include "core/exec_context.h"
 #include "memtrace/oarray.h"
 #include "obliv/sort_kernel.h"
 #include "table/entry.h"
 
 namespace oblivdb::core {
 
-// Reorders s2[0, m) in place.  `sort_comparisons`, when non-null,
-// accumulates the alignment sort's compare-exchange count.  `sort_policy`
-// selects the (schedule-identical) sort implementation.
+// Reorders s2[0, m) in place.  ctx.sort_policy selects the sort
+// implementation; `sort_comparisons`, when non-null, accumulates the
+// alignment sort's compare-exchange count.
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
-                uint64_t* sort_comparisons = nullptr,
-                obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
+                const ExecContext& ctx = {},
+                uint64_t* sort_comparisons = nullptr);
+
+// Deprecated shim over the ExecContext form.
+void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
+                uint64_t* sort_comparisons,
+                obliv::SortPolicy sort_policy = ExecContext::kDefaultSortPolicy);
 
 }  // namespace oblivdb::core
 

@@ -66,8 +66,9 @@ constexpr size_t kSpanChunk = 256;
 }  // namespace
 
 AugmentResult AugmentTables(const Table& table1, const Table& table2,
-                            uint64_t* sort_comparisons,
-                            obliv::SortPolicy sort_policy) {
+                            const ExecContext& ctx,
+                            uint64_t* sort_comparisons) {
+  const obliv::SortPolicy sort_policy = ctx.sort_policy;
   const size_t n1 = table1.size();
   const size_t n2 = table2.size();
   const size_t n = n1 + n2;
@@ -93,10 +94,11 @@ AugmentResult AugmentTables(const Table& table1, const Table& table2,
     i += c;
   }
 
-  obliv::Sort(tc, ByJoinKeyThenTidLess{}, sort_policy, sort_comparisons);
+  obliv::Sort(tc, ByJoinKeyThenTidLess{}, sort_policy, sort_comparisons,
+              ctx.pool);
   const uint64_t output_size = FillDimensions(tc);
   obliv::Sort(tc, ByTidThenJoinKeyThenDataLess{}, sort_policy,
-              sort_comparisons);
+              sort_comparisons, ctx.pool);
 
   // TC[0, n1) is now the augmented T1 and TC[n1, n) the augmented T2.
   AugmentResult result{memtrace::OArray<Entry>(n1, "T1aug"),
@@ -104,6 +106,14 @@ AugmentResult AugmentTables(const Table& table1, const Table& table2,
   memtrace::CopySpan(tc, 0, result.t1, 0, n1);
   memtrace::CopySpan(tc, n1, result.t2, 0, n2);
   return result;
+}
+
+AugmentResult AugmentTables(const Table& table1, const Table& table2,
+                            uint64_t* sort_comparisons,
+                            obliv::SortPolicy sort_policy) {
+  ExecContext ctx;
+  ctx.sort_policy = sort_policy;
+  return AugmentTables(table1, table2, ctx, sort_comparisons);
 }
 
 }  // namespace oblivdb::core

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "core/exec_context.h"
 #include "memtrace/oarray.h"
 #include "obliv/routing.h"
 #include "obliv/sort_kernel.h"
@@ -25,14 +26,17 @@ struct AugmentResult {
   uint64_t output_size;        // m = |T1 |><| T2|
 };
 
-// Runs Algorithm 2 on the two input tables.  `sort_comparisons`, when
+// Runs Algorithm 2 on the two input tables.  ctx.sort_policy selects the
+// sort implementation (see obliv/sort_kernel.h).  `sort_comparisons`, when
 // non-null, accumulates the compare-exchange count of both bitonic sorts.
-// `sort_policy` selects the sort implementation; both policies execute the
-// identical comparator schedule (see obliv/sort_kernel.h).
+AugmentResult AugmentTables(const Table& table1, const Table& table2,
+                            const ExecContext& ctx = {},
+                            uint64_t* sort_comparisons = nullptr);
+
+// Deprecated shim over the ExecContext form.
 AugmentResult AugmentTables(
-    const Table& table1, const Table& table2,
-    uint64_t* sort_comparisons = nullptr,
-    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
+    const Table& table1, const Table& table2, uint64_t* sort_comparisons,
+    obliv::SortPolicy sort_policy = ExecContext::kDefaultSortPolicy);
 
 // Fill-Dimensions: the forward/backward pass pair of Figure 2.  Expects tc
 // sorted by (j, tid); on return every entry carries its group's final

@@ -1,0 +1,125 @@
+// ExecContext: the one execution-context object shared by every relational
+// operator and by the plan Executor (core/plan.h).
+//
+// Before this header existed, each operator hand-threaded its own
+// `sort_policy` default and only ObliviousJoin could report stats.  Now a
+// single context carries the public configuration of a query execution:
+//
+//   * sort_policy  — which implementation runs every bitonic sort in every
+//                    operator (obliv/sort_kernel.h; a pure speed knob);
+//   * pool         — the worker pool the operators' parallel phases use
+//                    (kParallel sort fan-out, kTagSort's Beneš switch
+//                    planning; routed down through obliv::SortRange);
+//                    nullptr = the process-wide ThreadPool::Global();
+//   * stats        — per-call out-parameter: the most recent operator run
+//                    under this context writes its JoinStats here;
+//   * stats_sink   — streaming telemetry: *every* operator (join, distinct,
+//                    semi/anti-join, aggregate, union, select) reports its
+//                    per-phase counters here as it finishes;
+//   * trace_sink   — when set, Executor::Execute installs it for the whole
+//                    plan run (memtrace::TraceScope), so a query's complete
+//                    public-memory trace lands in one sink;
+//   * rng_seed     — deterministic seed for randomized components.  The
+//                    core pipeline is deterministic, so nothing consumes
+//                    it yet; it is reserved for the probabilistic
+//                    distribution / encrypted-array paths (ROADMAP, e.g.
+//                    ObliviousDistributeProbabilistic's prp_key) so that
+//                    plans stay reproducible once one lands.
+//
+// Everything in the context is *public* configuration in the paper's model
+// (§3.1): none of it depends on table contents, so carrying it around — or
+// logging it — leaks nothing.
+
+#ifndef OBLIVDB_CORE_EXEC_CONTEXT_H_
+#define OBLIVDB_CORE_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/stats.h"
+#include "memtrace/trace.h"
+#include "obliv/sort_kernel.h"
+
+namespace oblivdb::core {
+
+// Receiver for per-operator telemetry.  `op` names the operator ("join",
+// "distinct", "semijoin", "antijoin", "aggregate", "select", "union",
+// "scan"); `stats` carries its phase counters (core/stats.h).
+class StatsSink {
+ public:
+  virtual ~StatsSink() = default;
+  virtual void OnOperatorStats(std::string_view op, const JoinStats& stats) = 0;
+};
+
+// Stores every report in order — the plan tests and the examples use it to
+// show per-operator work for a whole query.
+class CollectingStatsSink : public StatsSink {
+ public:
+  struct Report {
+    std::string op;
+    JoinStats stats;
+  };
+
+  void OnOperatorStats(std::string_view op, const JoinStats& stats) override {
+    reports_.push_back(Report{std::string(op), stats});
+  }
+
+  const std::vector<Report>& reports() const { return reports_; }
+
+  uint64_t TotalComparisons() const {
+    uint64_t total = 0;
+    for (const Report& r : reports_) total += r.stats.TotalComparisons();
+    return total;
+  }
+
+ private:
+  std::vector<Report> reports_;
+};
+
+struct ExecContext {
+  // The single source of truth for the library-wide default sort tier
+  // (previously copied into every operator signature).
+  static constexpr obliv::SortPolicy kDefaultSortPolicy =
+      obliv::SortPolicy::kBlocked;
+
+  obliv::SortPolicy sort_policy = kDefaultSortPolicy;
+
+  // Worker pool for the operators' parallel phases (kParallel sorts,
+  // kTagSort Beneš switch planning); forwarded to obliv::SortRange by
+  // every operator.  nullptr means ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+
+  // Out-parameter: filled by the most recent operator executed under this
+  // context (for ObliviousJoin this is the familiar Table 3 breakdown).
+  JoinStats* stats = nullptr;
+
+  // Streaming per-operator telemetry; see StatsSink.
+  StatsSink* stats_sink = nullptr;
+
+  // Trace sink the plan Executor installs around a whole query run.
+  // Operators themselves never touch this — they emit through whatever
+  // sink is installed (memtrace::GetTraceSink()).
+  memtrace::TraceSink* trace_sink = nullptr;
+
+  // Deterministic seed; public configuration (see the header comment —
+  // reserved, no core consumer yet).
+  uint64_t rng_seed = 0x0b11da7aba5e5eedULL;
+
+  ThreadPool& pool_or_global() const {
+    return pool != nullptr ? *pool : ThreadPool::Global();
+  }
+
+  // Operators call this once on completion; also copies into `stats` so
+  // direct (plan-free) callers keep the old out-parameter behaviour.
+  void ReportStats(std::string_view op, const JoinStats& s) const {
+    if (stats != nullptr) *stats = s;
+    if (stats_sink != nullptr) stats_sink->OnOperatorStats(op, s);
+  }
+};
+
+}  // namespace oblivdb::core
+
+#endif  // OBLIVDB_CORE_EXEC_CONTEXT_H_

@@ -29,12 +29,13 @@ memtrace::OArray<Entry> ExpandTable(memtrace::OArray<Entry>& source,
                                     uint64_t expected_m, const char* name,
                                     const CountFn& g,
                                     obliv::PrimitiveStats* stats,
-                                    obliv::SortPolicy sort_policy) {
+                                    const ExecContext& ctx) {
   const uint64_t m = obliv::AssignExpandDestinations(source, g);
   OBLIVDB_CHECK_EQ(m, expected_m);
   memtrace::OArray<Entry> expanded(
       std::max<uint64_t>(source.size(), m), name);
-  obliv::ExpandToDestinations(source, expanded, m, stats, sort_policy);
+  obliv::ExpandToDestinations(source, expanded, m, stats, ctx.sort_policy,
+                              ctx.pool);
   return expanded;
 }
 
@@ -42,9 +43,9 @@ memtrace::OArray<Entry> ExpandTable(memtrace::OArray<Entry>& source,
 
 std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
                                         const Table& table2,
-                                        const JoinOptions& options) {
+                                        const ExecContext& ctx) {
   JoinStats local_stats;
-  JoinStats* stats = options.stats != nullptr ? options.stats : &local_stats;
+  JoinStats* stats = ctx.stats != nullptr ? ctx.stats : &local_stats;
   *stats = JoinStats{};
   stats->n1 = table1.size();
   stats->n2 = table2.size();
@@ -53,8 +54,8 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   Timer phase_timer;
 
   // (1) Group dimensions (Algorithm 2).
-  AugmentResult augmented = AugmentTables(
-      table1, table2, &stats->augment_sort_comparisons, options.sort_policy);
+  AugmentResult augmented =
+      AugmentTables(table1, table2, ctx, &stats->augment_sort_comparisons);
   const uint64_t m = augmented.output_size;
   stats->m = m;
   stats->augment_seconds = phase_timer.ElapsedSeconds();
@@ -63,16 +64,16 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   phase_timer.Start();
   obliv::PrimitiveStats expand_stats;
   memtrace::OArray<Entry> s1 = ExpandTable(
-      augmented.t1, m, "S1", CountAlpha2{}, &expand_stats, options.sort_policy);
+      augmented.t1, m, "S1", CountAlpha2{}, &expand_stats, ctx);
   memtrace::OArray<Entry> s2 = ExpandTable(
-      augmented.t2, m, "S2", CountAlpha1{}, &expand_stats, options.sort_policy);
+      augmented.t2, m, "S2", CountAlpha1{}, &expand_stats, ctx);
   stats->expand_sort_comparisons = expand_stats.sort_comparisons;
   stats->expand_route_ops = expand_stats.route_ops;
   stats->expand_seconds = phase_timer.ElapsedSeconds();
 
   // (4) Align S2 with S1 (Algorithm 5).
   phase_timer.Start();
-  AlignTable(s2, m, &stats->align_sort_comparisons, options.sort_policy);
+  AlignTable(s2, m, ctx, &stats->align_sort_comparisons);
   stats->align_seconds = phase_timer.ElapsedSeconds();
 
   // (5) Zip the aligned rows into the output (Algorithm 1, lines 6-9),
@@ -105,7 +106,19 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   }
   stats->zip_seconds = phase_timer.ElapsedSeconds();
   stats->total_seconds = total_timer.ElapsedSeconds();
+  // ReportStats' copy into ctx.stats is a no-op self-assign here (stats
+  // already aliases it when set); the sink dispatch is what matters.
+  ctx.ReportStats("join", *stats);
   return rows;
+}
+
+std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
+                                        const Table& table2,
+                                        const JoinOptions& options) {
+  ExecContext ctx;
+  ctx.sort_policy = options.sort_policy;
+  ctx.stats = options.stats;
+  return ObliviousJoin(table1, table2, ctx);
 }
 
 uint64_t ObliviousJoinSize(const Table& table1, const Table& table2) {

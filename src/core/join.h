@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/exec_context.h"
 #include "core/stats.h"
 #include "obliv/sort_kernel.h"
 #include "table/record.h"
@@ -20,6 +21,9 @@
 
 namespace oblivdb::core {
 
+// Deprecated: per-operator knob bag, superseded by ExecContext.  Kept so
+// pre-refactor call sites compile unchanged; new code should build an
+// ExecContext (which adds the stats sink, pool and trace hookups).
 struct JoinOptions {
   // When non-null, receives per-phase counters and timings (Table 3).
   JoinStats* stats = nullptr;
@@ -33,15 +37,21 @@ struct JoinOptions {
   // length-determined — sequence, so compare its traces only against
   // kTagSort runs.  kBlocked is the cache-resident kernel of
   // obliv/sort_block.h.
-  obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked;
+  obliv::SortPolicy sort_policy = ExecContext::kDefaultSortPolicy;
 };
 
 // The full oblivious equi-join.  Reveals (and returns rows of) the output
 // length m, as discussed in §3.2 ("Revealing Output Length"); everything
-// else about the inputs stays hidden in the access pattern.
+// else about the inputs stays hidden in the access pattern.  Fills
+// ctx.stats and reports to ctx.stats_sink as "join".
 std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
                                         const Table& table2,
-                                        const JoinOptions& options = {});
+                                        const ExecContext& ctx = {});
+
+// Deprecated shim over the ExecContext form.
+std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
+                                        const Table& table2,
+                                        const JoinOptions& options);
 
 // Convenience: just the output size |T1 |><| T2|, in O(n log^2 n) time
 // (Augment-Tables alone; no expansion).

@@ -3,14 +3,41 @@
 #include "common/check.h"
 
 namespace oblivdb::core {
+namespace {
+
+// Folds one cascade step into the running total: counters and timings sum;
+// the size triple (n1, n2, m) tracks the most recent step, so the final
+// total carries the cascade's last input/output sizes.
+void AccumulateJoinStats(JoinStats& total, const JoinStats& step) {
+  const JoinStats previous = total;
+  total = step;
+  total.augment_sort_comparisons += previous.augment_sort_comparisons;
+  total.expand_sort_comparisons += previous.expand_sort_comparisons;
+  total.expand_route_ops += previous.expand_route_ops;
+  total.align_sort_comparisons += previous.align_sort_comparisons;
+  total.op_sort_comparisons += previous.op_sort_comparisons;
+  total.op_route_ops += previous.op_route_ops;
+  total.augment_seconds += previous.augment_seconds;
+  total.expand_seconds += previous.expand_seconds;
+  total.align_seconds += previous.align_seconds;
+  total.zip_seconds += previous.zip_seconds;
+  total.total_seconds += previous.total_seconds;
+}
+
+}  // namespace
 
 Table ObliviousMultiwayJoin(const std::vector<Table>& tables,
-                            const JoinOptions& options) {
+                            const ExecContext& ctx) {
   OBLIVDB_CHECK_GE(tables.size(), 1u);
+  JoinStats total;
+  ExecContext step_ctx = ctx;
+  JoinStats step_stats;
+  step_ctx.stats = &step_stats;
   Table accumulated = tables[0];
   for (size_t t = 1; t < tables.size(); ++t) {
     const std::vector<JoinedRecord> joined =
-        ObliviousJoin(accumulated, tables[t], options);
+        ObliviousJoin(accumulated, tables[t], step_ctx);
+    AccumulateJoinStats(total, step_stats);
     Table next("join");
     next.rows().reserve(joined.size());
     for (const JoinedRecord& r : joined) {
@@ -19,15 +46,32 @@ Table ObliviousMultiwayJoin(const std::vector<Table>& tables,
     }
     accumulated = std::move(next);
   }
+  // With a single table no join ran: leave the caller's stats untouched
+  // rather than zeroing them.
+  if (tables.size() > 1 && ctx.stats != nullptr) *ctx.stats = total;
   return accumulated;
+}
+
+Table ObliviousMultiwayJoin(const std::vector<Table>& tables,
+                            const JoinOptions& options) {
+  ExecContext ctx;
+  ctx.sort_policy = options.sort_policy;
+  ctx.stats = options.stats;
+  return ObliviousMultiwayJoin(tables, ctx);
 }
 
 std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
                                                const Table& t2,
                                                const Table& t3,
-                                               const JoinOptions& options) {
+                                               const ExecContext& ctx) {
+  JoinStats total;
+  ExecContext step_ctx = ctx;
+  JoinStats step_stats;
+  step_ctx.stats = &step_stats;
+
   // First join: intermediate rows carry (d1, d2) in the two payload words.
-  const std::vector<JoinedRecord> first = ObliviousJoin(t1, t2, options);
+  const std::vector<JoinedRecord> first = ObliviousJoin(t1, t2, step_ctx);
+  AccumulateJoinStats(total, step_stats);
   Table intermediate("t1_t2");
   intermediate.rows().reserve(first.size());
   for (const JoinedRecord& r : first) {
@@ -35,7 +79,10 @@ std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
   }
 
   const std::vector<JoinedRecord> second =
-      ObliviousJoin(intermediate, t3, options);
+      ObliviousJoin(intermediate, t3, step_ctx);
+  AccumulateJoinStats(total, step_stats);
+  if (ctx.stats != nullptr) *ctx.stats = total;
+
   std::vector<ThreeWayRow> rows;
   rows.reserve(second.size());
   for (const JoinedRecord& r : second) {
@@ -43,6 +90,16 @@ std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
         ThreeWayRow{r.key, r.payload1[0], r.payload1[1], r.payload2[0]});
   }
   return rows;
+}
+
+std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
+                                               const Table& t2,
+                                               const Table& t3,
+                                               const JoinOptions& options) {
+  ExecContext ctx;
+  ctx.sort_policy = options.sort_policy;
+  ctx.stats = options.stats;
+  return ObliviousThreeWayJoin(t1, t2, t3, ctx);
 }
 
 }  // namespace oblivdb::core

@@ -25,10 +25,16 @@ namespace oblivdb::core {
 // Joins all tables on the shared key.  Requires at least one table; with
 // exactly one, returns it unchanged.  Each cascade step is a full oblivious
 // binary join, so every step's access pattern depends only on its input and
-// output sizes.  `options` (notably options.sort_policy) applies to every
-// cascade step; options.stats, if set, receives the last step's counters.
+// output sizes.  `ctx` applies to every cascade step; ctx.stats, if set,
+// receives counters *summed over all steps* (sizes from the last step) so
+// whole-cascade cost is never undercounted, and ctx.stats_sink sees one
+// "join" report per step.
 Table ObliviousMultiwayJoin(const std::vector<Table>& tables,
-                            const JoinOptions& options = {});
+                            const ExecContext& ctx = {});
+
+// Deprecated shim over the ExecContext form.
+Table ObliviousMultiwayJoin(const std::vector<Table>& tables,
+                            const JoinOptions& options);
 
 // Exact three-way join, lossless in both payload words of every table:
 // returns rows (j, d1, d2, d3) with d_i the first payload word of table i.
@@ -43,7 +49,13 @@ struct ThreeWayRow {
 std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
                                                const Table& t2,
                                                const Table& t3,
-                                               const JoinOptions& options = {});
+                                               const ExecContext& ctx = {});
+
+// Deprecated shim over the ExecContext form.
+std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
+                                               const Table& t2,
+                                               const Table& t3,
+                                               const JoinOptions& options);
 
 }  // namespace oblivdb::core
 

@@ -1,5 +1,6 @@
 #include "core/operators.h"
 
+#include "common/timer.h"
 #include "core/comparators.h"
 #include "memtrace/oarray.h"
 #include "obliv/compact.h"
@@ -28,8 +29,14 @@ struct KeepUnflagged {
 
 // Compacts the unflagged entries to the front and converts the survivors
 // back into a Table (revealing their count, the operator's output size).
-Table ExtractKept(memtrace::OArray<Entry>& arr, const std::string& name) {
-  const uint64_t kept = obliv::ObliviousCompact(arr, KeepUnflagged{});
+// The compaction's routing steps land in stats->op_route_ops.
+Table ExtractKept(memtrace::OArray<Entry>& arr, const std::string& name,
+                  JoinStats* stats) {
+  obliv::PrimitiveStats compact_stats;
+  const uint64_t kept =
+      obliv::ObliviousCompact(arr, KeepUnflagged{}, &compact_stats);
+  stats->op_route_ops += compact_stats.route_ops;
+  stats->m = kept;
   Table out(name);
   out.rows().reserve(kept);
   for (uint64_t i = 0; i < kept; ++i) {
@@ -40,7 +47,11 @@ Table ExtractKept(memtrace::OArray<Entry>& arr, const std::string& name) {
 
 }  // namespace
 
-Table ObliviousSelect(const Table& input, const CtRowPredicate& keep) {
+Table ObliviousSelect(const Table& input, const CtRowPredicate& keep,
+                      const ExecContext& ctx) {
+  JoinStats stats;
+  stats.n1 = input.size();
+  Timer timer;
   memtrace::OArray<Entry> arr = LoadEntries(input, 1, "SEL");
   for (size_t i = 0; i < arr.size(); ++i) {
     Entry e = arr.Read(i);
@@ -49,12 +60,19 @@ Table ObliviousSelect(const Table& input, const CtRowPredicate& keep) {
                          e.flags | kEntryFlagDummy);
     arr.Write(i, e);
   }
-  return ExtractKept(arr, input.name() + "_selected");
+  Table out = ExtractKept(arr, input.name() + "_selected", &stats);
+  stats.total_seconds = timer.ElapsedSeconds();
+  ctx.ReportStats("select", stats);
+  return out;
 }
 
-Table ObliviousDistinct(const Table& input, obliv::SortPolicy sort_policy) {
+Table ObliviousDistinct(const Table& input, const ExecContext& ctx) {
+  JoinStats stats;
+  stats.n1 = input.size();
+  Timer timer;
   memtrace::OArray<Entry> arr = LoadEntries(input, 1, "DST");
-  obliv::Sort(arr, ByTidThenJoinKeyThenDataLess{}, sort_policy);
+  obliv::Sort(arr, ByTidThenJoinKeyThenDataLess{}, ctx.sort_policy,
+              &stats.op_sort_comparisons, ctx.pool);
   // Equal rows are now adjacent; flag every row equal to its predecessor.
   uint64_t prev_key = 0, prev_d0 = 0, prev_d1 = 0;
   for (size_t i = 0; i < arr.size(); ++i) {
@@ -70,7 +88,10 @@ Table ObliviousDistinct(const Table& input, obliv::SortPolicy sort_policy) {
     prev_d1 = e.payload1;
     arr.Write(i, e);
   }
-  return ExtractKept(arr, input.name() + "_distinct");
+  Table out = ExtractKept(arr, input.name() + "_distinct", &stats);
+  stats.total_seconds = timer.ElapsedSeconds();
+  ctx.ReportStats("distinct", stats);
+  return out;
 }
 
 namespace {
@@ -83,7 +104,11 @@ namespace {
 // by-(j, d) ordering needs the d tiebreak, so we sort the tagged union by
 // (j, tid, d) up front — survivors are then (j, d)-sorted automatically.
 Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
-                     const char* label, obliv::SortPolicy sort_policy) {
+                     const char* label, const ExecContext& ctx) {
+  JoinStats stats;
+  stats.n1 = t1.size();
+  stats.n2 = t2.size();
+  Timer timer;
   const size_t n1 = t1.size();
   const size_t n2 = t2.size();
   const size_t n = n1 + n2;
@@ -95,7 +120,8 @@ Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
     arr.Write(n1 + i, MakeEntry(t2.rows()[i], 2));
   }
   // (j ^, tid ^, d ^): groups contiguous, T1 before T2, T1 rows d-sorted.
-  obliv::Sort(arr, ByJoinKeyThenTidThenDataLess{}, sort_policy);
+  obliv::Sort(arr, ByJoinKeyThenTidThenDataLess{}, ctx.sort_policy,
+              &stats.op_sort_comparisons, ctx.pool);
 
   // Backward pass: within a group the T2 rows (tid 2) come last, so a
   // carried "group has T2" bit reaches every T1 row of the group.
@@ -116,27 +142,57 @@ Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
     next_key = e.join_key;
     arr.Write(i, e);
   }
-  return ExtractKept(arr, std::string(t1.name()) + "_" + label);
+  Table out = ExtractKept(arr, std::string(t1.name()) + "_" + label, &stats);
+  stats.total_seconds = timer.ElapsedSeconds();
+  ctx.ReportStats(label, stats);
+  return out;
 }
 
 }  // namespace
 
 Table ObliviousSemiJoin(const Table& t1, const Table& t2,
+                        const ExecContext& ctx) {
+  return SemiOrAntiJoin(t1, t2, /*want_match=*/true, "semijoin", ctx);
+}
+
+Table ObliviousSemiJoin(const Table& t1, const Table& t2,
                         obliv::SortPolicy sort_policy) {
-  return SemiOrAntiJoin(t1, t2, /*want_match=*/true, "semijoin", sort_policy);
+  ExecContext ctx;
+  ctx.sort_policy = sort_policy;
+  return ObliviousSemiJoin(t1, t2, ctx);
+}
+
+Table ObliviousAntiJoin(const Table& t1, const Table& t2,
+                        const ExecContext& ctx) {
+  return SemiOrAntiJoin(t1, t2, /*want_match=*/false, "antijoin", ctx);
 }
 
 Table ObliviousAntiJoin(const Table& t1, const Table& t2,
                         obliv::SortPolicy sort_policy) {
-  return SemiOrAntiJoin(t1, t2, /*want_match=*/false, "antijoin",
-                        sort_policy);
+  ExecContext ctx;
+  ctx.sort_policy = sort_policy;
+  return ObliviousAntiJoin(t1, t2, ctx);
 }
 
-Table ObliviousUnion(const Table& t1, const Table& t2) {
+Table ObliviousDistinct(const Table& input, obliv::SortPolicy sort_policy) {
+  ExecContext ctx;
+  ctx.sort_policy = sort_policy;
+  return ObliviousDistinct(input, ctx);
+}
+
+Table ObliviousUnion(const Table& t1, const Table& t2,
+                     const ExecContext& ctx) {
+  JoinStats stats;
+  stats.n1 = t1.size();
+  stats.n2 = t2.size();
+  Timer timer;
   Table out(t1.name() + "_u_" + t2.name());
   out.rows().reserve(t1.size() + t2.size());
   for (const Record& r : t1.rows()) out.Add(r);
   for (const Record& r : t2.rows()) out.Add(r);
+  stats.m = out.size();
+  stats.total_seconds = timer.ElapsedSeconds();
+  ctx.ReportStats("union", stats);
   return out;
 }
 

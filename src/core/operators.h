@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "core/exec_context.h"
 #include "obliv/sort_kernel.h"
 #include "table/table.h"
 
@@ -33,33 +34,41 @@ namespace oblivdb::core {
 //   [](const Record& r) { return ct::LessMask(r.payload[0], 100); }
 using CtRowPredicate = std::function<uint64_t(const Record&)>;
 
+// Every operator takes the shared ExecContext: ctx.sort_policy picks the
+// sort execution strategy (obliv/sort_kernel.h; pure speed knob, identical
+// output and obliviousness for every policy), and each operator reports its
+// phase counters — n1/n2, output size m, op_sort_comparisons, op_route_ops
+// — through ctx.ReportStats under its name.  The SortPolicy-only overloads
+// are deprecated shims for pre-ExecContext call sites.
+
 // sigma_p: one linear pass + order-preserving compaction, O(n log n).
 // Reveals the output size (like the join reveals m).
-Table ObliviousSelect(const Table& input, const CtRowPredicate& keep);
+Table ObliviousSelect(const Table& input, const CtRowPredicate& keep,
+                      const ExecContext& ctx = {});
 
 // delta: sort by (j, d), mark later duplicates in one pass, compact.
-// O(n log^2 n); output sorted by (j, d).  `sort_policy` picks the sort
-// execution strategy (obliv/sort_kernel.h) — pure speed knob, identical
-// output and obliviousness for every policy.
-Table ObliviousDistinct(
-    const Table& input,
-    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
+// O(n log^2 n); output sorted by (j, d).
+Table ObliviousDistinct(const Table& input, const ExecContext& ctx = {});
+Table ObliviousDistinct(const Table& input, obliv::SortPolicy sort_policy);
 
 // T1 |x<: every T1 row whose join value occurs in T2, each at most once
 // regardless of the match count on the T2 side.  Augment-style pass over
 // the tagged union, then compaction.  O(n log^2 n); output sorted by (j, d).
-Table ObliviousSemiJoin(
-    const Table& t1, const Table& t2,
-    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
+Table ObliviousSemiJoin(const Table& t1, const Table& t2,
+                        const ExecContext& ctx = {});
+Table ObliviousSemiJoin(const Table& t1, const Table& t2,
+                        obliv::SortPolicy sort_policy);
 
 // T1 |><: the complement of the semi-join.  Same cost and leakage.
-Table ObliviousAntiJoin(
-    const Table& t1, const Table& t2,
-    obliv::SortPolicy sort_policy = obliv::SortPolicy::kBlocked);
+Table ObliviousAntiJoin(const Table& t1, const Table& t2,
+                        const ExecContext& ctx = {});
+Table ObliviousAntiJoin(const Table& t1, const Table& t2,
+                        obliv::SortPolicy sort_policy);
 
 // Multiset union: a fixed-pattern concatenation (no data-dependent work at
 // all; exposed so query plans can stay inside the oblivious API).
-Table ObliviousUnion(const Table& t1, const Table& t2);
+Table ObliviousUnion(const Table& t1, const Table& t2,
+                     const ExecContext& ctx = {});
 
 }  // namespace oblivdb::core
 

@@ -1,0 +1,240 @@
+#include "core/plan.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "core/multiway.h"
+
+namespace oblivdb::core {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kScan: return "scan";
+    case PlanOp::kSelect: return "select";
+    case PlanOp::kDistinct: return "distinct";
+    case PlanOp::kJoin: return "join";
+    case PlanOp::kSemiJoin: return "semijoin";
+    case PlanOp::kAntiJoin: return "antijoin";
+    case PlanOp::kAggregate: return "aggregate";
+    case PlanOp::kUnion: return "union";
+    case PlanOp::kMultiwayJoin: return "multiway_join";
+  }
+  OBLIVDB_CHECK(false);
+  return "?";
+}
+
+namespace {
+
+PlanPtr MakeNode(PlanOp op, std::vector<PlanPtr> inputs) {
+  for (const PlanPtr& in : inputs) OBLIVDB_CHECK(in != nullptr);
+  auto node = std::make_shared<PlanNode>();
+  node->op = op;
+  node->label = PlanOpName(op);
+  node->inputs = std::move(inputs);
+  return node;
+}
+
+}  // namespace
+
+PlanPtr Scan(Table table) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = PlanOp::kScan;
+  node->label = table.name().empty() ? "scan" : table.name();
+  node->table = std::move(table);
+  return node;
+}
+
+PlanPtr Select(PlanPtr input, CtRowPredicate predicate) {
+  OBLIVDB_CHECK(input != nullptr);
+  OBLIVDB_CHECK(predicate != nullptr);
+  auto node = std::make_shared<PlanNode>();
+  node->op = PlanOp::kSelect;
+  node->label = PlanOpName(PlanOp::kSelect);
+  node->predicate = std::move(predicate);
+  node->inputs.push_back(std::move(input));
+  return node;
+}
+
+PlanPtr Distinct(PlanPtr input) {
+  return MakeNode(PlanOp::kDistinct, {std::move(input)});
+}
+
+PlanPtr Join(PlanPtr left, PlanPtr right) {
+  return MakeNode(PlanOp::kJoin, {std::move(left), std::move(right)});
+}
+
+PlanPtr SemiJoin(PlanPtr left, PlanPtr right) {
+  return MakeNode(PlanOp::kSemiJoin, {std::move(left), std::move(right)});
+}
+
+PlanPtr AntiJoin(PlanPtr left, PlanPtr right) {
+  return MakeNode(PlanOp::kAntiJoin, {std::move(left), std::move(right)});
+}
+
+PlanPtr Aggregate(PlanPtr left, PlanPtr right) {
+  return MakeNode(PlanOp::kAggregate, {std::move(left), std::move(right)});
+}
+
+PlanPtr Union(PlanPtr left, PlanPtr right) {
+  return MakeNode(PlanOp::kUnion, {std::move(left), std::move(right)});
+}
+
+PlanPtr MultiwayJoin(std::vector<PlanPtr> inputs) {
+  OBLIVDB_CHECK_GE(inputs.size(), 1u);
+  return MakeNode(PlanOp::kMultiwayJoin, std::move(inputs));
+}
+
+namespace {
+
+void ExplainInto(const PlanPtr& node, size_t depth, std::string& out) {
+  out.append(2 * depth, ' ');
+  if (node->op == PlanOp::kScan) {
+    out += "scan(" + node->label + ")";
+  } else {
+    out += node->label;
+  }
+  out += '\n';
+  for (const PlanPtr& in : node->inputs) ExplainInto(in, depth + 1, out);
+}
+
+// Narrowing conventions at node boundaries (see plan.h header comment).
+Table PackJoined(const std::vector<JoinedRecord>& rows) {
+  Table out("join");
+  out.rows().reserve(rows.size());
+  for (const JoinedRecord& r : rows) {
+    out.rows().push_back(Record{r.key, {r.payload1[0], r.payload2[0]}});
+  }
+  return out;
+}
+
+Table PackAggregates(const std::vector<JoinGroupAggregate>& rows) {
+  Table out("aggregate");
+  out.rows().reserve(rows.size());
+  for (const JoinGroupAggregate& a : rows) {
+    out.rows().push_back(Record{a.key, {a.count, a.sum_d1}});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanPtr& plan) {
+  OBLIVDB_CHECK(plan != nullptr);
+  std::string out;
+  ExplainInto(plan, 0, out);
+  return out;
+}
+
+PlanResult Executor::Execute(const PlanPtr& plan) {
+  OBLIVDB_CHECK(plan != nullptr);
+  node_stats_.clear();
+  PlanResult result;
+  if (ctx_.trace_sink != nullptr) {
+    memtrace::TraceScope scope(ctx_.trace_sink);
+    result.table = ExecNode(plan, &result);
+  } else {
+    result.table = ExecNode(plan, &result);
+  }
+  // The caller's per-call out-parameter receives the root operator's
+  // counters (node_stats() has the full per-node breakdown).
+  if (ctx_.stats != nullptr) *ctx_.stats = node_stats_.back().stats;
+  return result;
+}
+
+Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
+  // Children first (left to right), so node_stats_ ends up in post-order.
+  // Scan leaves are borrowed straight from the immutable plan node — no
+  // per-run copy of the base tables; other children materialize into
+  // owned intermediates.
+  std::vector<Table> owned;
+  owned.reserve(node->inputs.size());
+  std::vector<const Table*> inputs;
+  inputs.reserve(node->inputs.size());
+  for (const PlanPtr& in : node->inputs) {
+    if (in->op == PlanOp::kScan) {
+      PlanNodeStats leaf;
+      leaf.op = in->op;
+      leaf.label = in->label;
+      leaf.stats.m = in->table.size();
+      leaf.output_rows = in->table.size();
+      node_stats_.push_back(std::move(leaf));
+      inputs.push_back(&in->table);
+    } else {
+      owned.push_back(ExecNode(in, nullptr));
+      inputs.push_back(&owned.back());
+    }
+  }
+
+  // Per-node context: same policy / pool / sink, but the per-call stats
+  // out-parameter points at this node's record (the operator fills it and
+  // still streams to ctx_.stats_sink).  The trace sink is installed once
+  // around the whole run by Execute, never per node.
+  PlanNodeStats entry;
+  entry.op = node->op;
+  entry.label = node->label;
+  ExecContext node_ctx = ctx_;
+  node_ctx.stats = &entry.stats;
+  node_ctx.trace_sink = nullptr;
+
+  Table out;
+  switch (node->op) {
+    case PlanOp::kScan:
+      // Only reached when a scan is the plan root (scan children are
+      // borrowed in the loop above): the result table must be owned.
+      out = node->table;
+      entry.stats.m = out.size();
+      break;
+    case PlanOp::kSelect:
+      out = ObliviousSelect(*inputs[0], node->predicate, node_ctx);
+      break;
+    case PlanOp::kDistinct:
+      out = ObliviousDistinct(*inputs[0], node_ctx);
+      break;
+    case PlanOp::kJoin: {
+      std::vector<JoinedRecord> joined =
+          ObliviousJoin(*inputs[0], *inputs[1], node_ctx);
+      out = PackJoined(joined);
+      if (root_result != nullptr) root_result->join_rows = std::move(joined);
+      break;
+    }
+    case PlanOp::kSemiJoin:
+      out = ObliviousSemiJoin(*inputs[0], *inputs[1], node_ctx);
+      break;
+    case PlanOp::kAntiJoin:
+      out = ObliviousAntiJoin(*inputs[0], *inputs[1], node_ctx);
+      break;
+    case PlanOp::kAggregate: {
+      std::vector<JoinGroupAggregate> aggs =
+          ObliviousJoinAggregate(*inputs[0], *inputs[1], node_ctx);
+      out = PackAggregates(aggs);
+      if (root_result != nullptr) {
+        root_result->aggregate_rows = std::move(aggs);
+      }
+      break;
+    }
+    case PlanOp::kUnion:
+      out = ObliviousUnion(*inputs[0], *inputs[1], node_ctx);
+      break;
+    case PlanOp::kMultiwayJoin: {
+      // The cascade API takes a vector of tables; materialize one (scan
+      // leaves are copied here, as before — the cascade consumes them).
+      std::vector<Table> tables;
+      tables.reserve(inputs.size());
+      for (const Table* t : inputs) tables.push_back(*t);
+      out = ObliviousMultiwayJoin(tables, node_ctx);
+      break;
+    }
+  }
+
+  entry.output_rows = out.size();
+  node_stats_.push_back(std::move(entry));
+  return out;
+}
+
+uint64_t Executor::TotalComparisons() const {
+  uint64_t total = 0;
+  for (const PlanNodeStats& s : node_stats_) total += s.stats.TotalComparisons();
+  return total;
+}
+
+}  // namespace oblivdb::core

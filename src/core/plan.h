@@ -1,0 +1,130 @@
+// Composable oblivious query plans: the operator-tree layer over the
+// relational algebra of core/{join,operators,aggregate,multiway}.h.
+//
+// The paper's point (§1) is that the join is the only algorithmically hard
+// operator — whole queries are compositions.  A PlanNode tree expresses
+// such a composition; the Executor walks it bottom-up, runs every operator
+// with one shared ExecContext, and aggregates per-node statistics.  Because
+// each operator's access pattern depends only on its input and (revealed)
+// output sizes, a plan's complete trace is determined by the sequence of
+// intermediate sizes — level II obliviousness composes over the tree
+// (tests/plan_test.cc pins both the output equivalence and the trace
+// data-independence).
+//
+// Inter-node rows travel as Table (the paper's (j, d) records).  Operators
+// whose native output is wider narrow at node boundaries exactly as the
+// multiway cascade does:
+//
+//   Join       ->  Record{j, {d1[0], d2[0]}}   (first payload word per side)
+//   Aggregate  ->  Record{j, {count, sum_d1}}
+//
+// At the plan *root* nothing is lost: PlanResult also carries the full
+// JoinedRecord / JoinGroupAggregate rows when the root is a Join/Aggregate.
+
+#ifndef OBLIVDB_CORE_PLAN_H_
+#define OBLIVDB_CORE_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/exec_context.h"
+#include "core/join.h"
+#include "core/operators.h"
+#include "table/table.h"
+
+namespace oblivdb::core {
+
+enum class PlanOp : uint8_t {
+  kScan,         // leaf: a client table
+  kSelect,       // sigma_p           (1 input)
+  kDistinct,     // delta             (1 input)
+  kJoin,         // T1 |><| T2        (2 inputs)
+  kSemiJoin,     // T1 |x< T2         (2 inputs)
+  kAntiJoin,     // T1 |>< T2         (2 inputs)
+  kAggregate,    // group-aggregate over a join, no expansion (2 inputs)
+  kUnion,        // multiset union    (2 inputs)
+  kMultiwayJoin  // cascaded join     (>= 1 input)
+};
+
+const char* PlanOpName(PlanOp op);
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+// Plan trees are immutable and shareable: build once, execute under any
+// number of contexts / policies.
+struct PlanNode {
+  PlanOp op;
+  std::string label;          // scans: table name; otherwise operator name
+  Table table;                // kScan payload
+  CtRowPredicate predicate;   // kSelect payload
+  std::vector<PlanPtr> inputs;
+};
+
+// Builders (the only way plans are meant to be constructed; they validate
+// arity so the Executor can trust the tree shape).
+PlanPtr Scan(Table table);
+PlanPtr Select(PlanPtr input, CtRowPredicate predicate);
+PlanPtr Distinct(PlanPtr input);
+PlanPtr Join(PlanPtr left, PlanPtr right);
+PlanPtr SemiJoin(PlanPtr left, PlanPtr right);
+PlanPtr AntiJoin(PlanPtr left, PlanPtr right);
+PlanPtr Aggregate(PlanPtr left, PlanPtr right);
+PlanPtr Union(PlanPtr left, PlanPtr right);
+PlanPtr MultiwayJoin(std::vector<PlanPtr> inputs);
+
+// Indented one-node-per-line rendering of the tree, e.g.
+//
+//   distinct
+//     join
+//       scan(employees)
+//       scan(departments)
+std::string ExplainPlan(const PlanPtr& plan);
+
+struct PlanResult {
+  // Always populated: the root's rows in the uniform Table shape.
+  Table table;
+  // Populated only when the root is kJoin / kAggregate respectively: the
+  // operator's full-width native rows.
+  std::vector<JoinedRecord> join_rows;
+  std::vector<JoinGroupAggregate> aggregate_rows;
+};
+
+// One entry per executed node, in post-order (a node's inputs precede it —
+// the order the operators actually ran in).
+struct PlanNodeStats {
+  PlanOp op;
+  std::string label;
+  uint64_t output_rows = 0;
+  JoinStats stats;  // the node's operator counters (core/stats.h)
+};
+
+// Walks a plan tree bottom-up and runs every operator under the shared
+// ExecContext.  If ctx.trace_sink is set, it is installed
+// (memtrace::TraceScope) around the whole run, so the sink observes the
+// query's complete public-memory trace.  Reusable: each Execute call
+// resets node_stats().
+class Executor {
+ public:
+  explicit Executor(const ExecContext& ctx) : ctx_(ctx) {}
+
+  PlanResult Execute(const PlanPtr& plan);
+
+  const std::vector<PlanNodeStats>& node_stats() const { return node_stats_; }
+
+  // Sum of TotalComparisons over every node of the last Execute.
+  uint64_t TotalComparisons() const;
+
+ private:
+  Table ExecNode(const PlanPtr& node, PlanResult* root_result);
+
+  ExecContext ctx_;
+  std::vector<PlanNodeStats> node_stats_;
+};
+
+}  // namespace oblivdb::core
+
+#endif  // OBLIVDB_CORE_PLAN_H_

@@ -1,4 +1,6 @@
-// Per-phase instrumentation for the full join (Table 3 of the paper).
+// Per-phase instrumentation for the full join (Table 3 of the paper) and,
+// since the ExecContext refactor, the shared counter record every
+// relational operator reports through ExecContext::ReportStats.
 
 #ifndef OBLIVDB_CORE_STATS_H_
 #define OBLIVDB_CORE_STATS_H_
@@ -7,9 +9,10 @@
 
 namespace oblivdb::core {
 
-// Filled in by ObliviousJoin when JoinOptions::stats is non-null.  The
-// comparison counters count compare-exchanges (each touching two entries);
-// route_ops counts routing-network steps (also two entries each).
+// Filled in by ObliviousJoin when ExecContext::stats is non-null (and
+// streamed to ExecContext::stats_sink by every operator).  The comparison
+// counters count compare-exchanges (each touching two entries); route_ops
+// counts routing-network steps (also two entries each).
 struct JoinStats {
   uint64_t n1 = 0;
   uint64_t n2 = 0;
@@ -24,6 +27,12 @@ struct JoinStats {
   // "align sort on S2" row.
   uint64_t align_sort_comparisons = 0;
 
+  // Single-sort operators (Distinct / SemiJoin / AntiJoin / Aggregate)
+  // land their pipeline sort here, and their compaction's routing steps in
+  // op_route_ops; the four join-phase counters above stay zero for them.
+  uint64_t op_sort_comparisons = 0;
+  uint64_t op_route_ops = 0;
+
   double augment_seconds = 0;
   double expand_seconds = 0;
   double align_seconds = 0;
@@ -32,7 +41,8 @@ struct JoinStats {
 
   uint64_t TotalComparisons() const {
     return augment_sort_comparisons + expand_sort_comparisons +
-           expand_route_ops + align_sort_comparisons;
+           expand_route_ops + align_sort_comparisons + op_sort_comparisons +
+           op_route_ops;
   }
 };
 

@@ -36,11 +36,12 @@ namespace oblivdb::obliv {
 template <Routable T>
 void ObliviousDistribute(memtrace::OArray<T>& a, size_t n,
                          PrimitiveStats* stats = nullptr,
-                         SortPolicy sort_policy = SortPolicy::kBlocked) {
+                         SortPolicy sort_policy = SortPolicy::kBlocked,
+                         ThreadPool* pool = nullptr) {
   OBLIVDB_CHECK_LE(n, a.size());
   uint64_t* comparisons = stats != nullptr ? &stats->sort_comparisons : nullptr;
   // Sort only the occupied prefix (O(n log^2 n)); the tail is already null.
-  SortRange(a, 0, n, NullsLastByDestLess{}, sort_policy, comparisons);
+  SortRange(a, 0, n, NullsLastByDestLess{}, sort_policy, comparisons, pool);
   RouteForward(a, stats);
 }
 

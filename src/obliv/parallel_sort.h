@@ -232,7 +232,9 @@ void ParallelBitonicSort(ThreadPool& pool, T* d, uint32_t array_id, size_t lo,
 
 // Sorts a[lo, lo+len) ascending under `less` using up to ~2^depth
 // concurrent tasks, where depth = ceil(log2(threads)), on the persistent
-// global ThreadPool.  threads == 0 means "one task slot per pool worker".
+// ThreadPool (`pool_override`, or the process-wide Global() when null —
+// an ExecContext's pool arrives here through obliv::SortRange).
+// threads == 0 means "one task slot per pool worker".
 // With a TraceSink installed, per-task buffers are replayed in
 // deterministic sequential order after the sort, yielding the exact
 // reference-network log.  `cross_chunk` overrides the cross-half pass
@@ -243,10 +245,12 @@ template <typename T, typename Less>
 void BitonicSortRangeParallel(memtrace::OArray<T>& a, size_t lo, size_t len,
                               const Less& less, unsigned threads = 0,
                               uint64_t* comparisons = nullptr,
-                              size_t cross_chunk = internal::kCrossPassChunk) {
+                              size_t cross_chunk = internal::kCrossPassChunk,
+                              ThreadPool* pool_override = nullptr) {
   OBLIVDB_CHECK_LE(lo, a.size());
   OBLIVDB_CHECK_LE(len, a.size() - lo);
-  ThreadPool& pool = ThreadPool::Global();
+  ThreadPool& pool =
+      pool_override != nullptr ? *pool_override : ThreadPool::Global();
   if (threads == 0) threads = pool.worker_count();
   if (threads <= 1 || len < internal::kParallelCutoff) {
     BitonicSortRangeBlocked(a, lo, len, less, comparisons);

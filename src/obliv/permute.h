@@ -27,6 +27,7 @@
 #ifndef OBLIVDB_OBLIV_PERMUTE_H_
 #define OBLIVDB_OBLIV_PERMUTE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <utility>
@@ -34,6 +35,7 @@
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "memtrace/oarray.h"
 #include "obliv/ct.h"
 
@@ -50,8 +52,10 @@ class BenesNetwork {
   // perm must be a permutation of {0, ..., perm.size() - 1}.  Non-power-of-
   // two sizes are padded internally with fixed points; callers route
   // through a scratch array of network_size() slots in that case
-  // (ObliviousPermuteRange below handles both shapes).
-  explicit BenesNetwork(std::vector<uint32_t> perm)
+  // (ObliviousPermuteRange below handles both shapes).  `pool` is the
+  // worker pool for the parallel switch-planning fan-out (see Route);
+  // nullptr means ThreadPool::Global().
+  explicit BenesNetwork(std::vector<uint32_t> perm, ThreadPool* pool = nullptr)
       : n_(perm.size()), m_(n_ <= 1 ? n_ : CeilPow2(n_)) {
     if (m_ < 2) return;
     perm.resize(m_);
@@ -68,7 +72,7 @@ class BenesNetwork {
     }
     const size_t k = Log2Floor(m_);
     switches_.assign(2 * k - 1, std::vector<uint64_t>((m_ + 63) / 64, 0));
-    Route(std::move(perm));
+    Route(std::move(perm), pool);
   }
 
   size_t input_size() const { return n_; }    // permutation length n
@@ -114,6 +118,18 @@ class BenesNetwork {
     if (bit) switches_[level][i >> 6] |= uint64_t{1} << (i & 63);
   }
 
+  // Fan-out gates for the per-level block parallelism in Route.  Blocks at
+  // the same depth are fully independent (disjoint slices of cur/next/
+  // inv/color), but Set's read-modify-write on the switch bitmaps is only
+  // race-free across blocks when every block's bit range covers whole
+  // 64-bit words — i.e. when the block size s is a multiple of 128 (half
+  // >= 64 and base a multiple of 128).  Smaller blocks run sequentially;
+  // they sit at the deep, loop-overhead-bound end of the planner where
+  // fan-out would not pay anyway.
+  static constexpr size_t kMinParallelPlanSize = size_t{1} << 14;  // m_
+  static constexpr size_t kMinParallelBlocks = 8;
+  static constexpr size_t kMinParallelBlockSize = 128;  // s
+
   // Configures the whole network level-synchronously: at depth d, `cur`
   // holds the concatenated local permutations of every size-(m >> d) block.
   // For each block the loop 2-colors the constraint cycles so that partner
@@ -122,8 +138,13 @@ class BenesNetwork {
   // the ping-pong buffer for the next depth.  All scratch (inverse, colors,
   // both permutation buffers) is allocated once — the routing pass is the
   // fixed cost in front of the O(n log n) payload swaps, so it stays
-  // allocation-free and mostly sequential.
-  void Route(std::vector<uint32_t> perm) {
+  // allocation-free.  For large networks the independent blocks of a level
+  // are fanned out on the persistent ThreadPool (cycle walking is
+  // DRAM-latency-bound, so independent walks overlap their misses); the
+  // computed switch plan is bit-identical to the sequential one, and the
+  // planning happens entirely in local memory, so the public trace is
+  // untouched either way.
+  void Route(std::vector<uint32_t> perm, ThreadPool* pool_override) {
     const size_t k = Log2Floor(m_);
     std::vector<uint32_t> cur = std::move(perm);
     std::vector<uint32_t> next(m_);
@@ -134,7 +155,8 @@ class BenesNetwork {
       const size_t half = s / 2;
       const size_t in_level = d;
       const size_t out_level = depth() - 1 - d;
-      for (size_t base = 0; base < m_; base += s) {
+
+      auto plan_block = [&](size_t base) {
         const uint32_t* pm = cur.data() + base;
         uint32_t* iv = inv.data() + base;
         int8_t* cl = color.data() + base;
@@ -177,6 +199,28 @@ class BenesNetwork {
           nx[j] = pm[ft] & static_cast<uint32_t>(half - 1);
           nx[j + half] = pm[fb] & static_cast<uint32_t>(half - 1);
         }
+      };
+
+      const size_t num_blocks = m_ / s;
+      if (m_ >= kMinParallelPlanSize && num_blocks >= kMinParallelBlocks &&
+          s >= kMinParallelBlockSize) {
+        ThreadPool& pool =
+            pool_override != nullptr ? *pool_override : ThreadPool::Global();
+        TaskGroup group(pool);
+        // A few chunks per worker keeps the queue contention negligible
+        // while smoothing out uneven cycle structures across blocks.
+        const size_t chunks =
+            std::min(num_blocks, size_t{4} * pool.worker_count());
+        const size_t per_chunk = (num_blocks + chunks - 1) / chunks;
+        for (size_t b0 = 0; b0 < num_blocks; b0 += per_chunk) {
+          const size_t b1 = std::min(num_blocks, b0 + per_chunk);
+          group.Run([&plan_block, b0, b1, s] {
+            for (size_t b = b0; b < b1; ++b) plan_block(b * s);
+          });
+        }
+        group.Wait();
+      } else {
+        for (size_t base = 0; base < m_; base += s) plan_block(base);
       }
       std::swap(cur, next);
     }

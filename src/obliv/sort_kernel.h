@@ -46,22 +46,27 @@ enum class SortPolicy : uint8_t {
   kTagSort,    // narrow tag network + one Beneš payload permutation
 };
 
-// Policy dispatchers: one call site, any implementation.
+// Policy dispatchers: one call site, any implementation.  `pool` is the
+// worker pool for the parallel tiers (kParallel's task fan-out and
+// kTagSort's Beneš switch planning); nullptr means the process-wide
+// ThreadPool::Global().  The relational layer passes ExecContext::pool.
 template <typename T, typename Less>
   requires CtLess<Less, T>
 void SortRange(memtrace::OArray<T>& a, size_t lo, size_t len,
                const Less& less, SortPolicy policy,
-               uint64_t* comparisons = nullptr) {
+               uint64_t* comparisons = nullptr, ThreadPool* pool = nullptr) {
   switch (policy) {
     case SortPolicy::kBlocked:
       BitonicSortRangeBlocked(a, lo, len, less, comparisons);
       break;
     case SortPolicy::kParallel:
-      BitonicSortRangeParallel(a, lo, len, less, /*threads=*/0, comparisons);
+      BitonicSortRangeParallel(a, lo, len, less, /*threads=*/0, comparisons,
+                               internal::kCrossPassChunk, pool);
       break;
     case SortPolicy::kTagSort:
       if constexpr (TagProjectable<Less, T>) {
-        BitonicSortRangeTagged(a, lo, len, less, comparisons);
+        BitonicSortRangeTagged(a, lo, len, less, comparisons, kSortBlockBytes,
+                               pool);
       } else {
         BitonicSortRangeBlocked(a, lo, len, less, comparisons);
       }
@@ -75,8 +80,8 @@ void SortRange(memtrace::OArray<T>& a, size_t lo, size_t len,
 template <typename T, typename Less>
   requires CtLess<Less, T>
 void Sort(memtrace::OArray<T>& a, const Less& less, SortPolicy policy,
-          uint64_t* comparisons = nullptr) {
-  SortRange(a, 0, a.size(), less, policy, comparisons);
+          uint64_t* comparisons = nullptr, ThreadPool* pool = nullptr) {
+  SortRange(a, 0, a.size(), less, policy, comparisons, pool);
 }
 
 }  // namespace oblivdb::obliv

@@ -78,13 +78,15 @@ void ForSpanChunks(size_t len, const Fn& fn) {
 
 // Sorts a[lo, lo+len) ascending under `less` via the tag-sort path.  Same
 // element order as BitonicSortRange under any faithful projection; same
-// comparison count (the tag network runs the identical schedule).
+// comparison count (the tag network runs the identical schedule).  `pool`
+// feeds the Beneš switch-planning fan-out (nullptr = global pool).
 template <typename T, typename Less>
   requires CtLess<Less, T> && TagProjectable<Less, T>
 void BitonicSortRangeTagged(memtrace::OArray<T>& a, size_t lo, size_t len,
                             const Less& less,
                             uint64_t* comparisons = nullptr,
-                            size_t block_bytes = kSortBlockBytes) {
+                            size_t block_bytes = kSortBlockBytes,
+                            ThreadPool* pool = nullptr) {
   OBLIVDB_CHECK_LE(lo, a.size());
   OBLIVDB_CHECK_LE(len, a.size() - lo);
   if (len < kTagSortMinLen) {
@@ -127,7 +129,7 @@ void BitonicSortRangeTagged(memtrace::OArray<T>& a, size_t lo, size_t len,
       }
     });
   }
-  const BenesNetwork net(std::move(perm));
+  const BenesNetwork net(std::move(perm), pool);
   ObliviousPermuteRange(a, lo, net);
 }
 

@@ -102,4 +102,16 @@ const std::vector<uint64_t>& Interpreter::GetArray(
   return it->second;
 }
 
+core::PlanResult QueryInterpreter::Run(const QueryPtr& query) {
+  // Lower the program to a plan and hand it to the shared Executor: the
+  // interpreter contains no operator calls of its own.  LowerToPlan runs
+  // the one CheckQuery pass and aborts on ill-formed input (call Check()
+  // first to reject gracefully).
+  last_plan_ = LowerToPlan(query, catalog_);
+  core::Executor executor(ctx_);
+  core::PlanResult result = executor.Execute(last_plan_);
+  last_node_stats_ = executor.node_stats();
+  return result;
+}
+
 }  // namespace oblivdb::typecheck

@@ -1,0 +1,83 @@
+// Relational query programs: the operator-granularity analogue of the
+// imperative DSL (ast.h / checker.h).
+//
+// The imperative layer certifies that the *kernels* are oblivious
+// (statement-level typing, §6.1).  At the query level the argument is
+// compositional: every relational operator in core/ has an access pattern
+// determined by its input sizes and revealed output size, so any
+// well-formed tree of them is oblivious end-to-end.  CheckQuery enforces
+// exactly the well-formedness side conditions the argument needs —
+//
+//   * every scan names a table present in the (secret, label-H) catalog;
+//   * arities match (unary/binary/variadic per operator);
+//   * every select carries a constant-time predicate (the CtRowPredicate
+//     contract of core/operators.h: mask-valued, local-memory only);
+//
+// and a checked query lowers to a core::Plan tree (query -> plan is the
+// interpreter's job; see interpreter.h, QueryInterpreter).  Nothing here
+// calls a relational operator directly.
+
+#ifndef OBLIVDB_TYPECHECK_QUERY_H_
+#define OBLIVDB_TYPECHECK_QUERY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/operators.h"
+#include "core/plan.h"
+#include "table/table.h"
+
+namespace oblivdb::typecheck {
+
+struct QueryExpr;
+using QueryPtr = std::shared_ptr<const QueryExpr>;
+
+// One relational operator application: the same operator vocabulary as the
+// plan layer (core::PlanOp — one enum, both switches stay exhaustive over
+// it), but as a *named* program over a catalog: scans reference tables by
+// name, so the same query runs against any store — the §6.1 two-store
+// experiment at query granularity.
+struct QueryExpr {
+  core::PlanOp kind;
+  std::string table_name;          // kScan
+  core::CtRowPredicate predicate;  // kSelect
+  std::vector<QueryPtr> children;
+};
+
+// Builders.
+QueryPtr QScan(std::string table_name);
+QueryPtr QSelect(QueryPtr input, core::CtRowPredicate predicate);
+QueryPtr QDistinct(QueryPtr input);
+QueryPtr QJoin(QueryPtr left, QueryPtr right);
+QueryPtr QSemiJoin(QueryPtr left, QueryPtr right);
+QueryPtr QAntiJoin(QueryPtr left, QueryPtr right);
+QueryPtr QAggregate(QueryPtr left, QueryPtr right);
+QueryPtr QUnion(QueryPtr left, QueryPtr right);
+QueryPtr QMultiwayJoin(std::vector<QueryPtr> children);
+
+// The store a query runs against.  All table contents are high-security
+// (label H in the Figure 6 sense); table *names* and row counts are public.
+struct QueryCatalog {
+  std::map<std::string, Table> tables;
+};
+
+struct QueryCheckResult {
+  bool ok = false;
+  std::string error;  // empty when ok
+};
+
+// Structural check (see header comment).  Rejects null nodes, unknown scan
+// tables, wrong arities and missing select predicates.
+QueryCheckResult CheckQuery(const QueryPtr& query, const QueryCatalog& catalog);
+
+// Lowers a query to an executable core::Plan tree, binding each scan to its
+// catalog table.  Aborts if the query does not check — run CheckQuery first
+// (QueryInterpreter::Run does both).
+core::PlanPtr LowerToPlan(const QueryPtr& query, const QueryCatalog& catalog);
+
+}  // namespace oblivdb::typecheck
+
+#endif  // OBLIVDB_TYPECHECK_QUERY_H_

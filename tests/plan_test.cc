@@ -1,0 +1,310 @@
+// The plan layer (core/plan.h): every relational operator must be
+// executable both directly and through an Executor over a plan tree, with
+// byte-identical outputs, unchanged access traces per SortPolicy, and full
+// per-node stats coverage through the ExecContext sink.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/exec_context.h"
+#include "core/join.h"
+#include "core/multiway.h"
+#include "core/operators.h"
+#include "core/plan.h"
+#include "memtrace/sinks.h"
+#include "obliv/ct.h"
+#include "workload/generators.h"
+
+namespace oblivdb {
+namespace {
+
+using core::ExecContext;
+using core::Executor;
+using core::PlanPtr;
+using core::PlanResult;
+
+const obliv::SortPolicy kAllPolicies[] = {
+    obliv::SortPolicy::kReference, obliv::SortPolicy::kBlocked,
+    obliv::SortPolicy::kParallel, obliv::SortPolicy::kTagSort};
+
+Table SmallT1() {
+  return Table("t1", {{1, 10}, {1, 11}, {2, 20}, {3, 30}, {3, 30}, {5, 50}});
+}
+Table SmallT2() {
+  return Table("t2", {{1, 100}, {2, 200}, {2, 201}, {4, 400}});
+}
+
+uint64_t PayloadAtMost(const Record& r, uint64_t bound) {
+  return ct::LeqMask(r.payload[0], bound);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-vs-direct output equivalence, one test per node type.
+
+TEST(PlanEquivalenceTest, Scan) {
+  const Table t = SmallT1();
+  Executor ex({});
+  const PlanResult r = ex.Execute(core::Scan(t));
+  EXPECT_EQ(r.table.rows(), t.rows());
+}
+
+TEST(PlanEquivalenceTest, Select) {
+  const Table t = SmallT1();
+  auto pred = [](const Record& r) { return PayloadAtMost(r, 29); };
+  Executor ex({});
+  const PlanResult r = ex.Execute(core::Select(core::Scan(t), pred));
+  EXPECT_EQ(r.table.rows(), core::ObliviousSelect(t, pred).rows());
+}
+
+TEST(PlanEquivalenceTest, Distinct) {
+  Executor ex({});
+  const PlanResult r = ex.Execute(core::Distinct(core::Scan(SmallT1())));
+  EXPECT_EQ(r.table.rows(), core::ObliviousDistinct(SmallT1()).rows());
+}
+
+TEST(PlanEquivalenceTest, Join) {
+  Executor ex({});
+  const PlanResult r =
+      ex.Execute(core::Join(core::Scan(SmallT1()), core::Scan(SmallT2())));
+  const auto direct = core::ObliviousJoin(SmallT1(), SmallT2());
+  EXPECT_EQ(r.join_rows, direct);
+  // The packed table carries the first payload word of each side.
+  ASSERT_EQ(r.table.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(r.table.rows()[i],
+              (Record{direct[i].key,
+                      {direct[i].payload1[0], direct[i].payload2[0]}}));
+  }
+}
+
+TEST(PlanEquivalenceTest, SemiJoin) {
+  Executor ex({});
+  const PlanResult r =
+      ex.Execute(core::SemiJoin(core::Scan(SmallT1()), core::Scan(SmallT2())));
+  EXPECT_EQ(r.table.rows(), core::ObliviousSemiJoin(SmallT1(), SmallT2()).rows());
+}
+
+TEST(PlanEquivalenceTest, AntiJoin) {
+  Executor ex({});
+  const PlanResult r =
+      ex.Execute(core::AntiJoin(core::Scan(SmallT1()), core::Scan(SmallT2())));
+  EXPECT_EQ(r.table.rows(), core::ObliviousAntiJoin(SmallT1(), SmallT2()).rows());
+}
+
+TEST(PlanEquivalenceTest, Aggregate) {
+  Executor ex({});
+  const PlanResult r = ex.Execute(
+      core::Aggregate(core::Scan(SmallT1()), core::Scan(SmallT2())));
+  const auto direct = core::ObliviousJoinAggregate(SmallT1(), SmallT2());
+  EXPECT_EQ(r.aggregate_rows, direct);
+  ASSERT_EQ(r.table.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(r.table.rows()[i],
+              (Record{direct[i].key, {direct[i].count, direct[i].sum_d1}}));
+  }
+}
+
+TEST(PlanEquivalenceTest, Union) {
+  Executor ex({});
+  const PlanResult r =
+      ex.Execute(core::Union(core::Scan(SmallT1()), core::Scan(SmallT2())));
+  EXPECT_EQ(r.table.rows(), core::ObliviousUnion(SmallT1(), SmallT2()).rows());
+}
+
+TEST(PlanEquivalenceTest, MultiwayJoin) {
+  const Table t3("t3", {{1, 7}, {2, 8}, {2, 9}});
+  Executor ex({});
+  const PlanResult r = ex.Execute(core::MultiwayJoin(
+      {core::Scan(SmallT1()), core::Scan(SmallT2()), core::Scan(t3)}));
+  EXPECT_EQ(r.table.rows(),
+            core::ObliviousMultiwayJoin({SmallT1(), SmallT2(), t3}).rows());
+}
+
+// A composite plan against the nested direct calls, across every policy.
+TEST(PlanEquivalenceTest, CompositePlanAllPolicies) {
+  const auto tc = workload::PowerLaw(48, 2.0, 11);
+  auto pred = [](const Record& r) { return PayloadAtMost(r, 1u << 30); };
+  for (const obliv::SortPolicy policy : kAllPolicies) {
+    ExecContext ctx;
+    ctx.sort_policy = policy;
+    Executor ex(ctx);
+    const PlanResult r = ex.Execute(core::Distinct(core::SemiJoin(
+        core::Select(core::Scan(tc.t1), pred), core::Scan(tc.t2))));
+    const Table direct = core::ObliviousDistinct(
+        core::ObliviousSemiJoin(core::ObliviousSelect(tc.t1, pred, ctx),
+                                tc.t2, ctx),
+        ctx);
+    EXPECT_EQ(r.table.rows(), direct.rows());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traces.
+
+// Plan execution must add no public-memory accesses of its own: the full
+// log of an Executor run equals the log of the direct call sequence.
+TEST(PlanTraceTest, PlanTraceEqualsDirectCallTrace) {
+  const auto tc = workload::WithOutputSize(16, 4, 0, 3);
+
+  memtrace::VectorTraceSink plan_sink;
+  {
+    ExecContext ctx;
+    ctx.trace_sink = &plan_sink;
+    Executor ex(ctx);
+    (void)ex.Execute(
+        core::Distinct(core::Join(core::Scan(tc.t1), core::Scan(tc.t2))));
+  }
+
+  memtrace::VectorTraceSink direct_sink;
+  {
+    memtrace::TraceScope scope(&direct_sink);
+    const auto joined = core::ObliviousJoin(tc.t1, tc.t2);
+    Table packed("join");
+    for (const auto& r : joined) {
+      packed.rows().push_back(Record{r.key, {r.payload1[0], r.payload2[0]}});
+    }
+    (void)core::ObliviousDistinct(packed);
+  }
+
+  EXPECT_GT(plan_sink.events().size(), 0u);
+  EXPECT_TRUE(plan_sink.SameTraceAs(direct_sink));
+}
+
+// §6.1 experiment at plan granularity: a 3-node plan's hashed trace is a
+// function of the public sizes only (same class -> same hash), for every
+// sort policy.
+TEST(PlanTraceTest, ThreeNodePlanTraceDataIndependent) {
+  for (const obliv::SortPolicy policy : kAllPolicies) {
+    std::string first;
+    for (uint64_t v = 0; v < 4; ++v) {
+      const auto tc = workload::WithOutputSize(24, 6, v, v * 13 + 5);
+      memtrace::HashTraceSink sink;
+      ExecContext ctx;
+      ctx.sort_policy = policy;
+      ctx.trace_sink = &sink;
+      Executor ex(ctx);
+      (void)ex.Execute(core::Join(core::Scan(tc.t1), core::Scan(tc.t2)));
+      if (v == 0) {
+        first = sink.HexDigest();
+      } else {
+        EXPECT_EQ(sink.HexDigest(), first) << tc.name;
+      }
+    }
+  }
+}
+
+TEST(PlanTraceTest, DifferentOutputSizeDifferentTrace) {
+  auto hash_of = [](const workload::TestCase& tc) {
+    memtrace::HashTraceSink sink;
+    ExecContext ctx;
+    ctx.trace_sink = &sink;
+    Executor ex(ctx);
+    (void)ex.Execute(core::Join(core::Scan(tc.t1), core::Scan(tc.t2)));
+    return sink.HexDigest();
+  };
+  EXPECT_NE(hash_of(workload::WithOutputSize(32, 8, 0, 1)),
+            hash_of(workload::WithOutputSize(32, 7, 0, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Stats coverage through the ExecContext sink.
+
+TEST(PlanStatsTest, EveryOperatorReportsNonZeroCounters) {
+  const auto tc = workload::PowerLaw(32, 2.0, 3);
+  core::CollectingStatsSink sink;
+  ExecContext ctx;
+  ctx.stats_sink = &sink;
+
+  (void)core::ObliviousDistinct(tc.t1, ctx);
+  (void)core::ObliviousSemiJoin(tc.t1, tc.t2, ctx);
+  (void)core::ObliviousAntiJoin(tc.t1, tc.t2, ctx);
+  (void)core::ObliviousJoinAggregate(tc.t1, tc.t2, ctx);
+
+  ASSERT_EQ(sink.reports().size(), 4u);
+  EXPECT_EQ(sink.reports()[0].op, "distinct");
+  EXPECT_EQ(sink.reports()[1].op, "semijoin");
+  EXPECT_EQ(sink.reports()[2].op, "antijoin");
+  EXPECT_EQ(sink.reports()[3].op, "aggregate");
+  for (const auto& report : sink.reports()) {
+    EXPECT_GT(report.stats.op_sort_comparisons, 0u) << report.op;
+    EXPECT_GT(report.stats.op_route_ops, 0u) << report.op;
+    EXPECT_GT(report.stats.TotalComparisons(), 0u) << report.op;
+  }
+  EXPECT_GT(sink.TotalComparisons(), 0u);
+}
+
+TEST(PlanStatsTest, JoinReportsThroughSink) {
+  const auto tc = workload::PowerLaw(32, 2.0, 4);
+  core::CollectingStatsSink sink;
+  ExecContext ctx;
+  ctx.stats_sink = &sink;
+  (void)core::ObliviousJoin(tc.t1, tc.t2, ctx);
+  ASSERT_EQ(sink.reports().size(), 1u);
+  EXPECT_EQ(sink.reports()[0].op, "join");
+  EXPECT_GT(sink.reports()[0].stats.augment_sort_comparisons, 0u);
+}
+
+TEST(PlanStatsTest, ExecutorAggregatesPerNode) {
+  const auto tc = workload::PowerLaw(32, 2.0, 5);
+  Executor ex({});
+  (void)ex.Execute(
+      core::Distinct(core::Join(core::Scan(tc.t1), core::Scan(tc.t2))));
+
+  // Post-order: the two scans, the join, the distinct.
+  ASSERT_EQ(ex.node_stats().size(), 4u);
+  EXPECT_EQ(ex.node_stats()[0].op, core::PlanOp::kScan);
+  EXPECT_EQ(ex.node_stats()[1].op, core::PlanOp::kScan);
+  EXPECT_EQ(ex.node_stats()[2].op, core::PlanOp::kJoin);
+  EXPECT_EQ(ex.node_stats()[3].op, core::PlanOp::kDistinct);
+  EXPECT_EQ(ex.node_stats()[0].output_rows, tc.t1.size());
+  EXPECT_GT(ex.node_stats()[2].stats.TotalComparisons(), 0u);
+  EXPECT_GT(ex.node_stats()[3].stats.op_sort_comparisons, 0u);
+  EXPECT_GT(ex.TotalComparisons(), 0u);
+}
+
+// A multiway node's stats must cover the whole cascade, not just the last
+// binary join (counters sum over steps).
+TEST(PlanStatsTest, MultiwayNodeAccumulatesAllCascadeSteps) {
+  const Table t3("t3", {{1, 7}, {2, 8}, {2, 9}});
+  core::JoinStats first_step;
+  ExecContext ctx;
+  ctx.stats = &first_step;
+  (void)core::ObliviousJoin(SmallT1(), SmallT2(), ctx);
+
+  Executor ex({});
+  (void)ex.Execute(core::MultiwayJoin(
+      {core::Scan(SmallT1()), core::Scan(SmallT2()), core::Scan(t3)}));
+  const core::PlanNodeStats& multiway = ex.node_stats().back();
+  ASSERT_EQ(multiway.op, core::PlanOp::kMultiwayJoin);
+  EXPECT_GT(multiway.stats.TotalComparisons(), first_step.TotalComparisons());
+}
+
+TEST(PlanStatsTest, RootStatsOutParameter) {
+  core::JoinStats stats;
+  ExecContext ctx;
+  ctx.stats = &stats;
+  Executor ex(ctx);
+  (void)ex.Execute(core::Join(core::Scan(SmallT1()), core::Scan(SmallT2())));
+  EXPECT_EQ(stats.n1, SmallT1().size());
+  EXPECT_EQ(stats.n2, SmallT2().size());
+  EXPECT_GT(stats.TotalComparisons(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Explain.
+
+TEST(PlanExplainTest, RendersTree) {
+  const std::string plan = core::ExplainPlan(
+      core::Distinct(core::Join(core::Scan(SmallT1()), core::Scan(SmallT2()))));
+  EXPECT_EQ(plan,
+            "distinct\n"
+            "  join\n"
+            "    scan(t1)\n"
+            "    scan(t2)\n");
+}
+
+}  // namespace
+}  // namespace oblivdb

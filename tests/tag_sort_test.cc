@@ -54,10 +54,14 @@ TEST_P(BenesSizeTest, RoutesRandomPermutations) {
   }
 }
 
+// 16384 and 20000 cross the parallel switch-planning cutoff of permute.h
+// (m >= 2^14): the fanned-out planner must still produce a valid — and
+// identical — switch configuration.
 INSTANTIATE_TEST_SUITE_P(Sizes, BenesSizeTest,
                          ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 13, 16,
                                            31, 32, 33, 64, 100, 127, 255,
-                                           256, 257, 1000, 1024));
+                                           256, 257, 1000, 1024, 16384,
+                                           20000));
 
 TEST(BenesTest, IdentityAndReversal) {
   const size_t n = 64;

@@ -1,0 +1,162 @@
+// Probabilistic-distribute perf trajectory: the PRP-mask undo is one
+// full-width bitonic sort in the paper's presentation; the tag-sort-backed
+// path (DistributeUndo::kTagSort) replaces it with a narrow
+// SortKey{route_dest} sort plus one Beneš payload pass.  This bench records
+// both undo strategies — and what DistributeUndo::kAuto picks — across the
+// element widths that bracket the crossover: a 16-byte slot (tags as wide
+// as the data; full sort must win), the 72-byte pipeline Entry, and a
+// 256-byte analytics row.
+//
+//   build/bench_distribute            # JSON to stdout
+//   build/bench_distribute --smoke    # small-n correctness run (CI smoke)
+//
+// bench/run_benches.sh records the full run in BENCH_distribute.json.
+// --smoke also verifies placement for every width/strategy pair and exits
+// nonzero on a mismatch, so the CI step is a functional check, not just a
+// build check.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "crypto/chacha20.h"
+#include "memtrace/oarray.h"
+#include "obliv/distribute.h"
+#include "table/entry.h"
+
+namespace {
+
+using namespace oblivdb;
+
+// 16-byte element: destination plus one payload word.
+struct Slot16 {
+  uint64_t dest = 0;
+  uint64_t value = 0;
+};
+uint64_t GetRouteDest(const Slot16& s) { return s.dest; }
+void SetRouteDest(Slot16& s, uint64_t d) { s.dest = d; }
+
+// 256-byte element: a wide analytics row (destination + 31 payload words).
+struct Row256 {
+  uint64_t dest = 0;
+  uint64_t payload[31] = {};
+};
+static_assert(sizeof(Row256) == 256);
+uint64_t GetRouteDest(const Row256& r) { return r.dest; }
+void SetRouteDest(Row256& r, uint64_t d) { r.dest = d; }
+
+// The check word each width carries through the distribution (Entry uses
+// join_key).
+uint64_t CheckWord(const Slot16& s) { return s.value; }
+uint64_t CheckWord(const Row256& r) { return r.payload[0]; }
+uint64_t CheckWord(const Entry& e) { return e.join_key; }
+
+template <typename T>
+void SetCheckWord(T& e, uint64_t v);
+template <>
+void SetCheckWord(Slot16& s, uint64_t v) { s.value = v; }
+template <>
+void SetCheckWord(Row256& r, uint64_t v) { r.payload[0] = v; }
+template <>
+void SetCheckWord(Entry& e, uint64_t v) { e.join_key = v; }
+
+// A full random injection: n = m elements, destinations a random
+// permutation of {1..m} (the maximal-work shape for the undo sort).
+template <typename T>
+memtrace::OArray<T> MakeInput(size_t m, uint64_t seed) {
+  crypto::ChaCha20Rng rng(seed);
+  std::vector<uint64_t> dests(m);
+  for (size_t d = 0; d < m; ++d) dests[d] = d + 1;
+  for (size_t i = m; i > 1; --i) std::swap(dests[i - 1], dests[rng.Uniform(i)]);
+  memtrace::OArray<T> arr(m, "bench_dist");
+  for (size_t i = 0; i < m; ++i) {
+    T e{};
+    SetRouteDest(e, dests[i]);
+    SetCheckWord(e, 1000 + dests[i]);  // value tied to destination
+    arr.Write(i, e);
+  }
+  return arr;
+}
+
+template <typename T>
+bool Verify(const memtrace::OArray<T>& arr) {
+  for (size_t p = 0; p < arr.size(); ++p) {
+    const T e = arr.Read(p);
+    if (GetRouteDest(e) != p + 1 || CheckWord(e) != 1000 + p + 1) {
+      std::fprintf(stderr, "misplaced element at slot %zu\n", p);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool g_first = true;
+
+void Emit(const char* undo, size_t elem_bytes, size_t n, double seconds) {
+  std::printf("%s    {\"undo\": \"%s\", \"elem_bytes\": %zu, \"n\": %zu, "
+              "\"seconds\": %.6f, \"ns_per_element\": %.2f}",
+              g_first ? "" : ",\n", undo, elem_bytes, n, seconds,
+              seconds * 1e9 / static_cast<double>(n));
+  g_first = false;
+}
+
+const char* UndoName(obliv::DistributeUndo undo) {
+  switch (undo) {
+    case obliv::DistributeUndo::kFullSort: return "full_sort";
+    case obliv::DistributeUndo::kTagSort: return "tag_sort";
+    case obliv::DistributeUndo::kAuto: return "auto";
+  }
+  return "?";
+}
+
+// Returns false when --smoke verification fails.
+template <typename T>
+bool BenchWidth(size_t m, bool verify) {
+  constexpr obliv::DistributeUndo kUndos[] = {obliv::DistributeUndo::kFullSort,
+                                              obliv::DistributeUndo::kTagSort,
+                                              obliv::DistributeUndo::kAuto};
+  Timer timer;
+  for (const obliv::DistributeUndo undo : kUndos) {
+    auto arr = MakeInput<T>(m, m * 131 + sizeof(T));
+    timer.Start();
+    obliv::ObliviousDistributeProbabilistic(arr, m, /*prp_key=*/0xd157 + m,
+                                            /*stats=*/nullptr,
+                                            obliv::SortPolicy::kBlocked,
+                                            /*pool=*/nullptr, undo);
+    const double seconds = timer.ElapsedSeconds();
+    Emit(UndoName(undo), sizeof(T), m, seconds);
+    if (verify && !Verify(arr)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  const size_t full_sizes[] = {size_t{1} << 12, size_t{1} << 14,
+                               size_t{1} << 16, size_t{1} << 18,
+                               size_t{1} << 20};
+  const size_t smoke_sizes[] = {size_t{1} << 10};
+  const size_t* sizes = smoke ? smoke_sizes : full_sizes;
+  const size_t size_count = smoke ? 1 : 5;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"probabilistic_distribute\",\n");
+  std::printf("  \"results\": [\n");
+
+  bool ok = true;
+  for (size_t s = 0; s < size_count; ++s) {
+    const size_t m = sizes[s];
+    ok = BenchWidth<Slot16>(m, smoke) && ok;
+    ok = BenchWidth<Entry>(m, smoke) && ok;
+    ok = BenchWidth<Row256>(m, smoke) && ok;
+  }
+
+  std::printf("\n  ]\n}\n");
+  return ok ? 0 : 1;
+}

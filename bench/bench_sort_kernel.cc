@@ -1,14 +1,18 @@
 // Sort-kernel perf trajectory: ns/element for every SortPolicy — reference
-// network, cache-blocked kernel, pool-parallel kernel, and the key/payload-
-// separated tag sort — at the element widths that matter: the 16-byte
-// (key, tag) microbenchmark shape AND the pipeline's 72-byte Entry, where
-// tag sort earns its keep (the 9-word CondSwap is bandwidth-bound, so
-// narrowing the network to 24-byte tags plus one Beneš payload pass wins).
+// network, cache-blocked kernel, pool-parallel kernel, the key/payload-
+// separated tag sort, and the pool-parallel tag sort — at the element
+// widths that matter: the 16-byte (key, tag) microbenchmark shape AND the
+// pipeline's 72-byte Entry, where tag sort earns its keep (the 9-word
+// CondSwap is bandwidth-bound, so narrowing the network to 24-byte tags
+// plus one Beneš payload pass wins).  An "auto" row records both the cost
+// model's pick (the "resolved" field) and its measured time, so the JSON
+// shows whether kAuto chose the winning column.
 //
 //   build/bench_sort_kernel            # JSON to stdout
 //   build/bench_sort_kernel --smoke    # small-n sanity run (CI smoke target)
 //
-// bench/run_benches.sh records the full run in BENCH_sort.json.
+// bench/run_benches.sh records the full run in BENCH_sort.json.  The
+// parallel rows use the global pool (OBLIVDB_THREADS pins its size).
 
 #include <cstdint>
 #include <cstdio>
@@ -68,18 +72,22 @@ double NsPerElement(double seconds, size_t n) {
 
 bool g_first = true;
 
+// `resolved` (optional): the concrete tier a kAuto run dispatched to.
 void Emit(const char* policy, unsigned threads, size_t elem_bytes, size_t n,
-          double seconds) {
+          double seconds, const char* resolved = nullptr) {
   std::printf("%s    {\"policy\": \"%s\", \"threads\": %u, "
               "\"elem_bytes\": %zu, \"n\": %zu, \"seconds\": %.6f, "
-              "\"ns_per_element\": %.2f}",
+              "\"ns_per_element\": %.2f",
               g_first ? "" : ",\n", policy, threads, elem_bytes, n, seconds,
               NsPerElement(seconds, n));
+  if (resolved != nullptr) std::printf(", \"resolved\": \"%s\"", resolved);
+  std::printf("}");
   g_first = false;
 }
 
 template <typename T, typename Less, typename MakeFn>
 void BenchWidth(size_t n, const Less& less, const MakeFn& make) {
+  const unsigned pool_threads = ThreadPool::Global().worker_count();
   Timer timer;
   {
     auto arr = make(n);
@@ -104,6 +112,21 @@ void BenchWidth(size_t n, const Less& less, const MakeFn& make) {
     timer.Start();
     obliv::BitonicSortTagged(arr, less);
     Emit("tag", 1, sizeof(T), n, timer.ElapsedSeconds());
+  }
+  {
+    auto arr = make(n);
+    timer.Start();
+    obliv::BitonicSortRangeTaggedParallel(arr, 0, n, less);
+    Emit("tag_parallel", pool_threads, sizeof(T), n, timer.ElapsedSeconds());
+  }
+  {
+    auto arr = make(n);
+    obliv::SortPolicy chosen = obliv::SortPolicy::kAuto;
+    timer.Start();
+    obliv::SortRange(arr, 0, n, less, obliv::SortPolicy::kAuto,
+                     /*comparisons=*/nullptr, /*pool=*/nullptr, &chosen);
+    Emit("auto", pool_threads, sizeof(T), n, timer.ElapsedSeconds(),
+         obliv::SortPolicyName(chosen));
   }
 }
 

@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
-# Runs the sort-kernel benchmark and records the perf trajectory in
-# BENCH_sort.json so future PRs have numbers to regress against.
+# Runs the sort-kernel and distribute benchmarks and records the perf
+# trajectory in BENCH_sort.json / BENCH_distribute.json so future PRs have
+# numbers to regress against.
 #
-#   bench/run_benches.sh [output.json]
+#   bench/run_benches.sh [sort_output.json] [distribute_output.json]
 #
 # Environment:
-#   BUILD_DIR  cmake build directory (default: build)
+#   BUILD_DIR        cmake build directory (default: build)
+#   OBLIVDB_THREADS  pins the global pool size for the parallel columns
+#                    (the bench container is 1-core; raise it on real
+#                    hardware to make the parallel rows meaningful)
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
-out="${1:-$repo_root/BENCH_sort.json}"
+sort_out="${1:-$repo_root/BENCH_sort.json}"
+dist_out="${2:-$repo_root/BENCH_distribute.json}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
-cmake --build "$build_dir" --target bench_sort_kernel -j >/dev/null
+cmake --build "$build_dir" --target bench_sort_kernel bench_distribute -j \
+  >/dev/null
 
-"$build_dir/bench_sort_kernel" >"$out"
-echo "wrote $out"
+"$build_dir/bench_sort_kernel" >"$sort_out"
+echo "wrote $sort_out"
+"$build_dir/bench_distribute" >"$dist_out"
+echo "wrote $dist_out"

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI smoke pass: configure a warning-strict build, compile everything
 # (-Wall -Wextra -Werror — any new warning fails the build), run the unit
-# tests (including the plan-layer suite), run the small-n sort bench across
-# every SortPolicy, and run the query-plan demo (plan-vs-direct cross-check).
+# tests twice — once under the stock kBlocked default and once with
+# SortPolicy::kAuto as the ExecContext default (OBLIVDB_SORT_POLICY=auto),
+# so a cost-model dispatch regression cannot hide — then run the small-n
+# sort and distribute benches and the query-plan demo (plan-vs-direct
+# cross-check).
 #
 #   bench/smoke.sh [build-dir]      # default: build-smoke
 
@@ -14,6 +17,11 @@ build_dir="${1:-$repo_root/build-smoke}"
 cmake -B "$build_dir" -S "$repo_root" -DOBLIVDB_WERROR=ON >/dev/null
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+# Second pass with the cost-model default: every operator sort now goes
+# through the kAuto resolution (pool pinned to 4 workers so the parallel
+# tiers are eligible even on a 1-core CI box).
+OBLIVDB_SORT_POLICY=auto OBLIVDB_THREADS=4 \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # The plan layer gates the whole query path: run its suite once more,
 # loudly, so a plan regression is unmissable in the CI log.  (The binary
 # only exists when GTest does — ctest above already covered it then.)
@@ -21,5 +29,8 @@ if [ -x "$build_dir/plan_test" ]; then
   "$build_dir/plan_test" --gtest_brief=1
 fi
 cmake --build "$build_dir" --target bench_smoke
+# Functional check of both PRP-undo strategies at every width (exits
+# nonzero on a misplaced element).
+"$build_dir/bench_distribute" --smoke >/dev/null
 cmake --build "$build_dir" --target plan_smoke
 echo "smoke OK"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <utility>
 
 namespace oblivdb {
@@ -70,7 +71,13 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("OBLIVDB_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<unsigned>(parsed);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+  }());
   return pool;
 }
 

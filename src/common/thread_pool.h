@@ -54,8 +54,12 @@ class ThreadPool {
   // waiter with nothing to help with does not spin at full CPU.
   void WaitForActivity();
 
-  // Process-wide pool, created on first use with hardware_concurrency()
-  // workers and reused across all parallel sorts.
+  // Process-wide pool, created on first use and reused across all parallel
+  // sorts.  Worker count: the OBLIVDB_THREADS environment variable when set
+  // to a positive integer (the deterministic pin for benches and CI — the
+  // bench container has one core, and the kAuto cost model keys off the
+  // worker count, so reproducible runs need a reproducible pool), otherwise
+  // hardware_concurrency().
   static ThreadPool& Global();
 
  private:

@@ -39,7 +39,8 @@ std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
     tc.Write(n1 + i, MakeEntry(table2.rows()[i], /*tid=*/2));
   }
   obliv::Sort(tc, ByJoinKeyThenTidLess{}, ctx.sort_policy,
-              &stats.op_sort_comparisons, ctx.pool);
+              &stats.op_sort_comparisons, ctx.pool,
+              &stats.op_sort_policy_chosen);
 
   // Forward pass: per-group counters and payload-word-0 sums.  The sums are
   // stashed in the fields the aggregate does not otherwise need

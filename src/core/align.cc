@@ -7,7 +7,8 @@
 namespace oblivdb::core {
 
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
-                const ExecContext& ctx, uint64_t* sort_comparisons) {
+                const ExecContext& ctx, uint64_t* sort_comparisons,
+                obliv::SortPolicy* sort_chosen) {
   OBLIVDB_CHECK_LE(m, s2.size());
 
   // Linear pass: q counts the entry's 0-based position within its group
@@ -32,7 +33,7 @@ void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
   }
 
   obliv::SortRange(s2, 0, m, ByJoinKeyThenAlignIndexLess{}, ctx.sort_policy,
-                   sort_comparisons, ctx.pool);
+                   sort_comparisons, ctx.pool, sort_chosen);
 }
 
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,

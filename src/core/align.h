@@ -30,10 +30,12 @@ namespace oblivdb::core {
 
 // Reorders s2[0, m) in place.  ctx.sort_policy selects the sort
 // implementation; `sort_comparisons`, when non-null, accumulates the
-// alignment sort's compare-exchange count.
+// alignment sort's compare-exchange count; `sort_chosen`, when non-null,
+// receives the tier SortRange actually ran (the kAuto resolution).
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
                 const ExecContext& ctx = {},
-                uint64_t* sort_comparisons = nullptr);
+                uint64_t* sort_comparisons = nullptr,
+                obliv::SortPolicy* sort_chosen = nullptr);
 
 // Deprecated shim over the ExecContext form.
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,

@@ -1,0 +1,19 @@
+#include "core/exec_context.h"
+
+#include <cstdlib>
+
+#include "obliv/sort_policy.h"
+
+namespace oblivdb::core {
+
+obliv::SortPolicy ExecContext::DefaultSortPolicy() {
+  static const obliv::SortPolicy policy = [] {
+    const char* env = std::getenv("OBLIVDB_SORT_POLICY");
+    return env != nullptr
+               ? obliv::SortPolicyFromName(env, kDefaultSortPolicy)
+               : kDefaultSortPolicy;
+  }();
+  return policy;
+}
+
+}  // namespace oblivdb::core

@@ -81,15 +81,29 @@ class CollectingStatsSink : public StatsSink {
 
 struct ExecContext {
   // The single source of truth for the library-wide default sort tier
-  // (previously copied into every operator signature).
+  // (previously copied into every operator signature).  This is the
+  // compile-time fallback; a freshly constructed context actually starts
+  // from DefaultSortPolicy(), which honours the OBLIVDB_SORT_POLICY
+  // environment override.
   static constexpr obliv::SortPolicy kDefaultSortPolicy =
       obliv::SortPolicy::kBlocked;
 
-  obliv::SortPolicy sort_policy = kDefaultSortPolicy;
+  // The process-wide default sort tier: OBLIVDB_SORT_POLICY (one of
+  // "reference", "blocked", "parallel", "tag", "parallel_tag", "auto" —
+  // obliv::SortPolicyName's vocabulary) when set to a recognized name,
+  // kDefaultSortPolicy otherwise.  Read once and cached; CI uses it to run
+  // the whole test suite under SortPolicy::kAuto without code changes
+  // (bench/smoke.sh).  Public configuration, like everything in here.
+  static obliv::SortPolicy DefaultSortPolicy();
 
-  // Worker pool for the operators' parallel phases (kParallel sorts,
-  // kTagSort Beneš switch planning); forwarded to obliv::SortRange by
-  // every operator.  nullptr means ThreadPool::Global().
+  obliv::SortPolicy sort_policy = DefaultSortPolicy();
+
+  // Worker pool for the operators' parallel phases (kParallel /
+  // kParallelTag sorts, Beneš switch planning and column fan-out);
+  // forwarded to obliv::SortRange by every operator.  nullptr means
+  // ThreadPool::Global(), whose size honours the OBLIVDB_THREADS
+  // environment override — the worker count also feeds the kAuto cost
+  // model, so pinning it pins the policy resolution.
   ThreadPool* pool = nullptr;
 
   // Out-parameter: filled by the most recent operator executed under this

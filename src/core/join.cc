@@ -29,13 +29,14 @@ memtrace::OArray<Entry> ExpandTable(memtrace::OArray<Entry>& source,
                                     uint64_t expected_m, const char* name,
                                     const CountFn& g,
                                     obliv::PrimitiveStats* stats,
-                                    const ExecContext& ctx) {
+                                    const ExecContext& ctx,
+                                    obliv::SortPolicy* sort_chosen) {
   const uint64_t m = obliv::AssignExpandDestinations(source, g);
   OBLIVDB_CHECK_EQ(m, expected_m);
   memtrace::OArray<Entry> expanded(
       std::max<uint64_t>(source.size(), m), name);
   obliv::ExpandToDestinations(source, expanded, m, stats, ctx.sort_policy,
-                              ctx.pool);
+                              ctx.pool, sort_chosen);
   return expanded;
 }
 
@@ -64,16 +65,22 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   phase_timer.Start();
   obliv::PrimitiveStats expand_stats;
   memtrace::OArray<Entry> s1 = ExpandTable(
-      augmented.t1, m, "S1", CountAlpha2{}, &expand_stats, ctx);
+      augmented.t1, m, "S1", CountAlpha2{}, &expand_stats, ctx,
+      &stats->op_sort_policy_chosen);
   memtrace::OArray<Entry> s2 = ExpandTable(
-      augmented.t2, m, "S2", CountAlpha1{}, &expand_stats, ctx);
+      augmented.t2, m, "S2", CountAlpha1{}, &expand_stats, ctx,
+      &stats->op_sort_policy_chosen);
   stats->expand_sort_comparisons = expand_stats.sort_comparisons;
   stats->expand_route_ops = expand_stats.route_ops;
   stats->expand_seconds = phase_timer.ElapsedSeconds();
 
-  // (4) Align S2 with S1 (Algorithm 5).
+  // (4) Align S2 with S1 (Algorithm 5).  The align sort covers the full
+  // output size m — the join's dominant sort — so its resolved tier is the
+  // one op_sort_policy_chosen ends up reporting (the expansions wrote the
+  // smaller prefix sorts' resolutions first; same model inputs except n).
   phase_timer.Start();
-  AlignTable(s2, m, ctx, &stats->align_sort_comparisons);
+  AlignTable(s2, m, ctx, &stats->align_sort_comparisons,
+             &stats->op_sort_policy_chosen);
   stats->align_seconds = phase_timer.ElapsedSeconds();
 
   // (5) Zip the aligned rows into the output (Algorithm 1, lines 6-9),

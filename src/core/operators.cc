@@ -72,7 +72,8 @@ Table ObliviousDistinct(const Table& input, const ExecContext& ctx) {
   Timer timer;
   memtrace::OArray<Entry> arr = LoadEntries(input, 1, "DST");
   obliv::Sort(arr, ByTidThenJoinKeyThenDataLess{}, ctx.sort_policy,
-              &stats.op_sort_comparisons, ctx.pool);
+              &stats.op_sort_comparisons, ctx.pool,
+              &stats.op_sort_policy_chosen);
   // Equal rows are now adjacent; flag every row equal to its predecessor.
   uint64_t prev_key = 0, prev_d0 = 0, prev_d1 = 0;
   for (size_t i = 0; i < arr.size(); ++i) {
@@ -121,7 +122,8 @@ Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
   }
   // (j ^, tid ^, d ^): groups contiguous, T1 before T2, T1 rows d-sorted.
   obliv::Sort(arr, ByJoinKeyThenTidThenDataLess{}, ctx.sort_policy,
-              &stats.op_sort_comparisons, ctx.pool);
+              &stats.op_sort_comparisons, ctx.pool,
+              &stats.op_sort_policy_chosen);
 
   // Backward pass: within a group the T2 rows (tid 2) come last, so a
   // carried "group has T2" bit reaches every T1 row of the group.

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "core/multiway.h"
+#include "obliv/sort_policy.h"
 
 namespace oblivdb::core {
 
@@ -122,6 +123,55 @@ std::string ExplainPlan(const PlanPtr& plan) {
   OBLIVDB_CHECK(plan != nullptr);
   std::string out;
   ExplainInto(plan, 0, out);
+  return out;
+}
+
+namespace {
+
+// Number of node_stats entries a subtree contributes: one per node, in the
+// post-order the Executor pushes them (each child's subtree, then self —
+// scan children count one leaf entry each).
+size_t StatsEntryCount(const PlanPtr& node) {
+  size_t count = 1;
+  for (const PlanPtr& in : node->inputs) count += StatsEntryCount(in);
+  return count;
+}
+
+// Pre-order rendering over the post-order stats: a node's own entry is the
+// last of its subtree's slice [base, base + StatsEntryCount).
+void ExplainAnnotatedInto(const PlanPtr& node,
+                          const std::vector<PlanNodeStats>& stats,
+                          size_t base, size_t depth, std::string& out) {
+  const PlanNodeStats& s = stats[base + StatsEntryCount(node) - 1];
+  out.append(2 * depth, ' ');
+  if (node->op == PlanOp::kScan) {
+    out += "scan(" + node->label + ")";
+  } else {
+    out += node->label;
+  }
+  out += " [rows=" + std::to_string(s.output_rows);
+  // kAuto is the "no sort recorded" sentinel (core/stats.h); a resolved
+  // tier is never kAuto.
+  if (s.stats.op_sort_policy_chosen != obliv::SortPolicy::kAuto) {
+    out += " sort=";
+    out += obliv::SortPolicyName(s.stats.op_sort_policy_chosen);
+  }
+  out += "]\n";
+  size_t child_base = base;
+  for (const PlanPtr& in : node->inputs) {
+    ExplainAnnotatedInto(in, stats, child_base, depth + 1, out);
+    child_base += StatsEntryCount(in);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanPtr& plan,
+                        const std::vector<PlanNodeStats>& node_stats) {
+  OBLIVDB_CHECK(plan != nullptr);
+  OBLIVDB_CHECK_EQ(node_stats.size(), StatsEntryCount(plan));
+  std::string out;
+  ExplainAnnotatedInto(plan, node_stats, 0, 0, out);
   return out;
 }
 

@@ -84,6 +84,23 @@ PlanPtr MultiwayJoin(std::vector<PlanPtr> inputs);
 //       scan(departments)
 std::string ExplainPlan(const PlanPtr& plan);
 
+struct PlanNodeStats;
+
+// Post-execution rendering: the same tree annotated with each node's
+// revealed output size and — when the node ran a sort — the tier that sort
+// actually executed on (the kAuto resolution recorded in
+// JoinStats::op_sort_policy_chosen), e.g.
+//
+//   distinct [rows=3 sort=tag]
+//     join [rows=7 sort=blocked]
+//       scan(employees) [rows=12]
+//       scan(departments) [rows=4]
+//
+// `node_stats` must be the node_stats() of an Executor that just ran this
+// plan (the post-order entry count is checked).
+std::string ExplainPlan(const PlanPtr& plan,
+                        const std::vector<PlanNodeStats>& node_stats);
+
 struct PlanResult {
   // Always populated: the root's rows in the uniform Table shape.
   Table table;

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "obliv/sort_policy.h"
+
 namespace oblivdb::core {
 
 // Filled in by ObliviousJoin when ExecContext::stats is non-null (and
@@ -32,6 +34,13 @@ struct JoinStats {
   // op_route_ops; the four join-phase counters above stay zero for them.
   uint64_t op_sort_comparisons = 0;
   uint64_t op_route_ops = 0;
+
+  // The sort tier that actually executed the operator's dominant sort (the
+  // pipeline sort for the single-sort operators, the expansion's
+  // distribution sort for the full join) — interesting when the configured
+  // policy is SortPolicy::kAuto.  kAuto doubles as the "no sort ran /
+  // nothing recorded" sentinel since a resolved tier is never kAuto.
+  obliv::SortPolicy op_sort_policy_chosen = obliv::SortPolicy::kAuto;
 
   double augment_seconds = 0;
   double expand_seconds = 0;

@@ -57,12 +57,19 @@ inline uint64_t MaskToBit(uint64_t mask) { return mask & 1; }
 // Swaps a and b iff mask is all-ones, word by word.  Both operands are
 // always read and written, so the (local-memory) operation sequence is
 // identical whether or not the swap happens.
+//
+// The staging buffers are over-aligned to a full vector register: GCC 12
+// at -march=native vectorizes the word loop with *aligned* AVX stores into
+// these locals but places plain uint64_t arrays at an 8-aligned stack slot
+// for some element widths (observed with 48-byte T: `vmovdqa %xmm,
+// 0x20(%rsp-relative)` faulting), so the declared alignment must match the
+// widest access the vectorizer may assume.
 template <typename T>
 inline void CondSwap(uint64_t mask, T& a, T& b) {
   static_assert(std::is_trivially_copyable_v<T>);
   static_assert(sizeof(T) % 8 == 0, "pad T to a multiple of 8 bytes");
   constexpr size_t kWords = sizeof(T) / 8;
-  uint64_t wa[kWords], wb[kWords];
+  alignas(64) uint64_t wa[kWords], wb[kWords];
   std::memcpy(wa, &a, sizeof(T));
   std::memcpy(wb, &b, sizeof(T));
   for (size_t w = 0; w < kWords; ++w) {
@@ -74,13 +81,14 @@ inline void CondSwap(uint64_t mask, T& a, T& b) {
   std::memcpy(&b, wb, sizeof(T));
 }
 
-// mask ? a : b for whole trivially-copyable structs.
+// mask ? a : b for whole trivially-copyable structs.  (Same over-alignment
+// rationale as CondSwap.)
 template <typename T>
 inline T Blend(uint64_t mask, const T& a, const T& b) {
   static_assert(std::is_trivially_copyable_v<T>);
   static_assert(sizeof(T) % 8 == 0, "pad T to a multiple of 8 bytes");
   constexpr size_t kWords = sizeof(T) / 8;
-  uint64_t wa[kWords], wb[kWords], out[kWords];
+  alignas(64) uint64_t wa[kWords], wb[kWords], out[kWords];
   std::memcpy(wa, &a, sizeof(T));
   std::memcpy(wb, &b, sizeof(T));
   for (size_t w = 0; w < kWords; ++w) out[w] = Select(mask, wa[w], wb[w]);

@@ -58,7 +58,8 @@ template <Routable T>
 void ExpandToDestinations(const memtrace::OArray<T>& x, memtrace::OArray<T>& out,
                           uint64_t m, PrimitiveStats* stats = nullptr,
                           SortPolicy sort_policy = SortPolicy::kBlocked,
-                          ThreadPool* pool = nullptr) {
+                          ThreadPool* pool = nullptr,
+                          SortPolicy* chosen = nullptr) {
   const size_t n = x.size();
   OBLIVDB_CHECK_GE(out.size(), std::max<uint64_t>(n, m));
 
@@ -66,7 +67,7 @@ void ExpandToDestinations(const memtrace::OArray<T>& x, memtrace::OArray<T>& out
   // per-element events as an access loop, one sink test per chunk).
   memtrace::CopySpan(x, 0, out, 0, n);
 
-  ObliviousDistribute(out, n, stats, sort_policy, pool);
+  ObliviousDistribute(out, n, stats, sort_policy, pool, chosen);
 
   // Fill-down: each slot that still holds a null inherits the most recent
   // real element.  The blend touches every slot identically.

@@ -79,6 +79,15 @@ class BenesNetwork {
   size_t network_size() const { return m_; }  // padded length, CeilPow2(n)
   size_t depth() const { return switches_.size(); }
 
+  // Fan-out gates for ApplyParallel: below kMinParallelApplySize the whole
+  // pass is one cache-resident sweep and fork-join overhead dominates, so
+  // ApplyParallel runs the sequential Apply; kMinApplyChunkGates keeps
+  // each task's slice big enough to amortize the queue round-trip.
+  // Public so the kAuto cost model (obliv/sort_kernel.h) can refuse to
+  // credit a Beneš speedup that ApplyParallel would not deliver.
+  static constexpr size_t kMinParallelApplySize = size_t{1} << 14;  // m_
+  static constexpr size_t kMinApplyChunkGates = size_t{1} << 11;
+
   // Hop distance of column `level` (descending then ascending powers of 2).
   size_t Hop(size_t level) const {
     const size_t k = (depth() + 1) / 2;
@@ -105,6 +114,64 @@ class BenesNetwork {
           const uint64_t mask = ct::ToMask((bits[i >> 6] >> (i & 63)) & 1);
           ct::CondSwap(mask, d[i], d[i + h]);
           if constexpr (kTraced) {
+            emitter->EmitWrite(i);
+            emitter->EmitWrite(i + h);
+          }
+        }
+      }
+    }
+  }
+
+  // Column-parallel Apply: within one column every gate touches a disjoint
+  // (i, i + h) pair, so a column splits into independent contiguous chunks
+  // of the gate enumeration; columns are separated by TaskGroup barriers.
+  // The switch bitmaps are read-only here, so unlike the planning fan-out
+  // no word-alignment gate is needed.  Traced runs emit each column's
+  // <R,i> <R,i+h> <W,i> <W,i+h> events sequentially in gate order *after*
+  // the column's swaps complete — the event stream is a pure function of
+  // network_size() and column index, so the emitted trace is byte-identical
+  // to the sequential Apply's (the same deterministic-replay contract as
+  // parallel_sort.h, without needing per-task buffers).  Pass emitter ==
+  // nullptr (memtrace::kNoEmitter) for untraced runs.
+  template <typename T, typename Emitter>
+  void ApplyParallel(T* d, Emitter* emitter, ThreadPool& pool) const {
+    const size_t gates = m_ / 2;
+    if (m_ < kMinParallelApplySize || pool.worker_count() <= 1) {
+      if (emitter != nullptr) {
+        Apply<true>(d, emitter);
+      } else {
+        Apply<false>(d, memtrace::kNoEmitter);
+      }
+      return;
+    }
+    // A few chunks per worker smooths the (tiny) load imbalance from cache
+    // effects; the floor keeps per-task work large enough to amortize the
+    // queue round-trip.
+    const size_t chunks =
+        std::max<size_t>(1, std::min(gates / kMinApplyChunkGates,
+                                     size_t{4} * pool.worker_count()));
+    const size_t per_chunk = (gates + chunks - 1) / chunks;
+    for (size_t level = 0; level < depth(); ++level) {
+      const size_t h = Hop(level);
+      const std::vector<uint64_t>& bits = switches_[level];
+      TaskGroup group(pool);
+      for (size_t g0 = 0; g0 < gates; g0 += per_chunk) {
+        const size_t g1 = std::min(gates, g0 + per_chunk);
+        group.Run([d, &bits, h, g0, g1] {
+          // Gate g of the column sits at i = (g / h) * 2h + g % h.
+          for (size_t g = g0; g < g1; ++g) {
+            const size_t i = (g / h) * 2 * h + g % h;
+            const uint64_t mask = ct::ToMask((bits[i >> 6] >> (i & 63)) & 1);
+            ct::CondSwap(mask, d[i], d[i + h]);
+          }
+        });
+      }
+      group.Wait();
+      if (emitter != nullptr) {
+        for (size_t base = 0; base < m_; base += 2 * h) {
+          for (size_t i = base; i < base + h; ++i) {
+            emitter->EmitRead(i);
+            emitter->EmitRead(i + h);
             emitter->EmitWrite(i);
             emitter->EmitWrite(i + h);
           }
@@ -247,39 +314,70 @@ struct ShiftedEmitter {
   void EmitWrite(size_t i) { em.EmitWrite(offset + i); }
 };
 
-}  // namespace internal
+// Shared body of the sequential and pool-parallel range permutes: one
+// place owns the in-place-vs-padded-scratch staging (and therefore the
+// trace shape); `pool == nullptr` selects the sequential Apply, non-null
+// the column-parallel ApplyParallel (whose gate-order replay keeps the
+// emitted trace byte-identical).
+template <typename T, typename Emitter>
+void ApplyNetwork(const BenesNetwork& net, T* d, Emitter* emitter,
+                  ThreadPool* pool) {
+  if (pool != nullptr) {
+    net.ApplyParallel(d, emitter, *pool);
+  } else if (emitter != nullptr) {
+    net.template Apply<true>(d, emitter);
+  } else {
+    net.template Apply<false>(d, memtrace::kNoEmitter);
+  }
+}
 
-// Routes a[lo, lo+len) through `net` so that, on return,
-// a[lo + p] = old a[lo + net_perm[p]].  len must equal net.input_size().
-// Power-of-two lengths run in place; ragged lengths stage through a padded
-// scratch array (its allocation and linear copies are functions of len
-// alone, so the trace stays input-independent).
 template <typename T>
-void ObliviousPermuteRange(memtrace::OArray<T>& a, size_t lo,
-                           const BenesNetwork& net) {
+void PermuteRangeImpl(memtrace::OArray<T>& a, size_t lo,
+                      const BenesNetwork& net, ThreadPool* pool) {
   const size_t n = net.input_size();
   OBLIVDB_CHECK_LE(lo, a.size());
   OBLIVDB_CHECK_LE(n, a.size() - lo);
   if (n < 2) return;
   if (net.network_size() == n) {
-    internal::ShiftedEmitter<T> shifted{
-        typename memtrace::OArray<T>::EventEmitter(a), lo};
-    if (shifted.em.traced()) {
-      net.Apply<true>(a.UntracedData() + lo, &shifted);
-    } else {
-      net.Apply<false>(a.UntracedData() + lo, memtrace::kNoEmitter);
-    }
+    ShiftedEmitter<T> shifted{typename memtrace::OArray<T>::EventEmitter(a),
+                              lo};
+    ApplyNetwork(net, a.UntracedData() + lo,
+                 shifted.em.traced() ? &shifted : nullptr, pool);
     return;
   }
+  // Ragged length: stage through a padded scratch array (its allocation
+  // and linear copies are functions of n alone, so the trace stays
+  // input-independent).
   memtrace::OArray<T> scratch(net.network_size(), "benes");
   memtrace::CopySpan(a, lo, scratch, 0, n);
   typename memtrace::OArray<T>::EventEmitter em(scratch);
-  if (em.traced()) {
-    net.Apply<true>(scratch.UntracedData(), &em);
-  } else {
-    net.Apply<false>(scratch.UntracedData(), memtrace::kNoEmitter);
-  }
+  ApplyNetwork(net, scratch.UntracedData(), em.traced() ? &em : nullptr,
+               pool);
   memtrace::CopySpan(scratch, 0, a, lo, n);
+}
+
+}  // namespace internal
+
+// Routes a[lo, lo+len) through `net` so that, on return,
+// a[lo + p] = old a[lo + net_perm[p]].  len must equal net.input_size().
+// Power-of-two lengths run in place; ragged lengths stage through a padded
+// scratch array.
+template <typename T>
+void ObliviousPermuteRange(memtrace::OArray<T>& a, size_t lo,
+                           const BenesNetwork& net) {
+  internal::PermuteRangeImpl(a, lo, net, /*pool=*/nullptr);
+}
+
+// ObliviousPermuteRange with the payload columns fanned out on `pool`
+// (nullptr = ThreadPool::Global()) via BenesNetwork::ApplyParallel.  Same
+// result, and — because traced columns replay their events in gate order —
+// the same byte-identical trace as the sequential routing.
+template <typename T>
+void ObliviousPermuteRangeParallel(memtrace::OArray<T>& a, size_t lo,
+                                   const BenesNetwork& net,
+                                   ThreadPool* pool = nullptr) {
+  ThreadPool& workers = pool != nullptr ? *pool : ThreadPool::Global();
+  internal::PermuteRangeImpl(a, lo, net, &workers);
 }
 
 // Whole-array convenience: a becomes a[perm[0]], a[perm[1]], ...

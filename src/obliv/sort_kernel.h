@@ -1,23 +1,31 @@
-// SortPolicy: one knob, four executions of the same logical sort.
+// SortPolicy dispatch: one call site, any execution of the same logical
+// sort.  The policy vocabulary itself lives in obliv/sort_policy.h (see its
+// header comment for the tier-by-tier contract); this header composes the
+// kernels — reference network, blocked, pool-parallel, tag sort, parallel
+// tag sort — and resolves SortPolicy::kAuto through a small measured cost
+// model.
 //
-//   kReference — the recursive network of bitonic_sort.h; four
-//                individually sink-tested OArray accesses per
-//                compare-exchange.  The semantic baseline.
-//   kBlocked   — the cache-blocked kernel of sort_block.h.  Identical
-//                comparator schedule, element order, comparison count and
-//                (when traced) bit-identical access trace; simply faster.
-//   kParallel  — the task-parallel network of parallel_sort.h on the
-//                persistent ThreadPool.  Same schedule; traced runs replay
-//                per-task buffers in deterministic order, so the log is
-//                again bit-identical to the reference.
-//   kTagSort   — the key/payload-separated path of tag_sort.h: sort narrow
-//                (key, index) tags with the blocked kernel, then route the
-//                wide payloads through one Beneš pass (permute.h).  Same
-//                element order and comparison count; the access trace is a
-//                *different* — but still input-independent — function of
-//                the range length.  Requires a faithful SortKey projection
-//                (sort_key.h); comparators without one fall back to
-//                kBlocked.
+// The kAuto model estimates per-element nanoseconds for every *eligible*
+// tier from four public quantities — element width, tag width (0 when the
+// comparator has no faithful SortKey projection), range length, and pool
+// worker count — and dispatches the argmin.  All four inputs are public
+// configuration or revealed sizes, so the resolution is itself a public
+// function and traced runs stay input-independent.  The constants are
+// fitted to BENCH_sort.json (single-core container; see README "Sort
+// tiers"):
+//
+//   * the blocked kernel costs ~1 ns per word per compare-exchange while an
+//     element fits the cache line budget, ~2.4 ns once wide elements turn
+//     the network DRAM-bandwidth-bound;
+//   * a Beneš payload gate moves the same words with no comparator at
+//     ~4 ns/word (one conditional swap, (2 log n - 1)/2 gates per element);
+//   * switch planning walks permutation cycles at DRAM latency,
+//     ~25 ns per element per network level.
+//
+// With these constants the model reproduces the measured crossovers: tag
+// sort overtakes the blocked kernel on 72-byte entries between 2^13 and
+// 2^14 and never wins on 16-byte items; the parallel tiers need both a
+// multi-worker pool and >= 2^14 elements to amortize the fork-join cost.
 //
 // Every policy preserves level II obliviousness; the policy choice itself
 // is public configuration.  tests/sort_kernel_test.cc and
@@ -28,33 +36,203 @@
 
 #include <cstdint>
 
+#include "common/bits.h"
 #include "memtrace/oarray.h"
 #include "obliv/bitonic_sort.h"
 #include "obliv/parallel_sort.h"
 #include "obliv/sort_block.h"
+#include "obliv/sort_policy.h"
 #include "obliv/tag_sort.h"
 
 namespace oblivdb::obliv {
 
-// Which implementation of the (same) logical sort runs.  All policies
-// produce the same element order and comparison count; see the header
-// comment for their trace relationships.
-enum class SortPolicy : uint8_t {
-  kReference,  // recursive network, four OArray accesses per compare-exchange
-  kBlocked,    // cache-blocked kernel, raw-memory passes inside the block
-  kParallel,   // blocked leaves fanned out on the persistent thread pool
-  kTagSort,    // narrow tag network + one Beneš payload permutation
-};
+namespace internal {
+
+// Measured model constants (ns; see the header comment for provenance).
+inline constexpr double kCachedWordCmpNs = 1.0;   // elements <= 32 bytes
+inline constexpr double kWideWordCmpNs = 2.4;     // elements > 32 bytes
+inline constexpr double kBenesWordSwapNs = 4.0;   // per word per gate
+inline constexpr double kPlanLevelNs = 25.0;      // per element per level
+inline constexpr double kParallelEfficiency = 0.6;  // of linear speedup
+inline constexpr double kForkJoinNs = 50000.0;    // fixed per parallel sort
+inline constexpr size_t kCachedCmpMaxBytes = 32;
+// Wide-element passes are DRAM-bandwidth-bound: past ~3 workers more
+// threads just queue on the memory controller, so their parallel speedup
+// saturates.  The Beneš switch planner is only per-level parallel
+// (permute.h gates small blocks sequential), so its speedup caps earlier.
+inline constexpr double kWideSpeedupCap = 3.0;
+inline constexpr double kPlanSpeedupCap = 2.0;
+
+inline double WordCmpNs(size_t elem_bytes) {
+  return elem_bytes <= kCachedCmpMaxBytes ? kCachedWordCmpNs : kWideWordCmpNs;
+}
+
+// ~log2^2(n)/4 compare-exchanges per element over elem_bytes/8 words.
+inline double NetworkNsPerElement(size_t elem_bytes, double levels) {
+  return WordCmpNs(elem_bytes) * static_cast<double>(elem_bytes / 8) *
+         levels * levels / 4.0;
+}
+
+inline double ParallelSpeedup(unsigned workers, double cap) {
+  const double linear =
+      1.0 + kParallelEfficiency * static_cast<double>(workers - 1);
+  return linear < cap ? linear : cap;
+}
+
+// Speedup of a pass moving elem_bytes-wide elements: compute-bound while
+// the element is cache-line-sized, bandwidth-capped beyond.
+inline double PassSpeedup(size_t elem_bytes, unsigned workers) {
+  return ParallelSpeedup(
+      workers, elem_bytes <= kCachedCmpMaxBytes
+                   ? static_cast<double>(workers)
+                   : kWideSpeedupCap);
+}
+
+}  // namespace internal
+
+// Estimated per-element cost of running `policy` on n elements of
+// elem_bytes, with tags of tag_bytes (0 = comparator not TagProjectable)
+// and a `workers`-thread pool.  Exposed for the bench and tests; the
+// absolute numbers only matter insofar as they rank the tiers correctly at
+// the decision boundaries.
+inline double EstimateSortNsPerElement(SortPolicy policy, size_t elem_bytes,
+                                       size_t tag_bytes, size_t n,
+                                       unsigned workers) {
+  using namespace internal;
+  if (n < 2) return 0.0;
+  const double levels = static_cast<double>(Log2Floor(CeilPow2(n)));
+  const double inv_n = 1.0 / static_cast<double>(n);
+  const double full_network = NetworkNsPerElement(elem_bytes, levels);
+  const double tag_network = NetworkNsPerElement(tag_bytes, levels);
+  // One Beneš pass: (2 log n - 1)/2 full-width gates per element, plus the
+  // cycle-walking switch planner at kPlanLevelNs per element per level.
+  const double benes_gates = kBenesWordSwapNs *
+                             static_cast<double>(elem_bytes / 8) *
+                             (2.0 * levels - 1.0) / 2.0;
+  const double benes_plan = kPlanLevelNs * levels;
+  switch (policy) {
+    case SortPolicy::kReference:
+      // Four sink-tested by-value accesses per exchange: ~2x the blocked
+      // kernel at every width (BENCH_sort.json); never the argmin, present
+      // for completeness.
+      return 2.0 * full_network;
+    case SortPolicy::kBlocked:
+      return full_network;
+    case SortPolicy::kParallel:
+      // Below the task cutoff the parallel kernel runs the blocked path
+      // outright: no speedup, no fork-join cost.
+      if (n < kParallelCutoff) return full_network;
+      return full_network / PassSpeedup(elem_bytes, workers) +
+             kForkJoinNs * inv_n;
+    case SortPolicy::kTagSort:
+      return tag_network + benes_gates + benes_plan;
+    case SortPolicy::kParallelTag: {
+      // The narrow network fans out compute-bound, the Beneš columns
+      // bandwidth-capped, and the planner per-level (kPlanSpeedupCap).
+      // Each phase is only credited with a speedup its kernel actually
+      // delivers: ApplyParallel runs sequential below its network-size
+      // floor, and the tag network below the task cutoff.
+      const double tag_speedup =
+          n >= kParallelCutoff ? PassSpeedup(tag_bytes, workers) : 1.0;
+      const double gate_speedup =
+          CeilPow2(n) >= BenesNetwork::kMinParallelApplySize
+              ? PassSpeedup(elem_bytes, workers)
+              : 1.0;
+      return tag_network / tag_speedup + benes_gates / gate_speedup +
+             benes_plan / ParallelSpeedup(workers, kPlanSpeedupCap) +
+             kForkJoinNs * inv_n;
+    }
+    case SortPolicy::kAuto:
+      break;
+  }
+  OBLIVDB_CHECK(false);
+  return 0.0;
+}
+
+// Resolves kAuto to the cheapest eligible concrete tier for a sort of n
+// elements of elem_bytes width (tag_bytes = 0 when the comparator has no
+// faithful projection).  Non-kAuto policies pass through unchanged.  The
+// inputs are all public, so the resolution leaks nothing.
+inline SortPolicy ResolveSortPolicy(SortPolicy policy, size_t elem_bytes,
+                                    size_t tag_bytes, size_t n,
+                                    unsigned workers) {
+  if (policy != SortPolicy::kAuto) return policy;
+  SortPolicy best = SortPolicy::kBlocked;
+  double best_ns = EstimateSortNsPerElement(best, elem_bytes, tag_bytes, n,
+                                            workers);
+  auto consider = [&](SortPolicy candidate) {
+    const double ns =
+        EstimateSortNsPerElement(candidate, elem_bytes, tag_bytes, n, workers);
+    if (ns < best_ns) {
+      best = candidate;
+      best_ns = ns;
+    }
+  };
+  if (workers > 1 && n >= internal::kParallelCutoff) {
+    consider(SortPolicy::kParallel);
+  }
+  if (tag_bytes != 0 && n >= kTagSortMinLen) {
+    consider(SortPolicy::kTagSort);
+    if (workers > 1 && n >= internal::kParallelCutoff) {
+      consider(SortPolicy::kParallelTag);
+    }
+  }
+  return best;
+}
 
 // Policy dispatchers: one call site, any implementation.  `pool` is the
-// worker pool for the parallel tiers (kParallel's task fan-out and
-// kTagSort's Beneš switch planning); nullptr means the process-wide
-// ThreadPool::Global().  The relational layer passes ExecContext::pool.
+// worker pool for the parallel tiers (kParallel's task fan-out, kTagSort's
+// Beneš switch planning, kParallelTag's column fan-out); nullptr means the
+// process-wide ThreadPool::Global().  The relational layer passes
+// ExecContext::pool.  `chosen` (optional) receives the concrete tier that
+// ran — interesting under kAuto; operators record it in
+// JoinStats::op_sort_policy_chosen.
 template <typename T, typename Less>
   requires CtLess<Less, T>
 void SortRange(memtrace::OArray<T>& a, size_t lo, size_t len,
                const Less& less, SortPolicy policy,
-               uint64_t* comparisons = nullptr, ThreadPool* pool = nullptr) {
+               uint64_t* comparisons = nullptr, ThreadPool* pool = nullptr,
+               SortPolicy* chosen = nullptr) {
+  if (policy == SortPolicy::kAuto) {
+    size_t tag_bytes = 0;
+    if constexpr (TagProjectable<Less, T>) {
+      tag_bytes = 8 * (Less::kSortKeyWords + 1);
+    }
+    // Below the parallel cutoff no parallel tier is eligible, so don't
+    // touch the pool at all — ThreadPool::Global() spawns its workers on
+    // first use, and a small kAuto sort should not pay that side effect.
+    unsigned workers = 1;
+    if (len >= internal::kParallelCutoff) {
+      workers = (pool != nullptr ? *pool : ThreadPool::Global())
+                    .worker_count();
+    }
+    policy = ResolveSortPolicy(policy, sizeof(T), tag_bytes, len, workers);
+  }
+  // Resolve every whole-path fallback *before* recording, so `chosen`
+  // reports the tier that actually executes (the contract of
+  // op_sort_policy_chosen and the annotated ExplainPlan).  Comparators
+  // without a faithful projection cannot run the tag tiers; below the
+  // kernels' public size floors the tag and parallel paths run the blocked
+  // kernel outright (mirrors of the conditions inside
+  // BitonicSortRangeTaggedImpl and BitonicSortRangeParallel).  A
+  // kParallelTag at or above the tag floor stays kParallelTag even when an
+  // inner phase degrades (e.g. the Beneš columns below their 2^14 fan-out
+  // floor): the key/payload-separated path is still what runs.
+  if constexpr (!TagProjectable<Less, T>) {
+    if (policy == SortPolicy::kTagSort) policy = SortPolicy::kBlocked;
+    if (policy == SortPolicy::kParallelTag) policy = SortPolicy::kParallel;
+  }
+  if ((policy == SortPolicy::kTagSort || policy == SortPolicy::kParallelTag) &&
+      len < kTagSortMinLen) {
+    policy = SortPolicy::kBlocked;
+  }
+  if (policy == SortPolicy::kParallel &&
+      (len < internal::kParallelCutoff ||
+       (pool != nullptr ? *pool : ThreadPool::Global()).worker_count() <=
+           1)) {
+    policy = SortPolicy::kBlocked;
+  }
+  if (chosen != nullptr) *chosen = policy;
   switch (policy) {
     case SortPolicy::kBlocked:
       BitonicSortRangeBlocked(a, lo, len, less, comparisons);
@@ -67,12 +245,19 @@ void SortRange(memtrace::OArray<T>& a, size_t lo, size_t len,
       if constexpr (TagProjectable<Less, T>) {
         BitonicSortRangeTagged(a, lo, len, less, comparisons, kSortBlockBytes,
                                pool);
-      } else {
-        BitonicSortRangeBlocked(a, lo, len, less, comparisons);
+      }
+      break;
+    case SortPolicy::kParallelTag:
+      if constexpr (TagProjectable<Less, T>) {
+        BitonicSortRangeTaggedParallel(a, lo, len, less, comparisons,
+                                       kSortBlockBytes, pool);
       }
       break;
     case SortPolicy::kReference:
       BitonicSortRange(a, lo, len, less, comparisons);
+      break;
+    case SortPolicy::kAuto:
+      OBLIVDB_CHECK(false);  // resolved above
       break;
   }
 }
@@ -80,8 +265,9 @@ void SortRange(memtrace::OArray<T>& a, size_t lo, size_t len,
 template <typename T, typename Less>
   requires CtLess<Less, T>
 void Sort(memtrace::OArray<T>& a, const Less& less, SortPolicy policy,
-          uint64_t* comparisons = nullptr, ThreadPool* pool = nullptr) {
-  SortRange(a, 0, a.size(), less, policy, comparisons, pool);
+          uint64_t* comparisons = nullptr, ThreadPool* pool = nullptr,
+          SortPolicy* chosen = nullptr) {
+  SortRange(a, 0, a.size(), less, policy, comparisons, pool, chosen);
 }
 
 }  // namespace oblivdb::obliv

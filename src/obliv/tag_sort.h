@@ -22,6 +22,12 @@
 // working-set note).  tests/tag_sort_test.cc proves output equality with
 // the reference network for all pipeline comparators and trace
 // data-independence of the whole composite.
+//
+// The multi-core tier (BitonicSortRangeTaggedParallel, SortPolicy::
+// kParallelTag) runs the same three phases with the narrow sort on the
+// pool-parallel kernel and the Beneš columns fanned out per level; both
+// replay their traces in deterministic order, so the traced event stream
+// stays byte-identical to the sequential tag sort's.
 
 #ifndef OBLIVDB_OBLIV_TAG_SORT_H_
 #define OBLIVDB_OBLIV_TAG_SORT_H_
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "memtrace/oarray.h"
+#include "obliv/parallel_sort.h"
 #include "obliv/permute.h"
 #include "obliv/sort_block.h"
 #include "obliv/sort_key.h"
@@ -74,6 +81,73 @@ void ForSpanChunks(size_t len, const Fn& fn) {
   }
 }
 
+// Shared body of the sequential and pool-parallel tag sorts.  `parallel`
+// swaps the execution strategy of phases 2 and 3 only — the tag network
+// runs on the kParallel tier (deterministic per-task trace replay) and the
+// Beneš payload columns are applied gate-chunk-parallel (column replay in
+// gate order) — so the traced event stream is byte-identical either way.
+template <typename T, typename Less>
+  requires CtLess<Less, T> && TagProjectable<Less, T>
+void BitonicSortRangeTaggedImpl(memtrace::OArray<T>& a, size_t lo, size_t len,
+                                const Less& less, uint64_t* comparisons,
+                                size_t block_bytes, ThreadPool* pool,
+                                bool parallel) {
+  OBLIVDB_CHECK_LE(lo, a.size());
+  OBLIVDB_CHECK_LE(len, a.size() - lo);
+  if (len < kTagSortMinLen) {
+    BitonicSortRangeBlocked(a, lo, len, less, comparisons, block_bytes);
+    return;
+  }
+  OBLIVDB_CHECK_LE(len, uint64_t{1} << 32);
+
+  constexpr size_t W = Less::kSortKeyWords;
+  using Tag = SortTag<W>;
+
+  // Phase 1: project, span-batched.  Events: R a[lo..lo+len), W tags[0..len).
+  memtrace::OArray<Tag> tags(len, "tags");
+  {
+    T staged[kTagSortChunk];
+    Tag tag_chunk[kTagSortChunk];
+    ForSpanChunks(len, [&](size_t done, size_t c) {
+      a.ReadSpan(lo + done, c, staged);
+      for (size_t k = 0; k < c; ++k) {
+        tag_chunk[k] = Tag{Less::SortKeyOf(staged[k]), done + k};
+      }
+      tags.WriteSpan(done, c, tag_chunk);
+    });
+  }
+
+  // Phase 2: the narrow network.  Identical comparator schedule, so the
+  // comparison count matches the wide sort's BitonicComparisonCount(len).
+  if (parallel) {
+    BitonicSortRangeParallel(tags, 0, len, SortTagKeyLess<W>{},
+                             /*threads=*/0, comparisons, kCrossPassChunk,
+                             pool);
+  } else {
+    BitonicSortRangeBlocked(tags, 0, len, SortTagKeyLess<W>{}, comparisons,
+                            block_bytes);
+  }
+
+  // Phase 3: read off the permutation (sequential span reads) and route the
+  // payloads through it once.
+  std::vector<uint32_t> perm(len);
+  {
+    Tag staged[kTagSortChunk];
+    ForSpanChunks(len, [&](size_t done, size_t c) {
+      tags.ReadSpan(done, c, staged);
+      for (size_t k = 0; k < c; ++k) {
+        perm[done + k] = static_cast<uint32_t>(staged[k].idx);
+      }
+    });
+  }
+  const BenesNetwork net(std::move(perm), pool);
+  if (parallel) {
+    ObliviousPermuteRangeParallel(a, lo, net, pool);
+  } else {
+    ObliviousPermuteRange(a, lo, net);
+  }
+}
+
 }  // namespace internal
 
 // Sorts a[lo, lo+len) ascending under `less` via the tag-sort path.  Same
@@ -87,50 +161,25 @@ void BitonicSortRangeTagged(memtrace::OArray<T>& a, size_t lo, size_t len,
                             uint64_t* comparisons = nullptr,
                             size_t block_bytes = kSortBlockBytes,
                             ThreadPool* pool = nullptr) {
-  OBLIVDB_CHECK_LE(lo, a.size());
-  OBLIVDB_CHECK_LE(len, a.size() - lo);
-  if (len < kTagSortMinLen) {
-    BitonicSortRangeBlocked(a, lo, len, less, comparisons, block_bytes);
-    return;
-  }
-  OBLIVDB_CHECK_LE(len, uint64_t{1} << 32);
+  internal::BitonicSortRangeTaggedImpl(a, lo, len, less, comparisons,
+                                       block_bytes, pool, /*parallel=*/false);
+}
 
-  constexpr size_t W = Less::kSortKeyWords;
-  using Tag = internal::SortTag<W>;
-
-  // Phase 1: project, span-batched.  Events: R a[lo..lo+len), W tags[0..len).
-  memtrace::OArray<Tag> tags(len, "tags");
-  {
-    T staged[internal::kTagSortChunk];
-    Tag tag_chunk[internal::kTagSortChunk];
-    internal::ForSpanChunks(len, [&](size_t done, size_t c) {
-      a.ReadSpan(lo + done, c, staged);
-      for (size_t k = 0; k < c; ++k) {
-        tag_chunk[k] = Tag{Less::SortKeyOf(staged[k]), done + k};
-      }
-      tags.WriteSpan(done, c, tag_chunk);
-    });
-  }
-
-  // Phase 2: the narrow network.  Identical comparator schedule, so the
-  // comparison count matches the wide sort's BitonicComparisonCount(len).
-  BitonicSortRangeBlocked(tags, 0, len, internal::SortTagKeyLess<W>{},
-                          comparisons, block_bytes);
-
-  // Phase 3: read off the permutation (sequential span reads) and route the
-  // payloads through it once.
-  std::vector<uint32_t> perm(len);
-  {
-    Tag staged[internal::kTagSortChunk];
-    internal::ForSpanChunks(len, [&](size_t done, size_t c) {
-      tags.ReadSpan(done, c, staged);
-      for (size_t k = 0; k < c; ++k) {
-        perm[done + k] = static_cast<uint32_t>(staged[k].idx);
-      }
-    });
-  }
-  const BenesNetwork net(std::move(perm), pool);
-  ObliviousPermuteRange(a, lo, net);
+// The multi-core wide-element tier (SortPolicy::kParallelTag): the narrow
+// tag sort runs task-parallel on `pool` and the Beneš payload columns are
+// applied gate-chunk-parallel.  Same element order, comparison count, and —
+// because both parallel phases replay their traces in deterministic
+// sequential order — byte-identical traced event stream as the sequential
+// tag sort (tests/tag_sort_test.cc pins all three).
+template <typename T, typename Less>
+  requires CtLess<Less, T> && TagProjectable<Less, T>
+void BitonicSortRangeTaggedParallel(memtrace::OArray<T>& a, size_t lo,
+                                    size_t len, const Less& less,
+                                    uint64_t* comparisons = nullptr,
+                                    size_t block_bytes = kSortBlockBytes,
+                                    ThreadPool* pool = nullptr) {
+  internal::BitonicSortRangeTaggedImpl(a, lo, len, less, comparisons,
+                                       block_bytes, pool, /*parallel=*/true);
 }
 
 // Whole-array convenience.

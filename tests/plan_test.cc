@@ -27,8 +27,9 @@ using core::PlanPtr;
 using core::PlanResult;
 
 const obliv::SortPolicy kAllPolicies[] = {
-    obliv::SortPolicy::kReference, obliv::SortPolicy::kBlocked,
-    obliv::SortPolicy::kParallel, obliv::SortPolicy::kTagSort};
+    obliv::SortPolicy::kReference,   obliv::SortPolicy::kBlocked,
+    obliv::SortPolicy::kParallel,    obliv::SortPolicy::kTagSort,
+    obliv::SortPolicy::kParallelTag, obliv::SortPolicy::kAuto};
 
 Table SmallT1() {
   return Table("t1", {{1, 10}, {1, 11}, {2, 20}, {3, 30}, {3, 30}, {5, 50}});
@@ -304,6 +305,32 @@ TEST(PlanExplainTest, RendersTree) {
             "  join\n"
             "    scan(t1)\n"
             "    scan(t2)\n");
+}
+
+// The annotated overload renders the tiers each node's sorts actually ran
+// on — the observable face of SortPolicy::kAuto.  At these input sizes the
+// cost model resolves every sort to the blocked kernel, which makes the
+// expectation exact and machine-independent.
+TEST(PlanExplainTest, AnnotatedExplainShowsChosenSortTier) {
+  const PlanPtr plan =
+      core::Distinct(core::Join(core::Scan(SmallT1()), core::Scan(SmallT2())));
+  ExecContext ctx;
+  ctx.sort_policy = obliv::SortPolicy::kAuto;
+  Executor ex(ctx);
+  (void)ex.Execute(plan);
+
+  // Post-order: scan(t1), scan(t2), join, distinct.
+  const std::string annotated = core::ExplainPlan(plan, ex.node_stats());
+  const std::string expected =
+      "distinct [rows=" + std::to_string(ex.node_stats()[3].output_rows) +
+      " sort=blocked]\n"
+      "  join [rows=" + std::to_string(ex.node_stats()[2].output_rows) +
+      " sort=blocked]\n"
+      "    scan(t1) [rows=6]\n"
+      "    scan(t2) [rows=4]\n";
+  EXPECT_EQ(annotated, expected);
+  // The sentinel never leaks into the rendering.
+  EXPECT_EQ(annotated.find("sort=auto"), std::string::npos);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
@@ -163,20 +164,85 @@ TEST(SortKernelTest, SubrangeSortLeavesRestUntouched) {
 }
 
 TEST(SortKernelTest, PolicyDispatcherRunsEveryPolicy) {
-  // ItemLexLess carries no SortKey projection, so kTagSort falls back to
-  // the blocked kernel here (the real tag path is covered by
-  // tests/tag_sort_test.cc); every policy must sort and count identically.
-  for (const SortPolicy policy :
-       {SortPolicy::kReference, SortPolicy::kBlocked, SortPolicy::kParallel,
-        SortPolicy::kTagSort}) {
+  // ItemLexLess carries no SortKey projection, so the tag tiers fall back
+  // to their projection-free counterparts here (the real tag paths are
+  // covered by tests/tag_sort_test.cc); every policy must sort and count
+  // identically.  `chosen` reports the tier that actually executed: at
+  // n = 333 every fallback chain bottoms out in the blocked kernel (no
+  // projection, and n sits below the parallel task cutoff of 2^12).
+  const std::pair<SortPolicy, SortPolicy> policy_and_executed[] = {
+      {SortPolicy::kReference, SortPolicy::kReference},
+      {SortPolicy::kBlocked, SortPolicy::kBlocked},
+      {SortPolicy::kParallel, SortPolicy::kBlocked},
+      {SortPolicy::kTagSort, SortPolicy::kBlocked},
+      {SortPolicy::kParallelTag, SortPolicy::kBlocked},
+  };
+  for (const auto& [policy, executed] : policy_and_executed) {
     memtrace::OArray<Item> arr(333, "disp");
     FillRandom(arr, 42);
     uint64_t comparisons = 0;
-    Sort(arr, ItemLexLess{}, policy, &comparisons);
+    SortPolicy chosen = SortPolicy::kAuto;
+    Sort(arr, ItemLexLess{}, policy, &comparisons, nullptr, &chosen);
     const auto contents = Contents(arr);
     EXPECT_TRUE(std::is_sorted(contents.begin(), contents.end()));
     EXPECT_EQ(comparisons, BitonicComparisonCount(333));
+    EXPECT_EQ(chosen, executed);
   }
+  {
+    memtrace::OArray<Item> arr(333, "disp");
+    FillRandom(arr, 42);
+    uint64_t comparisons = 0;
+    SortPolicy chosen = SortPolicy::kAuto;
+    Sort(arr, ItemLexLess{}, SortPolicy::kAuto, &comparisons, nullptr,
+         &chosen);
+    const auto contents = Contents(arr);
+    EXPECT_TRUE(std::is_sorted(contents.begin(), contents.end()));
+    EXPECT_EQ(comparisons, BitonicComparisonCount(333));
+    EXPECT_NE(chosen, SortPolicy::kAuto);  // always resolved
+  }
+}
+
+TEST(SortKernelTest, AutoResolutionFollowsTheMeasuredCrossovers) {
+  constexpr size_t kEntryBytes = 72;  // the pipeline element
+  constexpr size_t kEntryTagBytes = 24;
+  // Narrow elements: the tag array is as wide as the data; never a tag
+  // tier.  Single worker: never a parallel tier.
+  EXPECT_EQ(ResolveSortPolicy(SortPolicy::kAuto, 16, 24, 1 << 20, 1),
+            SortPolicy::kBlocked);
+  EXPECT_EQ(ResolveSortPolicy(SortPolicy::kAuto, 16, 24, 1 << 20, 8),
+            SortPolicy::kParallel);
+  // Wide elements beyond the measured ~2^13-2^14 crossover: tag tiers.
+  EXPECT_EQ(ResolveSortPolicy(SortPolicy::kAuto, kEntryBytes, kEntryTagBytes,
+                              1 << 18, 1),
+            SortPolicy::kTagSort);
+  EXPECT_EQ(ResolveSortPolicy(SortPolicy::kAuto, kEntryBytes, kEntryTagBytes,
+                              1 << 18, 8),
+            SortPolicy::kParallelTag);
+  // Small ranges never leave the blocked kernel (fixed costs dominate).
+  EXPECT_EQ(ResolveSortPolicy(SortPolicy::kAuto, kEntryBytes, kEntryTagBytes,
+                              256, 8),
+            SortPolicy::kBlocked);
+  // No faithful projection (tag_bytes == 0): tag tiers ineligible.
+  EXPECT_EQ(ResolveSortPolicy(SortPolicy::kAuto, kEntryBytes, 0, 1 << 18, 1),
+            SortPolicy::kBlocked);
+  // Concrete policies pass through untouched.
+  EXPECT_EQ(ResolveSortPolicy(SortPolicy::kReference, kEntryBytes,
+                              kEntryTagBytes, 1 << 18, 8),
+            SortPolicy::kReference);
+}
+
+TEST(SortKernelTest, AutoTraceIsDataIndependent) {
+  // The kAuto resolution consumes only public quantities, so two inputs of
+  // the same shape produce the same trace — whatever tier it picked.
+  auto hash_of = [](uint64_t seed) {
+    memtrace::HashTraceSink sink;
+    memtrace::TraceScope scope(&sink);
+    memtrace::OArray<Item> arr(500, "auto");
+    FillRandom(arr, seed);
+    Sort(arr, ItemLexLess{}, SortPolicy::kAuto);
+    return sink.HexDigest();
+  };
+  EXPECT_EQ(hash_of(7), hash_of(7777));
 }
 
 TEST(SortKernelTest, JoinProducesSameRowsAndTraceUnderBothPolicies) {

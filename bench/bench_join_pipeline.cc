@@ -1,0 +1,206 @@
+// End-to-end chained-plan benchmark: the first whole-query perf
+// trajectory of the repo (earlier benches cover single primitives).
+//
+// Two scenarios, each run with order-aware sort elision on and off
+// (ExecContext::sort_elision; core/order.h):
+//
+//   * chained   — Aggregate(Join(Distinct(T1), Distinct(T2)), Distinct(T3)):
+//                 the Distinct nodes emit (j, d)-sorted rows, so the join's
+//                 Augment entry sort and the aggregate's union sort both
+//                 collapse to run merges;
+//   * star_join — Join(dims, facts) with `dims` a key-sorted, key-unique
+//                 dimension table declared as such on its scan: the Augment
+//                 entry sort merges AND the full m-sized Align sort is
+//                 skipped outright.
+//
+// Emits JSON to stdout (bench/run_benches.sh captures it as
+// BENCH_join.json): per scenario the wall time of each run, the join
+// node's per-phase breakdown, per-node rows/elisions, and the off/on
+// speedup.
+//
+//   bench_join_pipeline [--smoke]
+//
+// --smoke: tiny sizes; verifies byte-identical plan outputs with elision
+// on vs. off and that the expected elisions actually happened; exits
+// nonzero on any mismatch (bench/smoke.sh runs this).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/exec_context.h"
+#include "core/plan.h"
+
+namespace {
+
+using namespace oblivdb;
+using core::ExecContext;
+using core::Executor;
+using core::PlanPtr;
+using core::PlanResult;
+
+// `n` rows over `key_range` keys, plus `dups` exact duplicates of early
+// rows (so Distinct has real work).  Keys repeat; every revealed size is a
+// function of (n, key_range, dups, seed) only.
+Table FactTable(const std::string& name, size_t n, uint64_t key_range,
+                size_t dups, uint64_t seed) {
+  Table t(name);
+  uint64_t state = seed;
+  t.rows().reserve(n + dups);
+  for (size_t i = 0; i < n; ++i) {
+    t.rows().push_back(
+        Record{SplitMix64(state) % key_range, {SplitMix64(state), i}});
+  }
+  for (size_t i = 0; i < dups; ++i) t.rows().push_back(t.rows()[i * 3]);
+  return t;
+}
+
+// Key-sorted, key-unique dimension table (primary keys 0..n-1).
+Table DimTable(const std::string& name, size_t n, uint64_t seed) {
+  Table t(name);
+  uint64_t state = seed;
+  t.rows().reserve(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    t.rows().push_back(Record{k, {SplitMix64(state), k}});
+  }
+  return t;
+}
+
+struct RunResult {
+  double seconds = 0;
+  PlanResult result;
+  std::vector<core::PlanNodeStats> node_stats;
+};
+
+RunResult RunPlan(const PlanPtr& plan, bool elision, int reps) {
+  RunResult best;
+  for (int r = 0; r < reps; ++r) {
+    ExecContext ctx;
+    ctx.sort_elision = elision;
+    Executor ex(ctx);
+    Timer timer;
+    PlanResult result = ex.Execute(plan);
+    const double s = timer.ElapsedSeconds();
+    if (r == 0 || s < best.seconds) {
+      best.seconds = s;
+      best.result = std::move(result);
+      best.node_stats = ex.node_stats();
+    }
+  }
+  return best;
+}
+
+uint64_t TotalElisions(const RunResult& run) {
+  uint64_t total = 0;
+  for (const auto& s : run.node_stats) total += s.stats.op_sorts_elided;
+  return total;
+}
+
+void PrintRun(const char* label, const RunResult& run, bool last) {
+  std::printf("      {\"elision\": \"%s\", \"seconds\": %.6f, "
+              "\"sorts_elided\": %" PRIu64 ", \"nodes\": [",
+              label, run.seconds, TotalElisions(run));
+  for (size_t i = 0; i < run.node_stats.size(); ++i) {
+    const core::PlanNodeStats& s = run.node_stats[i];
+    std::printf("%s\n        {\"op\": \"%s\", \"rows\": %" PRIu64
+                ", \"seconds\": %.6f, \"elided\": %" PRIu64
+                ", \"augment_s\": %.6f, \"expand_s\": %.6f, "
+                "\"align_s\": %.6f, \"zip_s\": %.6f}",
+                i == 0 ? "" : ",", core::PlanOpName(s.op), s.output_rows,
+                s.stats.total_seconds, s.stats.op_sorts_elided,
+                s.stats.augment_seconds, s.stats.expand_seconds,
+                s.stats.align_seconds, s.stats.zip_seconds);
+  }
+  std::printf("]}%s\n", last ? "" : ",");
+}
+
+bool SameRows(const PlanResult& a, const PlanResult& b) {
+  return a.table.rows() == b.table.rows() && a.join_rows == b.join_rows &&
+         a.aggregate_rows == b.aggregate_rows;
+}
+
+struct Scenario {
+  std::string name;
+  PlanPtr plan;
+  uint64_t min_elisions;  // smoke bar: elisions the on-run must show
+};
+
+std::vector<Scenario> MakeScenarios(bool smoke) {
+  const size_t n = smoke ? 96 : (size_t{1} << 14);
+  const uint64_t keys = smoke ? 16 : (uint64_t{1} << 13);
+  const size_t dups = n / 4;
+  const size_t dim_n = smoke ? 24 : (size_t{1} << 12);
+  const size_t fact_n = smoke ? 128 : (size_t{1} << 16);
+
+  const Table t1 = FactTable("t1", n, keys, dups, 11);
+  const Table t2 = FactTable("t2", n, keys, dups, 22);
+  const Table t3 = FactTable("t3", n, keys, dups, 33);
+  const Table dims = DimTable("dims", dim_n, 44);
+  const Table facts = FactTable("facts", fact_n, dim_n, 0, 55);
+
+  std::vector<Scenario> scenarios;
+  // Distinct -> Join -> Aggregate: two union entry sorts become merges.
+  scenarios.push_back(Scenario{
+      "chained_distinct_join_aggregate",
+      core::Aggregate(core::Join(core::Distinct(core::Scan(t1)),
+                                 core::Distinct(core::Scan(t2))),
+                      core::Distinct(core::Scan(t3))),
+      2});
+  // Star join on a declared key-unique dimension: entry sort merges and
+  // the m-sized align sort disappears.
+  scenarios.push_back(Scenario{
+      "star_join_unique_dim",
+      core::Join(core::Scan(dims, core::OrderSpec::ByKey(true)),
+                 core::Scan(facts)),
+      2});
+  return scenarios;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int reps = smoke ? 1 : 3;
+  const std::vector<Scenario> scenarios = MakeScenarios(smoke);
+
+  bool ok = true;
+  std::printf("{\n  \"bench\": \"join_pipeline\",\n  \"threads\": %u,\n"
+              "  \"smoke\": %s,\n  \"scenarios\": [\n",
+              ThreadPool::Global().worker_count(), smoke ? "true" : "false");
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    const RunResult on = RunPlan(sc.plan, /*elision=*/true, reps);
+    const RunResult off = RunPlan(sc.plan, /*elision=*/false, reps);
+    if (!SameRows(on.result, off.result)) {
+      std::fprintf(stderr, "FAIL: %s: elision on/off outputs differ\n",
+                   sc.name.c_str());
+      ok = false;
+    }
+    if (TotalElisions(on) < sc.min_elisions || TotalElisions(off) != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s: expected >= %" PRIu64
+                   " elisions on (got %" PRIu64 ") and 0 off (got %" PRIu64
+                   ")\n",
+                   sc.name.c_str(), sc.min_elisions, TotalElisions(on),
+                   TotalElisions(off));
+      ok = false;
+    }
+    std::printf("    {\"name\": \"%s\", \"runs\": [\n", sc.name.c_str());
+    PrintRun("on", on, /*last=*/false);
+    PrintRun("off", off, /*last=*/true);
+    std::printf("    ], \"speedup_off_over_on\": %.3f}%s\n",
+                on.seconds > 0 ? off.seconds / on.seconds : 0.0,
+                i + 1 == scenarios.size() ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+  if (smoke) {
+    std::fprintf(stderr, ok ? "join pipeline smoke OK\n"
+                            : "join pipeline smoke FAILED\n");
+  }
+  return ok ? 0 : 1;
+}

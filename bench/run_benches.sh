@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Runs the sort-kernel and distribute benchmarks and records the perf
-# trajectory in BENCH_sort.json / BENCH_distribute.json so future PRs have
-# numbers to regress against.
+# Runs the sort-kernel, distribute and end-to-end join-pipeline benchmarks
+# and records the perf trajectory in BENCH_sort.json / BENCH_distribute.json
+# / BENCH_join.json so future PRs have numbers to regress against.
 #
-#   bench/run_benches.sh [sort_output.json] [distribute_output.json]
+#   bench/run_benches.sh [sort_output.json] [distribute_output.json] \
+#                        [join_output.json]
 #
 # Environment:
 #   BUILD_DIR        cmake build directory (default: build)
@@ -17,12 +18,16 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 sort_out="${1:-$repo_root/BENCH_sort.json}"
 dist_out="${2:-$repo_root/BENCH_distribute.json}"
+join_out="${3:-$repo_root/BENCH_join.json}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
-cmake --build "$build_dir" --target bench_sort_kernel bench_distribute -j \
+cmake --build "$build_dir" \
+  --target bench_sort_kernel bench_distribute bench_join_pipeline -j \
   >/dev/null
 
 "$build_dir/bench_sort_kernel" >"$sort_out"
 echo "wrote $sort_out"
 "$build_dir/bench_distribute" >"$dist_out"
 echo "wrote $dist_out"
+"$build_dir/bench_join_pipeline" >"$join_out"
+echo "wrote $join_out"

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # CI smoke pass: configure a warning-strict build, compile everything
 # (-Wall -Wextra -Werror — any new warning fails the build), run the unit
-# tests twice — once under the stock kBlocked default and once with
-# SortPolicy::kAuto as the ExecContext default (OBLIVDB_SORT_POLICY=auto),
-# so a cost-model dispatch regression cannot hide — then run the small-n
-# sort and distribute benches and the query-plan demo (plan-vs-direct
+# tests three times — under the stock kBlocked default, with
+# SortPolicy::kAuto as the ExecContext default (OBLIVDB_SORT_POLICY=auto)
+# so a cost-model dispatch regression cannot hide, and with order-aware
+# sort elision pinned off (OBLIVDB_SORT_ELISION=off) so both sides of the
+# elision flag stay green — then run the small-n sort / distribute /
+# join-pipeline benches and the query-plan demo (plan-vs-direct
 # cross-check).
 #
 #   bench/smoke.sh [build-dir]      # default: build-smoke
@@ -22,6 +24,11 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # tiers are eligible even on a 1-core CI box).
 OBLIVDB_SORT_POLICY=auto OBLIVDB_THREADS=4 \
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+# Third pass with order-aware sort elision pinned off: the no-hint /
+# no-elision paths must stay byte-for-byte healthy on their own (the
+# default-on runs above already cover elision engaged).
+OBLIVDB_SORT_ELISION=off \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # The plan layer gates the whole query path: run its suite once more,
 # loudly, so a plan regression is unmissable in the CI log.  (The binary
 # only exists when GTest does — ctest above already covered it then.)
@@ -32,5 +39,8 @@ cmake --build "$build_dir" --target bench_smoke
 # Functional check of both PRP-undo strategies at every width (exits
 # nonzero on a misplaced element).
 "$build_dir/bench_distribute" --smoke >/dev/null
+# End-to-end chained-plan check: elision on vs. off must agree byte for
+# byte and the expected sorts must actually elide (exits nonzero if not).
+"$build_dir/bench_join_pipeline" --smoke >/dev/null
 cmake --build "$build_dir" --target plan_smoke
 echo "smoke OK"

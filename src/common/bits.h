@@ -27,6 +27,17 @@ uint32_t Log2Floor(uint64_t n);
 // True iff n is a power of two (n > 0).
 inline bool IsPow2(uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
+// splitmix64 step: advances `state` and returns the next 64-bit value.
+// The deterministic filler for synthetic data (calibration probes, tests,
+// benches) — fast, seedable, and good enough where cryptographic quality
+// is not required (those callers use crypto/chacha20.h).
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace oblivdb
 
 #endif  // OBLIVDB_COMMON_BITS_H_

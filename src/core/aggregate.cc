@@ -5,6 +5,7 @@
 #include "memtrace/oarray.h"
 #include "obliv/compact.h"
 #include "obliv/ct.h"
+#include "obliv/merge.h"
 #include "obliv/sort_kernel.h"
 #include "table/entry.h"
 
@@ -22,7 +23,8 @@ struct KeepMarkedBoundary {
 }  // namespace
 
 std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
-    const Table& table1, const Table& table2, const ExecContext& ctx) {
+    const Table& table1, const Table& table2, const ExecContext& ctx,
+    const OrderHints& hints) {
   JoinStats stats;
   stats.n1 = table1.size();
   stats.n2 = table2.size();
@@ -38,9 +40,34 @@ std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
   for (size_t i = 0; i < n2; ++i) {
     tc.Write(n1 + i, MakeEntry(table2.rows()[i], /*tid=*/2));
   }
-  obliv::Sort(tc, ByJoinKeyThenTidLess{}, ctx.sort_policy,
-              &stats.op_sort_comparisons, ctx.pool,
-              &stats.op_sort_policy_chosen);
+  // Entry sort by (j, tid).  The forward/backward group passes and the
+  // order-preserving compaction only need j-groups contiguous — every
+  // extracted field is a commutative group total — so within-run key
+  // order is enough: a by-key-covered input elides the union sort into a
+  // run merge (tid is constant per run; see core/augment.cc for the same
+  // pattern on the join's entry sort).
+  const bool merge_entry =
+      ctx.sort_elision && (hints.left.Covers(OrderSpec::ByKey()) ||
+                           hints.right.Covers(OrderSpec::ByKey()));
+  if (merge_entry) {
+    if (!hints.left.Covers(OrderSpec::ByKey())) {
+      obliv::SortRange(tc, 0, n1, ByJoinKeyThenTidLess{}, ctx.sort_policy,
+                       &stats.op_sort_comparisons, ctx.pool,
+                       &stats.op_sort_policy_chosen);
+    }
+    if (!hints.right.Covers(OrderSpec::ByKey())) {
+      obliv::SortRange(tc, n1, n2, ByJoinKeyThenTidLess{}, ctx.sort_policy,
+                       &stats.op_sort_comparisons, ctx.pool,
+                       &stats.op_sort_policy_chosen);
+    }
+    obliv::ObliviousMergeRuns(tc, 0, n1, n2, ByJoinKeyThenTidLess{},
+                              &stats.op_sort_comparisons);
+    ++stats.op_sorts_elided;
+  } else {
+    obliv::Sort(tc, ByJoinKeyThenTidLess{}, ctx.sort_policy,
+                &stats.op_sort_comparisons, ctx.pool,
+                &stats.op_sort_policy_chosen);
+  }
 
   // Forward pass: per-group counters and payload-word-0 sums.  The sums are
   // stashed in the fields the aggregate does not otherwise need

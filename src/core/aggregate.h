@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/exec_context.h"
+#include "core/order.h"
 #include "obliv/sort_kernel.h"
 #include "table/table.h"
 
@@ -43,8 +44,16 @@ struct JoinGroupAggregate {
 // ctx.sort_policy picks the execution strategy of the single bitonic sort
 // (obliv/sort_kernel.h) — identical output for every policy; phase counters
 // are reported through ctx.ReportStats as "aggregate".
+//
+// Order-aware elision (core/order.h): the entry sort groups the tagged
+// union by (j, tid), and every later pass (group counters, boundary
+// flagging, order-preserving compaction) is insensitive to the
+// within-group arrangement — so a by-key-covered input turns the union
+// sort into a run merge under ctx.sort_elision, counted in
+// JoinStats::op_sorts_elided.  Output identical either way.
 std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
-    const Table& table1, const Table& table2, const ExecContext& ctx = {});
+    const Table& table1, const Table& table2, const ExecContext& ctx = {},
+    const OrderHints& hints = {});
 
 // Deprecated shim over the ExecContext form.
 std::vector<JoinGroupAggregate> ObliviousJoinAggregate(

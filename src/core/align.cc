@@ -8,8 +8,21 @@ namespace oblivdb::core {
 
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
                 const ExecContext& ctx, uint64_t* sort_comparisons,
-                obliv::SortPolicy* sort_chosen) {
+                obliv::SortPolicy* sort_chosen,
+                const OrderHints& join_input_order, uint64_t* sorts_elided) {
   OBLIVDB_CHECK_LE(m, s2.size());
+
+  // Keyness elision (see header): with a key-unique input on either side
+  // of the join, S2 leaves the expansion already aligned — the ii values
+  // the linear pass would compute equal each entry's current within-group
+  // position (left-unique), or the block's entries are bytewise identical
+  // (right-unique).  Downstream only reads join_key/payload words, so the
+  // skipped ii writes are unobservable in the output.
+  if (ctx.sort_elision && (join_input_order.left.key_unique ||
+                           join_input_order.right.key_unique)) {
+    if (sorts_elided != nullptr) ++*sorts_elided;
+    return;
+  }
 
   // Linear pass: q counts the entry's 0-based position within its group
   // block, resetting at group boundaries (same counter idiom as

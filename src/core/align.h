@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "core/exec_context.h"
+#include "core/order.h"
 #include "memtrace/oarray.h"
 #include "obliv/sort_kernel.h"
 #include "table/entry.h"
@@ -32,10 +33,25 @@ namespace oblivdb::core {
 // implementation; `sort_comparisons`, when non-null, accumulates the
 // alignment sort's compare-exchange count; `sort_chosen`, when non-null,
 // receives the tier SortRange actually ran (the kAuto resolution).
+//
+// Order-aware elision: `join_input_order` carries the OrderSpecs of the
+// *join's* two input tables (the same hints ObliviousJoin received).  Mere
+// sortedness never helps here — the required (j, ii) order interleaves
+// copies within secret-sized group blocks — but *keyness* does: when
+// either input is key-unique, every group block of the expanded S2 is
+// already aligned (left-unique: alpha1 = 1, so ii = q, the block's
+// existing position order; right-unique: alpha2 = 1, so the block holds
+// alpha1 bytewise-identical copies of one element and any arrangement is
+// the aligned one).  In that case the whole pass — the ii computation and
+// the full m-sized sort, the join's dominant sort — is skipped and
+// `sorts_elided`, when non-null, is incremented.  The decision reads only
+// the hints and ctx.sort_elision, never data.
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,
                 const ExecContext& ctx = {},
                 uint64_t* sort_comparisons = nullptr,
-                obliv::SortPolicy* sort_chosen = nullptr);
+                obliv::SortPolicy* sort_chosen = nullptr,
+                const OrderHints& join_input_order = {},
+                uint64_t* sorts_elided = nullptr);
 
 // Deprecated shim over the ExecContext form.
 void AlignTable(memtrace::OArray<Entry>& s2, uint64_t m,

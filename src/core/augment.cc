@@ -4,6 +4,7 @@
 
 #include "core/comparators.h"
 #include "obliv/ct.h"
+#include "obliv/merge.h"
 #include "obliv/sort_kernel.h"
 
 namespace oblivdb::core {
@@ -67,7 +68,9 @@ constexpr size_t kSpanChunk = 256;
 
 AugmentResult AugmentTables(const Table& table1, const Table& table2,
                             const ExecContext& ctx,
-                            uint64_t* sort_comparisons) {
+                            uint64_t* sort_comparisons,
+                            const OrderHints& hints, uint64_t* sorts_elided,
+                            obliv::SortPolicy* sort_chosen) {
   const obliv::SortPolicy sort_policy = ctx.sort_policy;
   const size_t n1 = table1.size();
   const size_t n2 = table2.size();
@@ -94,11 +97,36 @@ AugmentResult AugmentTables(const Table& table1, const Table& table2,
     i += c;
   }
 
-  obliv::Sort(tc, ByJoinKeyThenTidLess{}, sort_policy, sort_comparisons,
-              ctx.pool);
+  // Entry sort: TC by (j, tid).  Fill-Dimensions only needs j-groups
+  // contiguous (its counters handle any tid interleave), and tid is
+  // constant within each loaded run, so a run sorted by key is ascending
+  // under the full (j, tid) comparator.  When a run's OrderSpec covers
+  // by-key order, the O(n log^2 n) union sort collapses to per-run sorts
+  // of the *unordered* runs plus one O(n log n) merge.  Ties in (j, tid)
+  // may land in a different d-arrangement than the full sort's, but the
+  // second sort below is full-width and canonicalizes it.
+  const bool merge_entry =
+      ctx.sort_elision && (hints.left.Covers(OrderSpec::ByKey()) ||
+                           hints.right.Covers(OrderSpec::ByKey()));
+  if (merge_entry) {
+    if (!hints.left.Covers(OrderSpec::ByKey())) {
+      obliv::SortRange(tc, 0, n1, ByJoinKeyThenTidLess{}, sort_policy,
+                       sort_comparisons, ctx.pool, sort_chosen);
+    }
+    if (!hints.right.Covers(OrderSpec::ByKey())) {
+      obliv::SortRange(tc, n1, n2, ByJoinKeyThenTidLess{}, sort_policy,
+                       sort_comparisons, ctx.pool, sort_chosen);
+    }
+    obliv::ObliviousMergeRuns(tc, 0, n1, n2, ByJoinKeyThenTidLess{},
+                              sort_comparisons);
+    if (sorts_elided != nullptr) ++*sorts_elided;
+  } else {
+    obliv::Sort(tc, ByJoinKeyThenTidLess{}, sort_policy, sort_comparisons,
+                ctx.pool, sort_chosen);
+  }
   const uint64_t output_size = FillDimensions(tc);
   obliv::Sort(tc, ByTidThenJoinKeyThenDataLess{}, sort_policy,
-              sort_comparisons, ctx.pool);
+              sort_comparisons, ctx.pool, sort_chosen);
 
   // TC[0, n1) is now the augmented T1 and TC[n1, n) the augmented T2.
   AugmentResult result{memtrace::OArray<Entry>(n1, "T1aug"),

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/exec_context.h"
+#include "core/order.h"
 #include "memtrace/oarray.h"
 #include "obliv/routing.h"
 #include "obliv/sort_kernel.h"
@@ -29,9 +30,24 @@ struct AugmentResult {
 // Runs Algorithm 2 on the two input tables.  ctx.sort_policy selects the
 // sort implementation (see obliv/sort_kernel.h).  `sort_comparisons`, when
 // non-null, accumulates the compare-exchange count of both bitonic sorts.
+//
+// Order-aware elision: `hints` promises the order each input table already
+// has (core/order.h).  When ctx.sort_elision is on and at least one input
+// covers the by-key order, the entry sort of TC by (j, tid) collapses: any
+// still-unordered run is sorted in place (at its own, smaller size) and
+// the two runs are merged in O(n log n) (obliv/merge.h) — the full O(n
+// log^2 n) union sort is elided and `sorts_elided`, when non-null, is
+// incremented.  The Fill-Dimensions passes are tie-order-insensitive, and
+// the second sort (by (tid, j, d), never elidable) canonicalizes the
+// arrangement, so the result is byte-identical to the unelided path.  All
+// decisions depend only on (hints, flag, sizes).  `sort_chosen`, when
+// non-null, receives the resolved tier of the sorts that still ran.
 AugmentResult AugmentTables(const Table& table1, const Table& table2,
                             const ExecContext& ctx = {},
-                            uint64_t* sort_comparisons = nullptr);
+                            uint64_t* sort_comparisons = nullptr,
+                            const OrderHints& hints = {},
+                            uint64_t* sorts_elided = nullptr,
+                            obliv::SortPolicy* sort_chosen = nullptr);
 
 // Deprecated shim over the ExecContext form.
 AugmentResult AugmentTables(

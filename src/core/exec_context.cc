@@ -1,6 +1,7 @@
 #include "core/exec_context.h"
 
 #include <cstdlib>
+#include <string_view>
 
 #include "obliv/sort_policy.h"
 
@@ -14,6 +15,18 @@ obliv::SortPolicy ExecContext::DefaultSortPolicy() {
                : kDefaultSortPolicy;
   }();
   return policy;
+}
+
+bool ExecContext::DefaultSortElision() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("OBLIVDB_SORT_ELISION");
+    if (env == nullptr) return true;
+    const std::string_view v(env);
+    if (v == "off" || v == "0" || v == "false") return false;
+    if (v == "on" || v == "1" || v == "true") return true;
+    return true;  // unrecognized values cannot abort a run
+  }();
+  return enabled;
 }
 
 }  // namespace oblivdb::core

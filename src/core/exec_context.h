@@ -96,7 +96,24 @@ struct ExecContext {
   // (bench/smoke.sh).  Public configuration, like everything in here.
   static obliv::SortPolicy DefaultSortPolicy();
 
+  // The process-wide default for `sort_elision`: OBLIVDB_SORT_ELISION set
+  // to "off"/"0"/"false" disables it, "on"/"1"/"true" enables it, anything
+  // else (including unset) leaves the compiled-in default of *on*.  Read
+  // once and cached; CI uses it to run the whole suite with elision pinned
+  // off (bench/smoke.sh).
+  static bool DefaultSortElision();
+
   obliv::SortPolicy sort_policy = DefaultSortPolicy();
+
+  // Order-aware sort elision (core/order.h): when true, operators may skip
+  // or shrink an entry sort whose required order is covered by the caller's
+  // OrderHints (and the Executor derives those hints from plan shape).
+  // Every elision decision is a function of the hints, the flag, and the
+  // public sizes — never of row contents — so traces stay input-
+  // independent for either flag value; outputs are byte-identical across
+  // the flag (tests/plan_test.cc pins both).  Direct operator calls that
+  // pass no hints never elide, whatever this flag says.
+  bool sort_elision = DefaultSortElision();
 
   // Worker pool for the operators' parallel phases (kParallel /
   // kParallelTag sorts, Beneš switch planning and column fan-out);

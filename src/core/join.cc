@@ -44,7 +44,8 @@ memtrace::OArray<Entry> ExpandTable(memtrace::OArray<Entry>& source,
 
 std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
                                         const Table& table2,
-                                        const ExecContext& ctx) {
+                                        const ExecContext& ctx,
+                                        const OrderHints& hints) {
   JoinStats local_stats;
   JoinStats* stats = ctx.stats != nullptr ? ctx.stats : &local_stats;
   *stats = JoinStats{};
@@ -56,7 +57,9 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
 
   // (1) Group dimensions (Algorithm 2).
   AugmentResult augmented =
-      AugmentTables(table1, table2, ctx, &stats->augment_sort_comparisons);
+      AugmentTables(table1, table2, ctx, &stats->augment_sort_comparisons,
+                    hints, &stats->op_sorts_elided,
+                    &stats->op_sort_policy_chosen);
   const uint64_t m = augmented.output_size;
   stats->m = m;
   stats->augment_seconds = phase_timer.ElapsedSeconds();
@@ -78,9 +81,11 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   // output size m — the join's dominant sort — so its resolved tier is the
   // one op_sort_policy_chosen ends up reporting (the expansions wrote the
   // smaller prefix sorts' resolutions first; same model inputs except n).
+  // With a key-unique input the sort is skipped entirely (align.h) and the
+  // last recorded tier stays the expansion's.
   phase_timer.Start();
   AlignTable(s2, m, ctx, &stats->align_sort_comparisons,
-             &stats->op_sort_policy_chosen);
+             &stats->op_sort_policy_chosen, hints, &stats->op_sorts_elided);
   stats->align_seconds = phase_timer.ElapsedSeconds();
 
   // (5) Zip the aligned rows into the output (Algorithm 1, lines 6-9),
@@ -105,11 +110,12 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   }
 
   // Crossing the trust boundary: the output (of public length m) is handed
-  // back to the client.
-  std::vector<JoinedRecord> rows;
-  rows.reserve(m);
+  // back to the client.  One batched conversion pass over the raw storage
+  // — no per-element accessor call or capacity check in the loop.
+  std::vector<JoinedRecord> rows(m);
+  const JoinedEntry* out_data = output.UntracedData();
   for (uint64_t i = 0; i < m; ++i) {
-    rows.push_back(ToJoinedRecord(output.UntracedData()[i]));
+    rows[i] = ToJoinedRecord(out_data[i]);
   }
   stats->zip_seconds = phase_timer.ElapsedSeconds();
   stats->total_seconds = total_timer.ElapsedSeconds();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/exec_context.h"
+#include "core/order.h"
 #include "core/stats.h"
 #include "obliv/sort_kernel.h"
 #include "table/record.h"
@@ -44,9 +45,18 @@ struct JoinOptions {
 // length m, as discussed in §3.2 ("Revealing Output Length"); everything
 // else about the inputs stays hidden in the access pattern.  Fills
 // ctx.stats and reports to ctx.stats_sink as "join".
+//
+// Order-aware elision (core/order.h): `hints` promises the order of the
+// two input tables.  Under ctx.sort_elision, a by-key-covered input lets
+// Augment-Tables collapse its union entry sort to a run merge, and a
+// key-unique input on either side lets Align-Table skip the full m-sized
+// alignment sort outright; skipped sorts land in
+// JoinStats::op_sorts_elided.  Outputs are byte-identical with elision on
+// or off, and every decision is a function of (hints, flag, sizes) only.
 std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
                                         const Table& table2,
-                                        const ExecContext& ctx = {});
+                                        const ExecContext& ctx = {},
+                                        const OrderHints& hints = {});
 
 // Deprecated shim over the ExecContext form.
 std::vector<JoinedRecord> ObliviousJoin(const Table& table1,

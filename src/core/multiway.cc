@@ -17,6 +17,7 @@ void AccumulateJoinStats(JoinStats& total, const JoinStats& step) {
   total.align_sort_comparisons += previous.align_sort_comparisons;
   total.op_sort_comparisons += previous.op_sort_comparisons;
   total.op_route_ops += previous.op_route_ops;
+  total.op_sorts_elided += previous.op_sorts_elided;
   total.augment_seconds += previous.augment_seconds;
   total.expand_seconds += previous.expand_seconds;
   total.align_seconds += previous.align_seconds;
@@ -27,17 +28,29 @@ void AccumulateJoinStats(JoinStats& total, const JoinStats& step) {
 }  // namespace
 
 Table ObliviousMultiwayJoin(const std::vector<Table>& tables,
-                            const ExecContext& ctx) {
+                            const ExecContext& ctx,
+                            const std::vector<OrderSpec>& input_orders) {
   OBLIVDB_CHECK_GE(tables.size(), 1u);
+  OBLIVDB_CHECK(input_orders.empty() || input_orders.size() == tables.size());
   JoinStats total;
   ExecContext step_ctx = ctx;
   JoinStats step_stats;
   step_ctx.stats = &step_stats;
+  auto order_of = [&](size_t t) {
+    return input_orders.empty() ? OrderSpec::None() : input_orders[t];
+  };
   Table accumulated = tables[0];
+  // The running intermediate's order: the caller's promise for table 0,
+  // then — after each step — the join postcondition (key-sorted, and
+  // key-unique iff both sides were).  Plan-shape-derived, never data.
+  OrderSpec accumulated_order = order_of(0);
   for (size_t t = 1; t < tables.size(); ++t) {
-    const std::vector<JoinedRecord> joined =
-        ObliviousJoin(accumulated, tables[t], step_ctx);
+    const std::vector<JoinedRecord> joined = ObliviousJoin(
+        accumulated, tables[t], step_ctx,
+        OrderHints{accumulated_order, order_of(t)});
     AccumulateJoinStats(total, step_stats);
+    accumulated_order = OrderSpec::ByKey(accumulated_order.key_unique &&
+                                         order_of(t).key_unique);
     Table next("join");
     next.rows().reserve(joined.size());
     for (const JoinedRecord& r : joined) {
@@ -78,8 +91,10 @@ std::vector<ThreeWayRow> ObliviousThreeWayJoin(const Table& t1,
     intermediate.rows().push_back(Record{r.key, {r.payload1[0], r.payload2[0]}});
   }
 
-  const std::vector<JoinedRecord> second =
-      ObliviousJoin(intermediate, t3, step_ctx);
+  // The intermediate is a join output, hence key-sorted: the second step's
+  // Augment entry sort merges instead of sorting under ctx.sort_elision.
+  const std::vector<JoinedRecord> second = ObliviousJoin(
+      intermediate, t3, step_ctx, OrderHints{OrderSpec::ByKey(), {}});
   AccumulateJoinStats(total, step_stats);
   if (ctx.stats != nullptr) *ctx.stats = total;
 

@@ -29,8 +29,19 @@ namespace oblivdb::core {
 // receives counters *summed over all steps* (sizes from the last step) so
 // whole-cascade cost is never undercounted, and ctx.stats_sink sees one
 // "join" report per step.
+//
+// Order-aware elision (core/order.h): `input_orders`, when non-empty, must
+// have one OrderSpec per table (the caller's promise for each input; the
+// plan Executor fills it from upstream nodes).  Independent of the caller,
+// every cascade step past the first feeds the previous step's output into
+// the next join, and a join's output is always key-sorted — so under
+// ctx.sort_elision the interior steps' Augment entry sorts collapse to run
+// merges even with no hints at all, and key-unique inputs compound (a
+// cascade of key-unique tables skips every Align sort too).  Elisions sum
+// into the accumulated JoinStats::op_sorts_elided.
 Table ObliviousMultiwayJoin(const std::vector<Table>& tables,
-                            const ExecContext& ctx = {});
+                            const ExecContext& ctx = {},
+                            const std::vector<OrderSpec>& input_orders = {});
 
 // Deprecated shim over the ExecContext form.
 Table ObliviousMultiwayJoin(const std::vector<Table>& tables,

@@ -5,6 +5,7 @@
 #include "memtrace/oarray.h"
 #include "obliv/compact.h"
 #include "obliv/ct.h"
+#include "obliv/merge.h"
 #include "obliv/sort_kernel.h"
 #include "table/entry.h"
 
@@ -66,14 +67,23 @@ Table ObliviousSelect(const Table& input, const CtRowPredicate& keep,
   return out;
 }
 
-Table ObliviousDistinct(const Table& input, const ExecContext& ctx) {
+Table ObliviousDistinct(const Table& input, const ExecContext& ctx,
+                        const OrderHints& hints) {
   JoinStats stats;
   stats.n1 = input.size();
   Timer timer;
   memtrace::OArray<Entry> arr = LoadEntries(input, 1, "DST");
-  obliv::Sort(arr, ByTidThenJoinKeyThenDataLess{}, ctx.sort_policy,
-              &stats.op_sort_comparisons, ctx.pool,
-              &stats.op_sort_policy_chosen);
+  // Entry sort by (tid, j, d); tid is constant (all rows carry tid = 1),
+  // so the requirement on the input is exactly (j, d0, d1) — ByKeyData.
+  // A covered input is loaded already in that order and the duplicate-
+  // adjacency invariant below holds without any sort.
+  if (ctx.sort_elision && hints.left.Covers(OrderSpec::ByKeyData())) {
+    ++stats.op_sorts_elided;
+  } else {
+    obliv::Sort(arr, ByTidThenJoinKeyThenDataLess{}, ctx.sort_policy,
+                &stats.op_sort_comparisons, ctx.pool,
+                &stats.op_sort_policy_chosen);
+  }
   // Equal rows are now adjacent; flag every row equal to its predecessor.
   uint64_t prev_key = 0, prev_d0 = 0, prev_d1 = 0;
   for (size_t i = 0; i < arr.size(); ++i) {
@@ -105,7 +115,8 @@ namespace {
 // by-(j, d) ordering needs the d tiebreak, so we sort the tagged union by
 // (j, tid, d) up front — survivors are then (j, d)-sorted automatically.
 Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
-                     const char* label, const ExecContext& ctx) {
+                     const char* label, const ExecContext& ctx,
+                     const OrderHints& hints) {
   JoinStats stats;
   stats.n1 = t1.size();
   stats.n2 = t2.size();
@@ -121,9 +132,34 @@ Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
     arr.Write(n1 + i, MakeEntry(t2.rows()[i], 2));
   }
   // (j ^, tid ^, d ^): groups contiguous, T1 before T2, T1 rows d-sorted.
-  obliv::Sort(arr, ByJoinKeyThenTidThenDataLess{}, ctx.sort_policy,
-              &stats.op_sort_comparisons, ctx.pool,
-              &stats.op_sort_policy_chosen);
+  // The comparator is full-width, so a run is ascending under it exactly
+  // when its table is (j, d0, d1)-sorted (tid constant per run): a
+  // ByKeyData-covered input elides the union sort into per-run sorts of
+  // the uncovered runs plus one O(n log n) merge.  Remaining ties are
+  // bytewise-identical entries, so the merged array equals the fully
+  // sorted one byte for byte.
+  const bool merge_entry =
+      ctx.sort_elision && (hints.left.Covers(OrderSpec::ByKeyData()) ||
+                           hints.right.Covers(OrderSpec::ByKeyData()));
+  if (merge_entry) {
+    if (!hints.left.Covers(OrderSpec::ByKeyData())) {
+      obliv::SortRange(arr, 0, n1, ByJoinKeyThenTidThenDataLess{},
+                       ctx.sort_policy, &stats.op_sort_comparisons, ctx.pool,
+                       &stats.op_sort_policy_chosen);
+    }
+    if (!hints.right.Covers(OrderSpec::ByKeyData())) {
+      obliv::SortRange(arr, n1, n2, ByJoinKeyThenTidThenDataLess{},
+                       ctx.sort_policy, &stats.op_sort_comparisons, ctx.pool,
+                       &stats.op_sort_policy_chosen);
+    }
+    obliv::ObliviousMergeRuns(arr, 0, n1, n2, ByJoinKeyThenTidThenDataLess{},
+                              &stats.op_sort_comparisons);
+    ++stats.op_sorts_elided;
+  } else {
+    obliv::Sort(arr, ByJoinKeyThenTidThenDataLess{}, ctx.sort_policy,
+                &stats.op_sort_comparisons, ctx.pool,
+                &stats.op_sort_policy_chosen);
+  }
 
   // Backward pass: within a group the T2 rows (tid 2) come last, so a
   // carried "group has T2" bit reaches every T1 row of the group.
@@ -153,8 +189,8 @@ Table SemiOrAntiJoin(const Table& t1, const Table& t2, bool want_match,
 }  // namespace
 
 Table ObliviousSemiJoin(const Table& t1, const Table& t2,
-                        const ExecContext& ctx) {
-  return SemiOrAntiJoin(t1, t2, /*want_match=*/true, "semijoin", ctx);
+                        const ExecContext& ctx, const OrderHints& hints) {
+  return SemiOrAntiJoin(t1, t2, /*want_match=*/true, "semijoin", ctx, hints);
 }
 
 Table ObliviousSemiJoin(const Table& t1, const Table& t2,
@@ -165,8 +201,8 @@ Table ObliviousSemiJoin(const Table& t1, const Table& t2,
 }
 
 Table ObliviousAntiJoin(const Table& t1, const Table& t2,
-                        const ExecContext& ctx) {
-  return SemiOrAntiJoin(t1, t2, /*want_match=*/false, "antijoin", ctx);
+                        const ExecContext& ctx, const OrderHints& hints) {
+  return SemiOrAntiJoin(t1, t2, /*want_match=*/false, "antijoin", ctx, hints);
 }
 
 Table ObliviousAntiJoin(const Table& t1, const Table& t2,

@@ -24,6 +24,7 @@
 #include <functional>
 
 #include "core/exec_context.h"
+#include "core/order.h"
 #include "obliv/sort_kernel.h"
 #include "table/table.h"
 
@@ -40,28 +41,43 @@ using CtRowPredicate = std::function<uint64_t(const Record&)>;
 // phase counters — n1/n2, output size m, op_sort_comparisons, op_route_ops
 // — through ctx.ReportStats under its name.  The SortPolicy-only overloads
 // are deprecated shims for pre-ExecContext call sites.
+//
+// Order-aware elision (core/order.h): the sorting operators additionally
+// accept OrderHints promising the order their input tables already have.
+// Under ctx.sort_elision a covered requirement skips the entry sort
+// (Distinct) or collapses the union sort to a run merge (Semi/Anti), with
+// the count in JoinStats::op_sorts_elided.  Outputs are byte-identical
+// either way; decisions never read row contents.
 
 // sigma_p: one linear pass + order-preserving compaction, O(n log n).
-// Reveals the output size (like the join reveals m).
+// Reveals the output size (like the join reveals m).  No sort to elide;
+// the plan layer records that Select *preserves* its input's order.
 Table ObliviousSelect(const Table& input, const CtRowPredicate& keep,
                       const ExecContext& ctx = {});
 
 // delta: sort by (j, d), mark later duplicates in one pass, compact.
-// O(n log^2 n); output sorted by (j, d).
-Table ObliviousDistinct(const Table& input, const ExecContext& ctx = {});
+// O(n log^2 n); output sorted by (j, d).  An input covering ByKeyData
+// (hints.left) elides the sort entirely — duplicates are already adjacent.
+Table ObliviousDistinct(const Table& input, const ExecContext& ctx = {},
+                        const OrderHints& hints = {});
 Table ObliviousDistinct(const Table& input, obliv::SortPolicy sort_policy);
 
 // T1 |x<: every T1 row whose join value occurs in T2, each at most once
 // regardless of the match count on the T2 side.  Augment-style pass over
 // the tagged union, then compaction.  O(n log^2 n); output sorted by (j, d).
+// An input covering ByKeyData turns the union entry sort into a run merge
+// (the (j, tid, d) comparator is full-width, so covered runs must be
+// d-sorted, not just key-sorted).
 Table ObliviousSemiJoin(const Table& t1, const Table& t2,
-                        const ExecContext& ctx = {});
+                        const ExecContext& ctx = {},
+                        const OrderHints& hints = {});
 Table ObliviousSemiJoin(const Table& t1, const Table& t2,
                         obliv::SortPolicy sort_policy);
 
 // T1 |><: the complement of the semi-join.  Same cost and leakage.
 Table ObliviousAntiJoin(const Table& t1, const Table& t2,
-                        const ExecContext& ctx = {});
+                        const ExecContext& ctx = {},
+                        const OrderHints& hints = {});
 Table ObliviousAntiJoin(const Table& t1, const Table& t2,
                         obliv::SortPolicy sort_policy);
 

@@ -1,0 +1,107 @@
+// OrderSpec: the "interesting orders" property the plan layer propagates.
+//
+// The pipeline is sort-dominated, yet most operators *emit* a known order
+// (Distinct/Semi/Anti leave (j, d)-sorted rows, Join and Aggregate leave
+// key-sorted rows) and most operators *open* by sorting their input into
+// exactly such an order.  Whether a node's input arrives pre-ordered is
+// derivable from the plan shape alone — public information in the paper's
+// model (§3.1), like the sizes — so an executor may skip or shrink those
+// entry sorts with zero obliviousness risk: the decision never reads data,
+// only the statically-known OrderSpec of the upstream node.
+//
+// An OrderSpec is a lexicographic key-column sequence with per-column
+// direction, plus one keyness bit:
+//
+//   * terms       — outermost-first (column, direction) list; rows are
+//                   sorted by terms[0], ties broken by terms[1], ...;
+//   * key_unique  — no two rows share a join key.  Keyness is what makes
+//                   the *alignment* sort of the full join redundant (each
+//                   group block of the expanded S2 is either a single run
+//                   of distinct elements in order, or copies of one
+//                   element), and it strengthens Covers: a key-sorted
+//                   key-unique table is trivially sorted under any
+//                   key-prefixed tiebreak.
+//
+// `produced.Covers(required)` is the elision test the Executor and the
+// operator bodies use: true iff rows ordered by `produced` are necessarily
+// ordered by `required`.
+
+#ifndef OBLIVDB_CORE_ORDER_H_
+#define OBLIVDB_CORE_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace oblivdb::core {
+
+// The sortable columns of the inter-node Table shape (table/record.h):
+// the join key j and the two payload words d[0], d[1].
+enum class OrderCol : uint8_t { kKey, kPayload0, kPayload1 };
+
+struct OrderTerm {
+  OrderCol col = OrderCol::kKey;
+  bool ascending = true;
+
+  friend bool operator==(const OrderTerm&, const OrderTerm&) = default;
+};
+
+struct OrderSpec {
+  std::vector<OrderTerm> terms;  // empty = no known order
+  bool key_unique = false;
+
+  bool IsNone() const { return terms.empty(); }
+
+  // True iff any row sequence ordered by *this is also ordered by
+  // `required`:
+  //   * required.terms is a prefix of terms (same columns and directions);
+  //   * or this is key-sorted and key-unique and required starts with the
+  //     same key term — singleton key groups satisfy every tiebreak;
+  //   * and required.key_unique implies key_unique.
+  bool Covers(const OrderSpec& required) const {
+    if (required.key_unique && !key_unique) return false;
+    if (required.terms.size() > terms.size()) {
+      // A key-unique, key-sorted producer covers any key-prefixed
+      // refinement: ties on the leading key column never occur.
+      return key_unique && !terms.empty() && !required.terms.empty() &&
+             terms[0].col == OrderCol::kKey &&
+             required.terms[0] == terms[0];
+    }
+    for (size_t i = 0; i < required.terms.size(); ++i) {
+      if (terms[i] != required.terms[i]) return false;
+    }
+    return true;
+  }
+
+  // Canonical orders of the oblivious operators (all ascending).
+  static OrderSpec None() { return {}; }
+  static OrderSpec ByKey(bool key_unique = false) {
+    return OrderSpec{{{OrderCol::kKey, true}}, key_unique};
+  }
+  // (j, d[0], d[1]): the order Distinct / SemiJoin / AntiJoin emit and the
+  // order their entry sorts (and Distinct's duplicate-adjacency pass)
+  // require.
+  static OrderSpec ByKeyData(bool key_unique = false) {
+    return OrderSpec{{{OrderCol::kKey, true},
+                      {OrderCol::kPayload0, true},
+                      {OrderCol::kPayload1, true}},
+                     key_unique};
+  }
+
+  friend bool operator==(const OrderSpec&, const OrderSpec&) = default;
+};
+
+// Per-call input-order hints for the relational operators: what order each
+// input table is already in.  Defaults to "nothing known" on every direct
+// call site; the plan Executor fills it from ProducedOrder(child).  Unary
+// operators read only `left`.  The hints are *promises* derived from
+// public plan shape (or, for declared scan orders, from public client
+// metadata) — operators branch on them and on ExecContext::sort_elision,
+// never on row contents.
+struct OrderHints {
+  OrderSpec left;
+  OrderSpec right;
+};
+
+}  // namespace oblivdb::core
+
+#endif  // OBLIVDB_CORE_ORDER_H_

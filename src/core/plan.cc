@@ -37,11 +37,14 @@ PlanPtr MakeNode(PlanOp op, std::vector<PlanPtr> inputs) {
 
 }  // namespace
 
-PlanPtr Scan(Table table) {
+PlanPtr Scan(Table table) { return Scan(std::move(table), OrderSpec::None()); }
+
+PlanPtr Scan(Table table, OrderSpec declared_order) {
   auto node = std::make_shared<PlanNode>();
   node->op = PlanOp::kScan;
   node->label = table.name().empty() ? "scan" : table.name();
   node->table = std::move(table);
+  node->scan_order = std::move(declared_order);
   return node;
 }
 
@@ -83,6 +86,49 @@ PlanPtr Union(PlanPtr left, PlanPtr right) {
 PlanPtr MultiwayJoin(std::vector<PlanPtr> inputs) {
   OBLIVDB_CHECK_GE(inputs.size(), 1u);
   return MakeNode(PlanOp::kMultiwayJoin, std::move(inputs));
+}
+
+OrderSpec ProducedOrder(const PlanPtr& plan) {
+  OBLIVDB_CHECK(plan != nullptr);
+  switch (plan->op) {
+    case PlanOp::kScan:
+      return plan->scan_order;
+    case PlanOp::kSelect:
+      // One linear pass plus an order-preserving compaction: whatever
+      // order (and keyness — a subset of unique keys stays unique) the
+      // input had survives.
+      return ProducedOrder(plan->inputs[0]);
+    case PlanOp::kDistinct:
+      return OrderSpec::ByKeyData(ProducedOrder(plan->inputs[0]).key_unique);
+    case PlanOp::kJoin:
+      // (j, d1, d2)-lexicographic over the *full-width* rows; the packed
+      // two-word table is only guaranteed key-sorted (ties on d1[0] may
+      // reorder on the hidden d1[1]).  At most one output row per key iff
+      // both sides had at most one input row per key.
+      return OrderSpec::ByKey(ProducedOrder(plan->inputs[0]).key_unique &&
+                              ProducedOrder(plan->inputs[1]).key_unique);
+    case PlanOp::kSemiJoin:
+    case PlanOp::kAntiJoin:
+      // A (j, d)-sorted subset of the left input's rows.
+      return OrderSpec::ByKeyData(ProducedOrder(plan->inputs[0]).key_unique);
+    case PlanOp::kAggregate:
+      // One row per matched group, ascending key: key-unique by
+      // construction, which makes plain by-key cover every key-prefixed
+      // refinement.
+      return OrderSpec::ByKey(/*key_unique=*/true);
+    case PlanOp::kUnion:
+      return OrderSpec::None();
+    case PlanOp::kMultiwayJoin: {
+      if (plan->inputs.size() == 1) return ProducedOrder(plan->inputs[0]);
+      bool all_unique = true;
+      for (const PlanPtr& in : plan->inputs) {
+        all_unique = all_unique && ProducedOrder(in).key_unique;
+      }
+      return OrderSpec::ByKey(all_unique);
+    }
+  }
+  OBLIVDB_CHECK(false);
+  return OrderSpec::None();
 }
 
 namespace {
@@ -156,6 +202,9 @@ void ExplainAnnotatedInto(const PlanPtr& node,
     out += " sort=";
     out += obliv::SortPolicyName(s.stats.op_sort_policy_chosen);
   }
+  // Order propagation skipped (or merged away) entry sorts at this node;
+  // a node that ran no sort at all renders `sort=elided` alone.
+  if (s.stats.op_sorts_elided > 0) out += " sort=elided";
   out += "]\n";
   size_t child_base = base;
   for (const PlanPtr& in : node->inputs) {
@@ -226,6 +275,14 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
   node_ctx.stats = &entry.stats;
   node_ctx.trace_sink = nullptr;
 
+  // Order hints from the children's statically-known produced orders (the
+  // "interesting orders" propagation): derived from plan shape alone, so
+  // the operators' elision branches stay data-independent.
+  auto child_order = [&](size_t i) { return ProducedOrder(node->inputs[i]); };
+  OrderHints hints;
+  if (node->inputs.size() >= 1) hints.left = child_order(0);
+  if (node->inputs.size() >= 2) hints.right = child_order(1);
+
   Table out;
   switch (node->op) {
     case PlanOp::kScan:
@@ -238,24 +295,24 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
       out = ObliviousSelect(*inputs[0], node->predicate, node_ctx);
       break;
     case PlanOp::kDistinct:
-      out = ObliviousDistinct(*inputs[0], node_ctx);
+      out = ObliviousDistinct(*inputs[0], node_ctx, hints);
       break;
     case PlanOp::kJoin: {
       std::vector<JoinedRecord> joined =
-          ObliviousJoin(*inputs[0], *inputs[1], node_ctx);
+          ObliviousJoin(*inputs[0], *inputs[1], node_ctx, hints);
       out = PackJoined(joined);
       if (root_result != nullptr) root_result->join_rows = std::move(joined);
       break;
     }
     case PlanOp::kSemiJoin:
-      out = ObliviousSemiJoin(*inputs[0], *inputs[1], node_ctx);
+      out = ObliviousSemiJoin(*inputs[0], *inputs[1], node_ctx, hints);
       break;
     case PlanOp::kAntiJoin:
-      out = ObliviousAntiJoin(*inputs[0], *inputs[1], node_ctx);
+      out = ObliviousAntiJoin(*inputs[0], *inputs[1], node_ctx, hints);
       break;
     case PlanOp::kAggregate: {
       std::vector<JoinGroupAggregate> aggs =
-          ObliviousJoinAggregate(*inputs[0], *inputs[1], node_ctx);
+          ObliviousJoinAggregate(*inputs[0], *inputs[1], node_ctx, hints);
       out = PackAggregates(aggs);
       if (root_result != nullptr) {
         root_result->aggregate_rows = std::move(aggs);
@@ -270,8 +327,13 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
       // leaves are copied here, as before — the cascade consumes them).
       std::vector<Table> tables;
       tables.reserve(inputs.size());
+      std::vector<OrderSpec> orders;
+      orders.reserve(inputs.size());
       for (const Table* t : inputs) tables.push_back(*t);
-      out = ObliviousMultiwayJoin(tables, node_ctx);
+      for (size_t i = 0; i < node->inputs.size(); ++i) {
+        orders.push_back(child_order(i));
+      }
+      out = ObliviousMultiwayJoin(tables, node_ctx, orders);
       break;
     }
   }

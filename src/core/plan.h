@@ -33,6 +33,7 @@
 #include "core/exec_context.h"
 #include "core/join.h"
 #include "core/operators.h"
+#include "core/order.h"
 #include "table/table.h"
 
 namespace oblivdb::core {
@@ -60,6 +61,7 @@ struct PlanNode {
   PlanOp op;
   std::string label;          // scans: table name; otherwise operator name
   Table table;                // kScan payload
+  OrderSpec scan_order;       // kScan: the table's declared order (if any)
   CtRowPredicate predicate;   // kSelect payload
   std::vector<PlanPtr> inputs;
 };
@@ -67,6 +69,16 @@ struct PlanNode {
 // Builders (the only way plans are meant to be constructed; they validate
 // arity so the Executor can trust the tree shape).
 PlanPtr Scan(Table table);
+
+// Scan with a declared order: the client promises the table is already
+// sorted (and, if declared_order.key_unique, keyed) as stated — public
+// metadata, like the table's name and size.  A wrong declaration yields
+// wrong *results* (garbage in, garbage out at the trust boundary), never
+// an oblivious-trace violation: elision decisions read only the
+// declaration, not the rows.  Sorted primary-key dimension tables are the
+// motivating case — they elide both the Augment entry sort and the full
+// m-sized Align sort of a fact-table join.
+PlanPtr Scan(Table table, OrderSpec declared_order);
 PlanPtr Select(PlanPtr input, CtRowPredicate predicate);
 PlanPtr Distinct(PlanPtr input);
 PlanPtr Join(PlanPtr left, PlanPtr right);
@@ -75,6 +87,27 @@ PlanPtr AntiJoin(PlanPtr left, PlanPtr right);
 PlanPtr Aggregate(PlanPtr left, PlanPtr right);
 PlanPtr Union(PlanPtr left, PlanPtr right);
 PlanPtr MultiwayJoin(std::vector<PlanPtr> inputs);
+
+// The order a node's output rows are guaranteed to be in, derived
+// bottom-up from the plan shape alone (public information — the
+// "interesting orders" property):
+//
+//   scan          declared order (None unless the client declared one)
+//   select        input's order (linear pass + order-preserving compaction)
+//   distinct      (j, d0, d1); key-unique iff the input was
+//   join          (j); key-unique iff both inputs were
+//   semi/anti     (j, d0, d1); key-unique iff the left input was
+//   aggregate     (j) and key-unique (one row per group; keyness makes
+//                 this cover every key-prefixed refinement — see
+//                 OrderSpec::Covers)
+//   union         none
+//   multiway      single input: that input's order; else like join over
+//                 all inputs
+//
+// The Executor turns each child's produced order into the OrderHints it
+// passes to the node's operator; ExecContext::sort_elision gates whether
+// the operators act on them.
+OrderSpec ProducedOrder(const PlanPtr& plan);
 
 // Indented one-node-per-line rendering of the tree, e.g.
 //
@@ -87,17 +120,21 @@ std::string ExplainPlan(const PlanPtr& plan);
 struct PlanNodeStats;
 
 // Post-execution rendering: the same tree annotated with each node's
-// revealed output size and — when the node ran a sort — the tier that sort
-// actually executed on (the kAuto resolution recorded in
-// JoinStats::op_sort_policy_chosen), e.g.
+// revealed output size, the tier its sorts actually executed on (the kAuto
+// resolution recorded in JoinStats::op_sort_policy_chosen), and — when
+// order propagation elided entry sorts (op_sorts_elided > 0) — a
+// `sort=elided` marker, e.g.
 //
-//   distinct [rows=3 sort=tag]
-//     join [rows=7 sort=blocked]
-//       scan(employees) [rows=12]
+//   aggregate [rows=3 sort=blocked sort=elided]
+//     join [rows=7 sort=blocked sort=elided]
+//       distinct [rows=12 sort=tag]
+//         scan(purchases) [rows=14]
 //       scan(departments) [rows=4]
 //
-// `node_stats` must be the node_stats() of an Executor that just ran this
-// plan (the post-order entry count is checked).
+// A node whose only sort was skipped outright (e.g. a distinct over
+// already-(j, d)-sorted rows) renders `sort=elided` alone.  `node_stats`
+// must be the node_stats() of an Executor that just ran this plan (the
+// post-order entry count is checked).
 std::string ExplainPlan(const PlanPtr& plan,
                         const std::vector<PlanNodeStats>& node_stats);
 

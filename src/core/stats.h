@@ -35,6 +35,15 @@ struct JoinStats {
   uint64_t op_sort_comparisons = 0;
   uint64_t op_route_ops = 0;
 
+  // Order-aware elisions (core/order.h): the number of full oblivious
+  // entry sorts this operator skipped — or collapsed to an O(n log n)
+  // merge of pre-sorted runs — because the caller's OrderHints covered the
+  // required order.  A function of plan shape, sizes and the public
+  // ExecContext::sort_elision flag only, so it is identical across
+  // different data of the same plan (tests/plan_test.cc pins this).
+  // Rendered by the annotated ExplainPlan as `sort=elided`.
+  uint64_t op_sorts_elided = 0;
+
   // The sort tier that actually executed the operator's dominant sort (the
   // pipeline sort for the single-sort operators, the expansion's
   // distribution sort for the full join) — interesting when the configured

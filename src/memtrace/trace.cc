@@ -21,6 +21,17 @@ TraceSink* SetTraceSink(TraceSink* sink) {
   return previous;
 }
 
+TracePause::TracePause()
+    : previous_sink_(internal::g_trace_sink),
+      previous_next_array_id_(g_next_array_id) {
+  internal::g_trace_sink = nullptr;
+}
+
+TracePause::~TracePause() {
+  internal::g_trace_sink = previous_sink_;
+  g_next_array_id = previous_next_array_id_;
+}
+
 uint32_t RegisterArray(const std::string& name, size_t length,
                        size_t elem_size) {
   const uint32_t id = g_next_array_id++;

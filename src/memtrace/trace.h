@@ -52,7 +52,7 @@ namespace internal {
 // per-access sink test in OArray::Read/Write compiles down to a single
 // load-and-branch at every call site (no cross-TU function call); when no
 // sink is installed the access is a raw vector access.  Mutated only
-// through SetTraceSink below.
+// through SetTraceSink and TracePause below.
 inline TraceSink* g_trace_sink = nullptr;
 }  // namespace internal
 
@@ -79,6 +79,28 @@ class TraceScope {
 
  private:
   TraceSink* previous_;
+};
+
+// RAII *suppression* of tracing without ending the trace session: unlike
+// TraceScope / SetTraceSink, the ambient session survives — the sink is
+// detached for the scope and the array-id counter is restored on exit, so
+// arrays registered after the pause get exactly the ids they would have
+// had without it.  For internal activity that must remain invisible to an
+// installed sink — e.g. the cost-model calibration probes
+// (obliv/sort_kernel.cc), which can be reached lazily from inside a traced
+// query run and must neither pollute its log, nor shift its ids, nor pay
+// the traced path.  (Defined in trace.cc: the id counter lives there.)
+class TracePause {
+ public:
+  TracePause();
+  ~TracePause();
+
+  TracePause(const TracePause&) = delete;
+  TracePause& operator=(const TracePause&) = delete;
+
+ private:
+  TraceSink* previous_sink_;
+  uint32_t previous_next_array_id_;
 };
 
 }  // namespace oblivdb::memtrace

@@ -1,0 +1,73 @@
+// Oblivious merge of two pre-sorted runs — the kernel behind order-aware
+// sort elision (core/order.h).
+//
+// When a relational operator knows (from public plan shape) that a run of
+// its working array is already ascending under its entry comparator, the
+// O(n log^2 n) entry sort collapses to:
+//
+//   1. an oblivious in-place reversal of the first run (a fixed index
+//      pattern — n1/2 read-pairs and write-pairs, no comparator), turning
+//      ascending ++ ascending into the V shape (non-increasing then
+//      non-decreasing) the generalized bitonic merge consumes;
+//   2. one blocked bitonic merge over the whole range, O(n log n)
+//      compare-exchanges (obliv/sort_block.h, BitonicMergeRangeBlocked).
+//
+// Both phases' access sequences are functions of (n1, n2) alone, so a
+// merged entry stays level-II oblivious: the trace differs from the
+// full-sort trace (the elision flag is public configuration, like the
+// SortPolicy), but within a fixed flag it is input-independent.
+//
+// Result vs. a full sort: both arrangements are ascending under `less`, so
+// they can differ only in the placement of tied elements.  For the
+// full-width pipeline comparators (j, tid, d) every remaining tie is a
+// bytewise-identical entry and the merged array equals the sorted array
+// byte for byte; for the narrow (j, tid) entry comparators the callers'
+// downstream passes are tie-order-insensitive (group counters, full
+// re-sorts) — see the elision notes in core/augment.cc and
+// core/aggregate.cc.  tests/merge_test.cc pins both properties.
+
+#ifndef OBLIVDB_OBLIV_MERGE_H_
+#define OBLIVDB_OBLIV_MERGE_H_
+
+#include <cstddef>
+
+#include "memtrace/oarray.h"
+#include "obliv/sort_block.h"
+
+namespace oblivdb::obliv {
+
+// Reverses a[lo, lo+len) in place.  The access pattern (symmetric
+// read/write pairs walking inward) depends only on (lo, len).
+template <typename T>
+void ReverseRange(memtrace::OArray<T>& a, size_t lo, size_t len) {
+  OBLIVDB_CHECK_LE(lo, a.size());
+  OBLIVDB_CHECK_LE(len, a.size() - lo);
+  for (size_t i = 0; i < len / 2; ++i) {
+    const size_t j = lo + len - 1 - i;
+    T x = a.Read(lo + i);
+    T y = a.Read(j);
+    a.Write(lo + i, y);
+    a.Write(j, x);
+  }
+}
+
+// Merges a[lo, lo+n1) and a[lo+n1, lo+n1+n2) — each ascending under `less`
+// — into one ascending range a[lo, lo+n1+n2).  Either run may be empty.
+// `comparisons` accumulates the merge's compare-exchange count (the
+// reversal performs none).
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void ObliviousMergeRuns(memtrace::OArray<T>& a, size_t lo, size_t n1,
+                        size_t n2, const Less& less,
+                        uint64_t* comparisons = nullptr,
+                        size_t block_bytes = kSortBlockBytes) {
+  OBLIVDB_CHECK_LE(lo, a.size());
+  OBLIVDB_CHECK_LE(n1, a.size() - lo);
+  OBLIVDB_CHECK_LE(n2, a.size() - lo - n1);
+  ReverseRange(a, lo, n1);
+  BitonicMergeRangeBlocked(a, lo, n1 + n2, less, comparisons, block_bytes);
+}
+
+}  // namespace oblivdb::obliv
+
+#endif  // OBLIVDB_OBLIV_MERGE_H_

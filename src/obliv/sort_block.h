@@ -229,6 +229,35 @@ void BitonicSortBlocked(memtrace::OArray<T>& a, const Less& less,
   BitonicSortRangeBlocked(a, 0, a.size(), less, comparisons, block_bytes);
 }
 
+// Runs one generalized-Batcher bitonic *merge* over a[lo, lo+len) with the
+// blocked kernel: ~len/2 * (2 log2 len - 1) ... more precisely O(len log
+// len) compare-exchanges instead of a full sort's O(len log^2 len / 4).
+//
+// Precondition: the range is "V-shaped" under `less` — a non-increasing
+// run followed by a non-decreasing run (either may be empty; the split
+// point is arbitrary).  This is the shape the generalized merge recursion
+// is proven for at arbitrary lengths (it is exactly what the full sort
+// feeds its own top-level merge).  On return the range is ascending.
+//
+// The gate sequence depends only on (lo, len), so the emitted trace is
+// input-independent — identical to the reference BitonicMerge's events.
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+void BitonicMergeRangeBlocked(memtrace::OArray<T>& a, size_t lo, size_t len,
+                              const Less& less,
+                              uint64_t* comparisons = nullptr,
+                              size_t block_bytes = kSortBlockBytes) {
+  OBLIVDB_CHECK_LE(lo, a.size());
+  OBLIVDB_CHECK_LE(len, a.size() - lo);
+  internal::BlockedSortCtx<T, Less> ctx{
+      a, less, comparisons, internal::BlockElems<T>(block_bytes),
+      memtrace::GetTraceSink() != nullptr, {}};
+  if (ctx.traced) {
+    ctx.block.resize(std::min(ctx.block_elems, len));
+  }
+  internal::BlockedMerge(ctx, lo, len, /*up=*/true);
+}
+
 }  // namespace oblivdb::obliv
 
 #endif  // OBLIVDB_OBLIV_SORT_BLOCK_H_

@@ -53,15 +53,27 @@ inline constexpr double kCachedWordCmpNs = 1.0;   // elements <= 32 bytes
 inline constexpr double kWideWordCmpNs = 2.4;     // elements > 32 bytes
 inline constexpr double kBenesWordSwapNs = 4.0;   // per word per gate
 inline constexpr double kPlanLevelNs = 25.0;      // per element per level
-inline constexpr double kParallelEfficiency = 0.6;  // of linear speedup
 inline constexpr double kForkJoinNs = 50000.0;    // fixed per parallel sort
 inline constexpr size_t kCachedCmpMaxBytes = 32;
-// Wide-element passes are DRAM-bandwidth-bound: past ~3 workers more
-// threads just queue on the memory controller, so their parallel speedup
-// saturates.  The Beneš switch planner is only per-level parallel
-// (permute.h gates small blocks sequential), so its speedup caps earlier.
-inline constexpr double kWideSpeedupCap = 3.0;
-inline constexpr double kPlanSpeedupCap = 2.0;
+
+// The parallel-scaling constants of the model.  The defaults are the
+// fitted guesses from the single-core bench container (a wide pass is
+// DRAM-bandwidth-bound, so its speedup saturates around 3 workers; the
+// Beneš switch planner is only per-level parallel, so it caps earlier);
+// CalibrateSortCostModel replaces them with values measured on the actual
+// hardware.  Public configuration either way — the model's inputs and
+// constants never depend on data.
+struct SortCostModel {
+  double parallel_efficiency = 0.6;  // per-extra-worker fraction of linear
+  double wide_speedup_cap = 3.0;     // bandwidth ceiling, wide elements
+  double plan_speedup_cap = 2.0;     // Beneš planning fan-out ceiling
+  bool calibrated = false;           // set by CalibrateSortCostModel
+};
+
+// The process-wide model the kAuto resolution uses: the fitted defaults,
+// or — when OBLIVDB_CALIBRATE=1 — the startup micro-probe's measurements
+// (run once, on first use; see CalibrateSortCostModel in sort_kernel.cc).
+const SortCostModel& CostModel();
 
 inline double WordCmpNs(size_t elem_bytes) {
   return elem_bytes <= kCachedCmpMaxBytes ? kCachedWordCmpNs : kWideWordCmpNs;
@@ -75,7 +87,8 @@ inline double NetworkNsPerElement(size_t elem_bytes, double levels) {
 
 inline double ParallelSpeedup(unsigned workers, double cap) {
   const double linear =
-      1.0 + kParallelEfficiency * static_cast<double>(workers - 1);
+      1.0 +
+      CostModel().parallel_efficiency * static_cast<double>(workers - 1);
   return linear < cap ? linear : cap;
 }
 
@@ -85,10 +98,24 @@ inline double PassSpeedup(size_t elem_bytes, unsigned workers) {
   return ParallelSpeedup(
       workers, elem_bytes <= kCachedCmpMaxBytes
                    ? static_cast<double>(workers)
-                   : kWideSpeedupCap);
+                   : CostModel().wide_speedup_cap);
 }
 
 }  // namespace internal
+
+// Startup micro-probe: times a few tiny sorts (narrow and wide elements,
+// blocked vs. pool-parallel) and one Beneš switch-planning pass
+// (sequential vs. pool-parallel), and derives measured values for the
+// model's parallel-scaling constants.  With a single-worker pool there is
+// nothing to measure and the fitted defaults are returned (marked
+// calibrated).  Runs in a few milliseconds; everything it touches is
+// synthetic local data, so it leaks nothing.  `pool` = nullptr means
+// ThreadPool::Global().
+//
+// Invoked automatically (once) by internal::CostModel() when the
+// OBLIVDB_CALIBRATE=1 environment variable is set; also callable directly
+// (benches, tests).
+internal::SortCostModel CalibrateSortCostModel(ThreadPool* pool = nullptr);
 
 // Estimated per-element cost of running `policy` on n elements of
 // elem_bytes, with tags of tag_bytes (0 = comparator not TagProjectable)
@@ -128,7 +155,7 @@ inline double EstimateSortNsPerElement(SortPolicy policy, size_t elem_bytes,
       return tag_network + benes_gates + benes_plan;
     case SortPolicy::kParallelTag: {
       // The narrow network fans out compute-bound, the Beneš columns
-      // bandwidth-capped, and the planner per-level (kPlanSpeedupCap).
+      // bandwidth-capped, and the planner per-level (plan_speedup_cap).
       // Each phase is only credited with a speedup its kernel actually
       // delivers: ApplyParallel runs sequential below its network-size
       // floor, and the tag network below the task cutoff.
@@ -139,7 +166,8 @@ inline double EstimateSortNsPerElement(SortPolicy policy, size_t elem_bytes,
               ? PassSpeedup(elem_bytes, workers)
               : 1.0;
       return tag_network / tag_speedup + benes_gates / gate_speedup +
-             benes_plan / ParallelSpeedup(workers, kPlanSpeedupCap) +
+             benes_plan /
+                 ParallelSpeedup(workers, CostModel().plan_speedup_cap) +
              kForkJoinNs * inv_n;
     }
     case SortPolicy::kAuto:

@@ -131,8 +131,15 @@ namespace {
 // public entry point, then a plain recursive walk).
 core::PlanPtr LowerNode(const QueryPtr& query, const QueryCatalog& catalog) {
   switch (query->kind) {
-    case core::PlanOp::kScan:
-      return core::Scan(catalog.tables.at(query->table_name));
+    case core::PlanOp::kScan: {
+      // Orders pass through unchanged: a declared catalog order lands on
+      // the scan node verbatim and propagates from there (ProducedOrder).
+      const auto order = catalog.table_orders.find(query->table_name);
+      return core::Scan(catalog.tables.at(query->table_name),
+                        order != catalog.table_orders.end()
+                            ? order->second
+                            : core::OrderSpec::None());
+    }
     case core::PlanOp::kSelect:
       return core::Select(LowerNode(query->children[0], catalog),
                           query->predicate);

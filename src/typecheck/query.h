@@ -60,8 +60,16 @@ QueryPtr QMultiwayJoin(std::vector<QueryPtr> children);
 
 // The store a query runs against.  All table contents are high-security
 // (label H in the Figure 6 sense); table *names* and row counts are public.
+//
+// `table_orders` optionally declares a stored table's physical order
+// (core/order.h) — public metadata like the name and size, the query-level
+// analogue of core::Scan's declared-order overload.  Lowering binds the
+// declaration onto the scan node unchanged, so order propagation (and the
+// Executor's sort elision) works identically for checked programs and for
+// hand-built plans.
 struct QueryCatalog {
   std::map<std::string, Table> tables;
+  std::map<std::string, core::OrderSpec> table_orders;
 };
 
 struct QueryCheckResult {

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "common/bits.h"
 #include "core/aggregate.h"
 #include "core/exec_context.h"
 #include "core/join.h"
@@ -331,6 +333,262 @@ TEST(PlanExplainTest, AnnotatedExplainShowsChosenSortTier) {
   EXPECT_EQ(annotated, expected);
   // The sentinel never leaks into the rendering.
   EXPECT_EQ(annotated.find("sort=auto"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Order propagation and sort elision (core/order.h).
+
+// Rows with a *fixed* key structure (keys repeat — Distinct has work to do,
+// joins have non-trivial groups) and variant-dependent payloads that keep
+// every row distinct.  Two variants therefore share every revealed size
+// (n, distinct counts, m, group counts) — the same trace class.
+Table StructuredTable(const std::string& name, size_t n, uint64_t key_range,
+                      uint64_t variant) {
+  Table t(name);
+  uint64_t state = 0x5eed + key_range;  // key sequence independent of variant
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t key = SplitMix64(state) % key_range;
+    t.rows().push_back(
+        Record{key, {1000 * variant + 7 * i, variant + (i % 3)}});
+  }
+  return t;
+}
+
+// The chained shape of the ISSUE's headline case: Distinct feeds a Join
+// feeds an Aggregate.  Under order propagation the join's Augment entry
+// sort and the aggregate's union sort both collapse to run merges.
+PlanPtr ChainedPlan(const Table& t1, const Table& t2, const Table& t3) {
+  return core::Aggregate(core::Join(core::Distinct(core::Scan(t1)),
+                                    core::Distinct(core::Scan(t2))),
+                         core::Distinct(core::Scan(t3)));
+}
+
+const core::PlanNodeStats& NodeStatsFor(const Executor& ex, core::PlanOp op) {
+  for (const core::PlanNodeStats& s : ex.node_stats()) {
+    if (s.op == op) return s;
+  }
+  ADD_FAILURE() << "no node of op " << core::PlanOpName(op);
+  static core::PlanNodeStats empty;
+  return empty;
+}
+
+// (a) Byte-identical outputs with elision on vs. off, across every
+// SortPolicy tier — for the chained Distinct→Join→Aggregate plan and for a
+// semi/anti composite whose outer Distinct elides its sort entirely.
+TEST(PlanElisionTest, OnOffByteIdenticalAcrossPolicies) {
+  const Table t1 = StructuredTable("t1", 40, 11, 1);
+  const Table t2 = StructuredTable("t2", 30, 11, 2);
+  const Table t3 = StructuredTable("t3", 20, 11, 3);
+  for (const obliv::SortPolicy policy : kAllPolicies) {
+    ExecContext on;
+    on.sort_policy = policy;
+    on.sort_elision = true;
+    ExecContext off = on;
+    off.sort_elision = false;
+
+    Executor ex_on(on);
+    Executor ex_off(off);
+    const PlanPtr chained = ChainedPlan(t1, t2, t3);
+    const PlanResult r_on = ex_on.Execute(chained);
+    const PlanResult r_off = ex_off.Execute(chained);
+    EXPECT_EQ(r_on.table.rows(), r_off.table.rows());
+    EXPECT_EQ(r_on.aggregate_rows, r_off.aggregate_rows);
+    // The elision-on run really elided at the join and the aggregate.
+    EXPECT_GE(NodeStatsFor(ex_on, core::PlanOp::kJoin).stats.op_sorts_elided,
+              1u);
+    EXPECT_GE(
+        NodeStatsFor(ex_on, core::PlanOp::kAggregate).stats.op_sorts_elided,
+        1u);
+    EXPECT_EQ(NodeStatsFor(ex_off, core::PlanOp::kJoin).stats.op_sorts_elided,
+              0u);
+
+    const PlanPtr composite = core::Distinct(core::AntiJoin(
+        core::Distinct(core::Scan(t1)), core::Distinct(core::Scan(t2))));
+    Executor cx_on(on);
+    Executor cx_off(off);
+    EXPECT_EQ(cx_on.Execute(composite).table.rows(),
+              cx_off.Execute(composite).table.rows());
+    // Anti-join entry sort merged; outer distinct skipped outright.
+    EXPECT_EQ(
+        NodeStatsFor(cx_on, core::PlanOp::kAntiJoin).stats.op_sorts_elided,
+        1u);
+    EXPECT_EQ(cx_on.node_stats().back().stats.op_sorts_elided, 1u);
+    EXPECT_EQ(cx_on.node_stats().back().stats.op_sort_comparisons, 0u);
+  }
+}
+
+// (b) Traces stay data-independent with elision on: same plan shape and
+// sizes, different row contents -> identical hashed trace.
+TEST(PlanElisionTest, TraceDataIndependentWithElisionOn) {
+  std::string first;
+  for (uint64_t variant = 0; variant < 4; ++variant) {
+    const Table t1 = StructuredTable("t1", 24, 7, variant);
+    const Table t2 = StructuredTable("t2", 18, 7, variant * 31 + 5);
+    memtrace::HashTraceSink sink;
+    ExecContext ctx;
+    ctx.sort_elision = true;
+    ctx.trace_sink = &sink;
+    Executor ex(ctx);
+    (void)ex.Execute(core::Join(core::Distinct(core::Scan(t1)),
+                                core::Distinct(core::Scan(t2))));
+    if (variant == 0) {
+      first = sink.HexDigest();
+    } else {
+      EXPECT_EQ(sink.HexDigest(), first) << "variant " << variant;
+    }
+  }
+}
+
+// (c) Elision decisions are a function of plan shape and sizes alone:
+// different data of the same shape produce the same per-node elision
+// counts.
+TEST(PlanElisionTest, DecisionsIdenticalAcrossDataOfSamePlan) {
+  auto elisions_of = [](uint64_t variant) {
+    const Table t1 = StructuredTable("t1", 32, 9, variant);
+    const Table t2 = StructuredTable("t2", 24, 9, variant * 17 + 3);
+    const Table t3 = StructuredTable("t3", 16, 9, variant * 29 + 11);
+    ExecContext ctx;
+    ctx.sort_elision = true;
+    Executor ex(ctx);
+    (void)ex.Execute(ChainedPlan(t1, t2, t3));
+    std::vector<uint64_t> counts;
+    for (const core::PlanNodeStats& s : ex.node_stats()) {
+      counts.push_back(s.stats.op_sorts_elided);
+    }
+    return counts;
+  };
+  const std::vector<uint64_t> first = elisions_of(0);
+  EXPECT_GT(std::count_if(first.begin(), first.end(),
+                          [](uint64_t c) { return c > 0; }),
+            0);
+  EXPECT_EQ(elisions_of(1), first);
+  EXPECT_EQ(elisions_of(2), first);
+}
+
+// A declared scan order is the client's promise; a key-unique declared
+// order on one join side elides both the Augment entry sort and the full
+// m-sized Align sort.
+TEST(PlanElisionTest, DeclaredKeyUniqueScanElidesAugmentAndAlign) {
+  Table dims("dims");
+  for (uint64_t k = 0; k < 16; ++k) {
+    dims.rows().push_back(Record{k, {100 + k, 0}});  // key-sorted, unique
+  }
+  const Table facts = StructuredTable("facts", 48, 16, 5);
+
+  const PlanPtr plan = core::Join(
+      core::Scan(dims, core::OrderSpec::ByKey(/*key_unique=*/true)),
+      core::Scan(facts));
+  ExecContext on;
+  on.sort_elision = true;
+  ExecContext off = on;
+  off.sort_elision = false;
+  Executor ex_on(on);
+  Executor ex_off(off);
+  const PlanResult r_on = ex_on.Execute(plan);
+  const PlanResult r_off = ex_off.Execute(plan);
+  EXPECT_EQ(r_on.join_rows, r_off.join_rows);
+  EXPECT_EQ(r_on.table.rows(), r_off.table.rows());
+
+  const core::PlanNodeStats& join = NodeStatsFor(ex_on, core::PlanOp::kJoin);
+  EXPECT_EQ(join.stats.op_sorts_elided, 2u);       // entry sort + align sort
+  EXPECT_EQ(join.stats.align_sort_comparisons, 0u);
+  EXPECT_GT(
+      NodeStatsFor(ex_off, core::PlanOp::kJoin).stats.align_sort_comparisons,
+      0u);
+}
+
+// Cascade interiors always feed key-sorted join output forward, so a
+// multiway node elides even when every base input is unordered.
+TEST(PlanElisionTest, MultiwayCascadeElidesInteriorEntrySorts) {
+  const Table t3("t3", {{1, 7}, {2, 8}, {2, 9}});
+  ExecContext ctx;
+  ctx.sort_elision = true;
+  Executor ex(ctx);
+  const PlanResult r = ex.Execute(core::MultiwayJoin(
+      {core::Scan(SmallT1()), core::Scan(SmallT2()), core::Scan(t3)}));
+  EXPECT_GE(ex.node_stats().back().stats.op_sorts_elided, 1u);
+
+  ExecContext off;
+  off.sort_elision = false;
+  Executor ex_off(off);
+  EXPECT_EQ(r.table.rows(),
+            ex_off
+                .Execute(core::MultiwayJoin({core::Scan(SmallT1()),
+                                             core::Scan(SmallT2()),
+                                             core::Scan(t3)}))
+                .table.rows());
+}
+
+// ProducedOrder: the bottom-up propagation rules.
+TEST(PlanOrderTest, ProducedOrderPropagation) {
+  const PlanPtr scan = core::Scan(SmallT1());
+  EXPECT_TRUE(core::ProducedOrder(scan).IsNone());
+
+  const PlanPtr declared =
+      core::Scan(SmallT1(), core::OrderSpec::ByKeyData());
+  EXPECT_EQ(core::ProducedOrder(declared), core::OrderSpec::ByKeyData());
+
+  const PlanPtr distinct = core::Distinct(scan);
+  EXPECT_EQ(core::ProducedOrder(distinct), core::OrderSpec::ByKeyData());
+
+  auto pred = [](const Record& r) { return PayloadAtMost(r, 1); };
+  EXPECT_EQ(core::ProducedOrder(core::Select(distinct, pred)),
+            core::OrderSpec::ByKeyData());
+
+  const PlanPtr join = core::Join(distinct, core::Scan(SmallT2()));
+  EXPECT_EQ(core::ProducedOrder(join), core::OrderSpec::ByKey());
+  EXPECT_FALSE(core::ProducedOrder(join).key_unique);
+
+  const PlanPtr agg = core::Aggregate(scan, core::Scan(SmallT2()));
+  EXPECT_TRUE(core::ProducedOrder(agg).key_unique);
+  // Keyness makes plain by-key cover the full (j, d) refinement.
+  EXPECT_TRUE(
+      core::ProducedOrder(agg).Covers(core::OrderSpec::ByKeyData()));
+
+  EXPECT_TRUE(
+      core::ProducedOrder(core::Union(distinct, distinct)).IsNone());
+}
+
+// Distinct over an aggregate (key-unique producer) skips its sort via the
+// keyness-covers rule, end to end.
+TEST(PlanElisionTest, DistinctOverAggregateElides) {
+  const PlanPtr plan = core::Distinct(
+      core::Aggregate(core::Scan(SmallT1()), core::Scan(SmallT2())));
+  ExecContext on;
+  on.sort_elision = true;
+  Executor ex(on);
+  const PlanResult r = ex.Execute(plan);
+  EXPECT_EQ(ex.node_stats().back().stats.op_sorts_elided, 1u);
+
+  ExecContext off;
+  off.sort_elision = false;
+  Executor ex_off(off);
+  EXPECT_EQ(r.table.rows(), ex_off.Execute(plan).table.rows());
+}
+
+// The annotated explain renders elisions: a node whose only sort was
+// skipped shows `sort=elided` alone; a node that still ran other sorts
+// shows its tier plus the marker.
+TEST(PlanExplainTest, AnnotatedExplainShowsElision) {
+  const PlanPtr plan = core::Join(core::Distinct(core::Scan(SmallT1())),
+                                  core::Distinct(core::Scan(SmallT2())));
+  ExecContext ctx;
+  ctx.sort_elision = true;
+  Executor ex(ctx);
+  (void)ex.Execute(plan);
+  const std::string annotated = core::ExplainPlan(plan, ex.node_stats());
+  // The join merged its entry sort away but still ran expand/align sorts.
+  EXPECT_NE(annotated.find("join [rows="), std::string::npos);
+  EXPECT_NE(annotated.find("sort=blocked sort=elided"), std::string::npos);
+
+  const PlanPtr skip = core::Distinct(core::Distinct(core::Scan(SmallT1())));
+  Executor ex2(ctx);
+  (void)ex2.Execute(skip);
+  const std::string skip_annotated = core::ExplainPlan(skip, ex2.node_stats());
+  const std::string outer_line = skip_annotated.substr(
+      0, skip_annotated.find('\n'));
+  EXPECT_NE(outer_line.find("sort=elided"), std::string::npos);
+  EXPECT_EQ(outer_line.find("sort=blocked"), std::string::npos);
 }
 
 }  // namespace

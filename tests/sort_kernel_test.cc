@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
@@ -301,6 +302,68 @@ TEST(SortKernelPerfTest, BlockedAtLeastTwiceAsFastAtTwoToTheTwenty) {
   EXPECT_GE(reference_seconds / blocked_seconds, 2.0)
       << "reference " << reference_seconds << " s vs blocked "
       << blocked_seconds << " s";
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model calibration (CalibrateSortCostModel).
+
+// Without OBLIVDB_CALIBRATE the process-wide model is the fitted defaults.
+TEST(SortCostModelTest, DefaultModelUnlessCalibrationRequested) {
+  if (std::getenv("OBLIVDB_CALIBRATE") != nullptr) {
+    GTEST_SKIP() << "calibration requested in this environment";
+  }
+  const internal::SortCostModel& model = internal::CostModel();
+  EXPECT_FALSE(model.calibrated);
+  const internal::SortCostModel defaults;
+  EXPECT_EQ(model.parallel_efficiency, defaults.parallel_efficiency);
+  EXPECT_EQ(model.wide_speedup_cap, defaults.wide_speedup_cap);
+  EXPECT_EQ(model.plan_speedup_cap, defaults.plan_speedup_cap);
+}
+
+// The calibration can be reached lazily from *inside* a traced query run
+// (first kAuto resolution under OBLIVDB_CALIBRATE=1), so its probes must
+// be completely invisible to the ambient trace session: no events, no
+// allocations, and no array-id drift for arrays registered afterwards
+// (TracePause in memtrace/trace.h).  The returned constants must sit in
+// their physical ranges — efficiency a fraction of linear scaling, caps
+// between "no speedup" and the worker count.
+TEST(SortCostModelTest, CalibrationInvisibleToAmbientTraceSession) {
+  ThreadPool pool(4);
+  memtrace::VectorTraceSink sink;
+  internal::SortCostModel model;
+  uint32_t id_before = 0;
+  uint32_t id_after = 0;
+  {
+    memtrace::TraceScope scope(&sink);
+    id_before = memtrace::OArray<uint64_t>(1, "before").array_id();
+    model = CalibrateSortCostModel(&pool);
+    id_after = memtrace::OArray<uint64_t>(1, "after").array_id();
+  }
+  // Only the two marker allocations; the probes emitted nothing and the
+  // session's id sequence continued as if they never ran.
+  EXPECT_EQ(sink.allocations().size(), 2u);
+  EXPECT_EQ(sink.events().size(), 0u);
+  EXPECT_EQ(id_after, id_before + 1);
+
+  EXPECT_TRUE(model.calibrated);
+  EXPECT_GE(model.parallel_efficiency, 0.05);
+  EXPECT_LE(model.parallel_efficiency, 1.0);
+  EXPECT_GE(model.wide_speedup_cap, 1.0);
+  EXPECT_LE(model.wide_speedup_cap, 4.0);
+  EXPECT_GE(model.plan_speedup_cap, 1.0);
+  EXPECT_LE(model.plan_speedup_cap, 4.0);
+}
+
+// A single-worker pool has no parallel scaling to measure: the fitted
+// defaults come back, marked calibrated.
+TEST(SortCostModelTest, SingleWorkerKeepsDefaults) {
+  ThreadPool pool(1);
+  const internal::SortCostModel model = CalibrateSortCostModel(&pool);
+  EXPECT_TRUE(model.calibrated);
+  const internal::SortCostModel defaults;
+  EXPECT_EQ(model.parallel_efficiency, defaults.parallel_efficiency);
+  EXPECT_EQ(model.wide_speedup_cap, defaults.wide_speedup_cap);
+  EXPECT_EQ(model.plan_speedup_cap, defaults.plan_speedup_cap);
 }
 
 }  // namespace

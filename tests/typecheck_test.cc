@@ -348,5 +348,28 @@ TEST(QueryInterpreterTest, AggregateRootKeepsWideRows) {
                                          catalog.tables.at("dept")));
 }
 
+// A declared catalog order passes through lowering unchanged: the scan
+// node carries it, order propagation sees it, and the Executor elides the
+// downstream entry sort — same rows as the undeclared run.
+TEST(QueryInterpreterTest, CatalogTableOrderLowersOntoScan) {
+  QueryCatalog catalog = DemoCatalog();
+  // "emp" is stored (j, d)-sorted (it is, in DemoCatalog).
+  catalog.table_orders["emp"] = core::OrderSpec::ByKeyData();
+
+  const auto q = QDistinct(QScan("emp"));
+  const core::PlanPtr plan = LowerToPlan(q, catalog);
+  EXPECT_EQ(core::ProducedOrder(plan->inputs[0]),
+            core::OrderSpec::ByKeyData());
+
+  core::ExecContext ctx;
+  ctx.sort_elision = true;
+  QueryInterpreter interp(catalog, ctx);
+  const core::PlanResult r = interp.Run(q);
+  EXPECT_EQ(interp.last_node_stats().back().stats.op_sorts_elided, 1u);
+
+  QueryInterpreter plain(DemoCatalog());
+  EXPECT_EQ(r.table.rows(), plain.Run(q).table.rows());
+}
+
 }  // namespace
 }  // namespace oblivdb::typecheck

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "crypto/chacha20.h"
 #include "memtrace/oarray.h"
@@ -147,6 +148,8 @@ int main(int argc, char** argv) {
 
   std::printf("{\n");
   std::printf("  \"bench\": \"probabilistic_distribute\",\n");
+  std::printf("  \"threads\": %u,\n",
+              oblivdb::ThreadPool::Global().worker_count());
   std::printf("  \"results\": [\n");
 
   bool ok = true;

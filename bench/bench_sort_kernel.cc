@@ -143,6 +143,7 @@ int main(int argc, char** argv) {
 
   std::printf("{\n");
   std::printf("  \"bench\": \"bitonic_sort\",\n");
+  std::printf("  \"threads\": %u,\n", ThreadPool::Global().worker_count());
   std::printf("  \"results\": [\n");
 
   for (size_t s = 0; s < size_count; ++s) {

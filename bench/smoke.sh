@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # CI smoke pass: configure a warning-strict build, compile everything
 # (-Wall -Wextra -Werror — any new warning fails the build), run the unit
-# tests three times — under the stock kBlocked default, with
+# tests four times — under the stock kBlocked default, with
 # SortPolicy::kAuto as the ExecContext default (OBLIVDB_SORT_POLICY=auto)
-# so a cost-model dispatch regression cannot hide, and with order-aware
-# sort elision pinned off (OBLIVDB_SORT_ELISION=off) so both sides of the
-# elision flag stay green — then run the small-n sort / distribute /
-# join-pipeline benches and the query-plan demo (plan-vs-direct
+# so a cost-model dispatch regression cannot hide, with order-aware sort
+# elision pinned off (OBLIVDB_SORT_ELISION=off) so both sides of the
+# elision flag stay green, and with sharded execution forced
+# (OBLIVDB_SHARDS=4) so every suite also passes through the k-way
+# partitioned pipelines — then run the small-n sort / distribute /
+# join-pipeline / shard benches and the query-plan demo (plan-vs-direct
 # cross-check).
 #
 #   bench/smoke.sh [build-dir]      # default: build-smoke
@@ -29,6 +31,11 @@ OBLIVDB_SORT_POLICY=auto OBLIVDB_THREADS=4 \
 # default-on runs above already cover elision engaged).
 OBLIVDB_SORT_ELISION=off \
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+# Fourth pass with sharded execution forced on every plan join/aggregate
+# (core/shard.h): every suite must stay byte-for-byte green when the
+# operators run as k concurrent per-shard pipelines.
+OBLIVDB_SHARDS=4 OBLIVDB_THREADS=4 \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # The plan layer gates the whole query path: run its suite once more,
 # loudly, so a plan regression is unmissable in the CI log.  (The binary
 # only exists when GTest does — ctest above already covered it then.)
@@ -42,5 +49,8 @@ cmake --build "$build_dir" --target bench_smoke
 # End-to-end chained-plan check: elision on vs. off must agree byte for
 # byte and the expected sorts must actually elide (exits nonzero if not).
 "$build_dir/bench_join_pipeline" --smoke >/dev/null
+# Sharded-vs-unsharded byte-equality cross-check through the real sharded
+# path (exits nonzero on a mismatch or a silent fallback).
+"$build_dir/bench_shard" --smoke >/dev/null
 cmake --build "$build_dir" --target plan_smoke
 echo "smoke OK"

@@ -17,6 +17,33 @@ obliv::SortPolicy ExecContext::DefaultSortPolicy() {
   return policy;
 }
 
+uint32_t ExecContext::DefaultShards() {
+  static const uint32_t shards = [] {
+    const char* env = std::getenv("OBLIVDB_SHARDS");
+    if (env == nullptr) return 0u;  // auto
+    const std::string_view v(env);
+    if (v == "auto" || v == "0") return 0u;
+    uint32_t parsed = 0;
+    for (char c : v) {
+      if (c < '0' || c > '9') return 0u;  // unrecognized: fall back to auto
+      parsed = parsed * 10 + static_cast<uint32_t>(c - '0');
+      if (parsed > kMaxShards) return kMaxShards;
+    }
+    return parsed == 0 ? 0u : parsed;
+  }();
+  return shards;
+}
+
+uint64_t ExecContext::DeriveSeed(uint64_t seed, uint64_t stream) {
+  // splitmix64 finalizer over seed ^ golden-ratio-spread stream: cheap,
+  // deterministic, and distinct streams give independent-looking values.
+  uint64_t z = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 bool ExecContext::DefaultSortElision() {
   static const bool enabled = [] {
     const char* env = std::getenv("OBLIVDB_SORT_ELISION");

@@ -103,6 +103,19 @@ struct ExecContext {
   // off (bench/smoke.sh).
   static bool DefaultSortElision();
 
+  // The process-wide default for `shards`: OBLIVDB_SHARDS set to a positive
+  // integer forces that shard count on every Join/Aggregate (clamped to
+  // kMaxShards; 1 = sharding off); unset, "0" or "auto" leaves the
+  // cost-model crossover (core/shard.h) to pick per operator.  Read once
+  // and cached; CI uses it to run the whole suite force-sharded
+  // (bench/smoke.sh).
+  static uint32_t DefaultShards();
+
+  // Upper bound on the shard count, forced or auto (a public constant; the
+  // partition pads each shard, so far more shards than workers only adds
+  // padding).
+  static constexpr uint32_t kMaxShards = 64;
+
   obliv::SortPolicy sort_policy = DefaultSortPolicy();
 
   // Order-aware sort elision (core/order.h): when true, operators may skip
@@ -135,13 +148,48 @@ struct ExecContext {
   // sink is installed (memtrace::GetTraceSink()).
   memtrace::TraceSink* trace_sink = nullptr;
 
-  // Deterministic seed; public configuration (see the header comment —
-  // reserved, no core consumer yet).
+  // Sharded execution (core/shard.h): how many independent per-shard
+  // pipelines a Join/Aggregate splits into.  1 = never shard; k >= 2 =
+  // force k (subject to the public fallbacks of ResolveShardCount); 0 =
+  // kAuto-style crossover — shard only when the public sizes and the pool's
+  // worker count make the partition + merge overhead pay.  Public
+  // configuration, like the SortPolicy.
+  uint32_t shards = DefaultShards();
+
+  // Deterministic seed; public configuration.  Consumed by the sharded
+  // executor (core/shard.h) to derive the partition PRPs and the per-shard
+  // seeds; reserved for the other probabilistic paths (encrypted arrays).
   uint64_t rng_seed = 0x0b11da7aba5e5eedULL;
 
   ThreadPool& pool_or_global() const {
     return pool != nullptr ? *pool : ThreadPool::Global();
   }
+
+  // Deterministic per-stream seed derivation (splitmix64 of seed ^ stream):
+  // shard i of a sharded operator runs under DeriveSeed(rng_seed, i), so
+  // concurrent pipelines draw from independent, reproducible streams.
+  static uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
+  // The context a shard pipeline runs under: same public knobs, but with
+  // the telemetry fully isolated (stats / stats_sink / trace_sink cleared —
+  // concurrent pipelines must not interleave writes into shared sinks; the
+  // sharded executor aggregates per-shard stats itself), recursive
+  // sharding disabled, and the rng seed re-derived per shard.  `shard_pool`
+  // (may be null = global) carries this shard's partitioned worker budget.
+  ExecContext ForShard(uint32_t shard_index, ThreadPool* shard_pool) const {
+    ExecContext c = *this;
+    c.stats = nullptr;
+    c.stats_sink = nullptr;
+    c.trace_sink = nullptr;
+    c.shards = 1;
+    c.pool = shard_pool;
+    // Streams [0, kShardSeedStreamBase) are reserved for the sharded
+    // executor's own PRPs (partition scatter keys, the key-to-shard map).
+    c.rng_seed = DeriveSeed(rng_seed, kShardSeedStreamBase + shard_index);
+    return c;
+  }
+
+  static constexpr uint64_t kShardSeedStreamBase = 16;
 
   // Operators call this once on completion; also copies into `stats` so
   // direct (plan-free) callers keep the old out-parameter behaviour.

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "core/multiway.h"
+#include "core/shard.h"
 #include "obliv/sort_policy.h"
 
 namespace oblivdb::core {
@@ -26,7 +27,7 @@ const char* PlanOpName(PlanOp op) {
 
 namespace {
 
-PlanPtr MakeNode(PlanOp op, std::vector<PlanPtr> inputs) {
+std::shared_ptr<PlanNode> MakeNode(PlanOp op, std::vector<PlanPtr> inputs) {
   for (const PlanPtr& in : inputs) OBLIVDB_CHECK(in != nullptr);
   auto node = std::make_shared<PlanNode>();
   node->op = op;
@@ -63,8 +64,10 @@ PlanPtr Distinct(PlanPtr input) {
   return MakeNode(PlanOp::kDistinct, {std::move(input)});
 }
 
-PlanPtr Join(PlanPtr left, PlanPtr right) {
-  return MakeNode(PlanOp::kJoin, {std::move(left), std::move(right)});
+PlanPtr Join(PlanPtr left, PlanPtr right, uint32_t shards) {
+  auto node = MakeNode(PlanOp::kJoin, {std::move(left), std::move(right)});
+  node->shards = shards;
+  return node;
 }
 
 PlanPtr SemiJoin(PlanPtr left, PlanPtr right) {
@@ -75,8 +78,10 @@ PlanPtr AntiJoin(PlanPtr left, PlanPtr right) {
   return MakeNode(PlanOp::kAntiJoin, {std::move(left), std::move(right)});
 }
 
-PlanPtr Aggregate(PlanPtr left, PlanPtr right) {
-  return MakeNode(PlanOp::kAggregate, {std::move(left), std::move(right)});
+PlanPtr Aggregate(PlanPtr left, PlanPtr right, uint32_t shards) {
+  auto node = MakeNode(PlanOp::kAggregate, {std::move(left), std::move(right)});
+  node->shards = shards;
+  return node;
 }
 
 PlanPtr Union(PlanPtr left, PlanPtr right) {
@@ -205,6 +210,10 @@ void ExplainAnnotatedInto(const PlanPtr& node,
   // Order propagation skipped (or merged away) entry sorts at this node;
   // a node that ran no sort at all renders `sort=elided` alone.
   if (s.stats.op_sorts_elided > 0) out += " sort=elided";
+  // Sharded execution (core/shard.h): the node split into k pipelines.
+  if (s.stats.op_shards > 1) {
+    out += " shards=" + std::to_string(s.stats.op_shards);
+  }
   out += "]\n";
   size_t child_base = base;
   for (const PlanPtr& in : node->inputs) {
@@ -298,8 +307,13 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
       out = ObliviousDistinct(*inputs[0], node_ctx, hints);
       break;
     case PlanOp::kJoin: {
+      // Joins route through the sharded executor; with a resolved shard
+      // count of 1 (the default everywhere sharding does not pay) it *is*
+      // the plain ObliviousJoin call.  The node's override wins over the
+      // context knob when set.
+      if (node->shards != 0) node_ctx.shards = node->shards;
       std::vector<JoinedRecord> joined =
-          ObliviousJoin(*inputs[0], *inputs[1], node_ctx, hints);
+          ShardedJoin(*inputs[0], *inputs[1], node_ctx, hints);
       out = PackJoined(joined);
       if (root_result != nullptr) root_result->join_rows = std::move(joined);
       break;
@@ -311,8 +325,9 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
       out = ObliviousAntiJoin(*inputs[0], *inputs[1], node_ctx, hints);
       break;
     case PlanOp::kAggregate: {
+      if (node->shards != 0) node_ctx.shards = node->shards;
       std::vector<JoinGroupAggregate> aggs =
-          ObliviousJoinAggregate(*inputs[0], *inputs[1], node_ctx, hints);
+          ShardedJoinAggregate(*inputs[0], *inputs[1], node_ctx, hints);
       out = PackAggregates(aggs);
       if (root_result != nullptr) {
         root_result->aggregate_rows = std::move(aggs);

@@ -63,6 +63,12 @@ struct PlanNode {
   Table table;                // kScan payload
   OrderSpec scan_order;       // kScan: the table's declared order (if any)
   CtRowPredicate predicate;   // kSelect payload
+  // kJoin / kAggregate: per-node shard-count override (core/shard.h).
+  // 0 = inherit ExecContext::shards (the OBLIVDB_SHARDS knob / kAuto
+  // crossover); 1 = pin this node unsharded; k >= 2 = force k shards,
+  // subject to ResolveShardCount's public fallbacks.  Public plan
+  // metadata, like the operator itself.
+  uint32_t shards = 0;
   std::vector<PlanPtr> inputs;
 };
 
@@ -81,10 +87,12 @@ PlanPtr Scan(Table table);
 PlanPtr Scan(Table table, OrderSpec declared_order);
 PlanPtr Select(PlanPtr input, CtRowPredicate predicate);
 PlanPtr Distinct(PlanPtr input);
-PlanPtr Join(PlanPtr left, PlanPtr right);
+// `shards` is the node's sharded-execution override (PlanNode::shards;
+// 0 = inherit the context's knob).
+PlanPtr Join(PlanPtr left, PlanPtr right, uint32_t shards = 0);
 PlanPtr SemiJoin(PlanPtr left, PlanPtr right);
 PlanPtr AntiJoin(PlanPtr left, PlanPtr right);
-PlanPtr Aggregate(PlanPtr left, PlanPtr right);
+PlanPtr Aggregate(PlanPtr left, PlanPtr right, uint32_t shards = 0);
 PlanPtr Union(PlanPtr left, PlanPtr right);
 PlanPtr MultiwayJoin(std::vector<PlanPtr> inputs);
 
@@ -121,9 +129,10 @@ struct PlanNodeStats;
 
 // Post-execution rendering: the same tree annotated with each node's
 // revealed output size, the tier its sorts actually executed on (the kAuto
-// resolution recorded in JoinStats::op_sort_policy_chosen), and — when
-// order propagation elided entry sorts (op_sorts_elided > 0) — a
-// `sort=elided` marker, e.g.
+// resolution recorded in JoinStats::op_sort_policy_chosen), when order
+// propagation elided entry sorts (op_sorts_elided > 0) a `sort=elided`
+// marker, and — when the node ran sharded (op_shards > 1) — a `shards=k`
+// marker, e.g.
 //
 //   aggregate [rows=3 sort=blocked sort=elided]
 //     join [rows=7 sort=blocked sort=elided]

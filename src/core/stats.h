@@ -6,6 +6,7 @@
 #define OBLIVDB_CORE_STATS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "obliv/sort_policy.h"
 
@@ -43,6 +44,15 @@ struct JoinStats {
   // different data of the same plan (tests/plan_test.cc pins this).
   // Rendered by the annotated ExplainPlan as `sort=elided`.
   uint64_t op_sorts_elided = 0;
+
+  // Sharded execution (core/shard.h): the number of per-shard pipelines the
+  // operator ran (1 = unsharded), and each shard pipeline's wall time in
+  // shard order.  The shard count is a function of the public sizes and the
+  // ExecContext::shards knob, so — like every other counter here — it is
+  // identical across different data of the same shape.  Rendered by the
+  // annotated ExplainPlan as `shards=k`.
+  uint64_t op_shards = 1;
+  std::vector<double> shard_seconds;
 
   // The sort tier that actually executed the operator's dominant sort (the
   // pipeline sort for the single-sort operators, the expansion's

@@ -8,7 +8,8 @@ namespace oblivdb::typecheck {
 
 namespace {
 
-QueryPtr MakeQuery(core::PlanOp kind, std::vector<QueryPtr> children) {
+std::shared_ptr<QueryExpr> MakeQuery(core::PlanOp kind,
+                                     std::vector<QueryPtr> children) {
   auto q = std::make_shared<QueryExpr>();
   q->kind = kind;
   q->children = std::move(children);
@@ -36,8 +37,10 @@ QueryPtr QDistinct(QueryPtr input) {
   return MakeQuery(core::PlanOp::kDistinct, {std::move(input)});
 }
 
-QueryPtr QJoin(QueryPtr left, QueryPtr right) {
-  return MakeQuery(core::PlanOp::kJoin, {std::move(left), std::move(right)});
+QueryPtr QJoin(QueryPtr left, QueryPtr right, uint32_t shards) {
+  auto q = MakeQuery(core::PlanOp::kJoin, {std::move(left), std::move(right)});
+  q->shards = shards;
+  return q;
 }
 
 QueryPtr QSemiJoin(QueryPtr left, QueryPtr right) {
@@ -50,9 +53,11 @@ QueryPtr QAntiJoin(QueryPtr left, QueryPtr right) {
                    {std::move(left), std::move(right)});
 }
 
-QueryPtr QAggregate(QueryPtr left, QueryPtr right) {
-  return MakeQuery(core::PlanOp::kAggregate,
-                   {std::move(left), std::move(right)});
+QueryPtr QAggregate(QueryPtr left, QueryPtr right, uint32_t shards) {
+  auto q = MakeQuery(core::PlanOp::kAggregate,
+                     {std::move(left), std::move(right)});
+  q->shards = shards;
+  return q;
 }
 
 QueryPtr QUnion(QueryPtr left, QueryPtr right) {
@@ -147,7 +152,8 @@ core::PlanPtr LowerNode(const QueryPtr& query, const QueryCatalog& catalog) {
       return core::Distinct(LowerNode(query->children[0], catalog));
     case core::PlanOp::kJoin:
       return core::Join(LowerNode(query->children[0], catalog),
-                        LowerNode(query->children[1], catalog));
+                        LowerNode(query->children[1], catalog),
+                        query->shards);
     case core::PlanOp::kSemiJoin:
       return core::SemiJoin(LowerNode(query->children[0], catalog),
                             LowerNode(query->children[1], catalog));
@@ -156,7 +162,8 @@ core::PlanPtr LowerNode(const QueryPtr& query, const QueryCatalog& catalog) {
                             LowerNode(query->children[1], catalog));
     case core::PlanOp::kAggregate:
       return core::Aggregate(LowerNode(query->children[0], catalog),
-                             LowerNode(query->children[1], catalog));
+                             LowerNode(query->children[1], catalog),
+                             query->shards);
     case core::PlanOp::kUnion:
       return core::Union(LowerNode(query->children[0], catalog),
                          LowerNode(query->children[1], catalog));

@@ -44,6 +44,13 @@ struct QueryExpr {
   core::PlanOp kind;
   std::string table_name;          // kScan
   core::CtRowPredicate predicate;  // kSelect
+  // kJoin / kAggregate: sharded-execution override, lowered verbatim onto
+  // PlanNode::shards (0 = inherit the interpreter context's knob).  Public
+  // program text, like the operator itself — the compositional
+  // obliviousness argument is untouched: a sharded node's access pattern
+  // is still a function of its public input sizes, its revealed (now
+  // per-shard) output sizes and the knob (core/shard.h).
+  uint32_t shards = 0;
   std::vector<QueryPtr> children;
 };
 
@@ -51,10 +58,10 @@ struct QueryExpr {
 QueryPtr QScan(std::string table_name);
 QueryPtr QSelect(QueryPtr input, core::CtRowPredicate predicate);
 QueryPtr QDistinct(QueryPtr input);
-QueryPtr QJoin(QueryPtr left, QueryPtr right);
+QueryPtr QJoin(QueryPtr left, QueryPtr right, uint32_t shards = 0);
 QueryPtr QSemiJoin(QueryPtr left, QueryPtr right);
 QueryPtr QAntiJoin(QueryPtr left, QueryPtr right);
-QueryPtr QAggregate(QueryPtr left, QueryPtr right);
+QueryPtr QAggregate(QueryPtr left, QueryPtr right, uint32_t shards = 0);
 QueryPtr QUnion(QueryPtr left, QueryPtr right);
 QueryPtr QMultiwayJoin(std::vector<QueryPtr> children);
 

@@ -155,6 +155,11 @@ TEST(PlanTraceTest, PlanTraceEqualsDirectCallTrace) {
   memtrace::VectorTraceSink plan_sink;
   {
     ExecContext ctx;
+    // Pinned unsharded: the direct-call sequence below is the unsharded
+    // pipeline, so the plan side must be too (under OBLIVDB_SHARDS the
+    // plan's kJoin would otherwise route through core/shard.h; that path's
+    // trace properties are pinned in tests/shard_test.cc).
+    ctx.shards = 1;
     ctx.trace_sink = &plan_sink;
     Executor ex(ctx);
     (void)ex.Execute(
@@ -187,6 +192,11 @@ TEST(PlanTraceTest, ThreeNodePlanTraceDataIndependent) {
       memtrace::HashTraceSink sink;
       ExecContext ctx;
       ctx.sort_policy = policy;
+      // Pinned unsharded: these variants share (n1, n2, m) but not group
+      // structure, and a sharded run additionally (and by design) reveals
+      // the per-shard output split — the sharded data-independence
+      // property is pinned in tests/shard_test.cc instead.
+      ctx.shards = 1;
       ctx.trace_sink = &sink;
       Executor ex(ctx);
       (void)ex.Execute(core::Join(core::Scan(tc.t1), core::Scan(tc.t2)));
@@ -318,6 +328,7 @@ TEST(PlanExplainTest, AnnotatedExplainShowsChosenSortTier) {
       core::Distinct(core::Join(core::Scan(SmallT1()), core::Scan(SmallT2())));
   ExecContext ctx;
   ctx.sort_policy = obliv::SortPolicy::kAuto;
+  ctx.shards = 1;  // exact-render check assumes no "shards=k" annotation
   Executor ex(ctx);
   (void)ex.Execute(plan);
 
@@ -480,6 +491,9 @@ TEST(PlanElisionTest, DeclaredKeyUniqueScanElidesAugmentAndAlign) {
       core::Scan(facts));
   ExecContext on;
   on.sort_elision = true;
+  // Pinned unsharded: the exact elision count below (one entry sort + the
+  // align sort) is the unsharded join's; a sharded run elides per shard.
+  on.shards = 1;
   ExecContext off = on;
   off.sort_elision = false;
   Executor ex_on(on);

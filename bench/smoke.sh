@@ -8,8 +8,11 @@
 # elision flag stay green, and with sharded execution forced
 # (OBLIVDB_SHARDS=4) so every suite also passes through the k-way
 # partitioned pipelines — then run the small-n sort / distribute /
-# join-pipeline / shard benches and the query-plan demo (plan-vs-direct
-# cross-check).
+# join-pipeline / shard / faults benches and the query-plan demo
+# (plan-vs-direct cross-check).  A fifth ctest pass rebuilds under
+# ASan+UBSan (-DOBLIVDB_SANITIZE=address,undefined) and runs the whole
+# suite with fault injection live (OBLIVDB_FAULT_SPEC), so the recovery
+# unwind paths are exercised leak- and UB-checked.
 #
 #   bench/smoke.sh [build-dir]      # default: build-smoke
 
@@ -52,5 +55,25 @@ cmake --build "$build_dir" --target bench_smoke
 # Sharded-vs-unsharded byte-equality cross-check through the real sharded
 # path (exits nonzero on a mismatch or a silent fallback).
 "$build_dir/bench_shard" --smoke >/dev/null
+# Fault-resilience cross-check: clean-vs-faulty byte equality on every
+# graceful-degradation path plus the cancellation contract.
+"$build_dir/bench_faults" --smoke >/dev/null
 cmake --build "$build_dir" --target plan_smoke
+# Fifth pass: rebuild under ASan+UBSan and run the whole suite with a
+# low-rate transient-MAC fault stream live, so the retry and unwind
+# machinery runs sanitized.  robustness_test then re-runs alone under a
+# hotter multi-site spec (every-3rd EPC refusal, every-2nd spawn refusal).
+# `alloc` never goes in an env spec: an OArray constructor firing outside
+# a recovery scope is a correct abort, not a test signal.
+san_dir="$build_dir-asan"
+cmake -B "$san_dir" -S "$repo_root" \
+  -DOBLIVDB_SANITIZE=address,undefined >/dev/null
+cmake --build "$san_dir" -j "$(nproc)"
+OBLIVDB_FAULT_SPEC="decrypt_mac:0.01" \
+  ctest --test-dir "$san_dir" --output-on-failure -j "$(nproc)"
+if [ -x "$san_dir/robustness_test" ]; then
+  OBLIVDB_FAULT_SPEC="decrypt_mac:0.05;epc_evict:3;pool_spawn:2" \
+    "$san_dir/robustness_test" --gtest_brief=1
+fi
+OBLIVDB_FAULT_SPEC="decrypt_mac:0.01" "$san_dir/bench_faults" --smoke >/dev/null
 echo "smoke OK"

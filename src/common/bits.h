@@ -27,6 +27,20 @@ uint32_t Log2Floor(uint64_t n);
 // True iff n is a power of two (n > 0).
 inline bool IsPow2(uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
+// Deterministic per-stream seed derivation: the splitmix64 finalizer over
+// seed ^ golden-ratio-spread stream.  Distinct streams give independent-
+// looking values from one root seed.  This is the one mixing function the
+// whole library shares — ExecContext::DeriveSeed (per-shard seeds, PRP
+// keys) and the fault injector's per-arrival decisions (common/fault.h)
+// both delegate here, so "seeded from ExecContext::DeriveSeed" is literal.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 // splitmix64 step: advances `state` and returns the next 64-bit value.
 // The deterministic filler for synthetic data (calibration probes, tests,
 // benches) — fast, seedable, and good enough where cryptographic quality

@@ -1,0 +1,43 @@
+#include "common/cancel.h"
+
+#include <string>
+
+namespace oblivdb {
+
+CancelScope::CancelScope(const CancelToken* token, double deadline_seconds,
+                         CheckpointSink* sink) {
+  const bool has_deadline = deadline_seconds > 0;
+  if (token == nullptr && !has_deadline && sink == nullptr) return;
+  state_.token = token;
+  state_.has_deadline = has_deadline;
+  if (has_deadline) {
+    state_.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(deadline_seconds));
+  }
+  state_.sink = sink;
+  previous_ = internal::ActiveCancelState();
+  internal::ActiveCancelState() = &state_;
+  installed_ = true;
+}
+
+CancelScope::~CancelScope() {
+  if (installed_) internal::ActiveCancelState() = previous_;
+}
+
+namespace internal {
+
+void CheckpointFailed(const char* phase, bool deadline_hit) {
+  const StatusCode code = deadline_hit ? StatusCode::kDeadlineExceeded
+                                       : StatusCode::kCancelled;
+  std::string message = deadline_hit ? "deadline exceeded at checkpoint '"
+                                     : "cancelled at checkpoint '";
+  message += phase;
+  message += '\'';
+  RaiseOrAbort(Status(code, std::move(message)), __FILE__, __LINE__);
+}
+
+}  // namespace internal
+
+}  // namespace oblivdb

@@ -3,13 +3,14 @@
 // The library does not use exceptions on hot paths: a violated OBLIVDB_CHECK
 // is a programming error (caller broke the documented contract) and aborts
 // with a diagnostic.  Recoverable conditions are expressed through return
-// values instead.
+// values instead (common/status.h for the environmental-fault class).
 
 #ifndef OBLIVDB_COMMON_CHECK_H_
 #define OBLIVDB_COMMON_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <type_traits>
 
 // Aborts with a file:line diagnostic when `cond` is false.
 #define OBLIVDB_CHECK(cond)                                                  \
@@ -21,13 +22,59 @@
     }                                                                        \
   } while (0)
 
-// Binary comparison checks print both operand expressions for context.
+namespace oblivdb::check_internal {
+
+// Renders an operand's runtime value when it has an obvious textual form
+// (integers, bools, enums, floats, pointers); other types fall back to '?'
+// — the operand *expressions* are already in the message.
+template <typename T>
+void PrintOperand(const T& v) {
+  using D = std::decay_t<T>;
+  if constexpr (std::is_same_v<D, bool>) {
+    std::fprintf(stderr, "%s", v ? "true" : "false");
+  } else if constexpr (std::is_enum_v<D>) {
+    std::fprintf(stderr, "%lld",
+                 static_cast<long long>(
+                     static_cast<std::underlying_type_t<D>>(v)));
+  } else if constexpr (std::is_integral_v<D> && std::is_signed_v<D>) {
+    std::fprintf(stderr, "%lld", static_cast<long long>(v));
+  } else if constexpr (std::is_integral_v<D>) {
+    std::fprintf(stderr, "%llu", static_cast<unsigned long long>(v));
+  } else if constexpr (std::is_floating_point_v<D>) {
+    std::fprintf(stderr, "%g", static_cast<double>(v));
+  } else if constexpr (std::is_pointer_v<D>) {
+    std::fprintf(stderr, "%p", static_cast<const void*>(v));
+  } else {
+    std::fprintf(stderr, "?");
+  }
+}
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailure(const char* file, int line,
+                                 const char* a_expr, const char* op,
+                                 const char* b_expr, const A& a, const B& b) {
+  std::fprintf(stderr, "OBLIVDB_CHECK failed at %s:%d: %s %s %s (", file,
+               line, a_expr, op, b_expr);
+  PrintOperand(a);
+  std::fprintf(stderr, " vs ");
+  PrintOperand(b);
+  std::fprintf(stderr, ")\n");
+  std::abort();
+}
+
+}  // namespace oblivdb::check_internal
+
+// Binary comparison checks print both operand expressions *and* their
+// runtime values ("i < data_.size() (17 vs 16)"), so an abort in a long run
+// is actionable without a debugger.  Operands are evaluated exactly once.
 #define OBLIVDB_CHECK_OP(op, a, b)                                           \
   do {                                                                       \
-    if (!((a)op(b))) {                                                       \
-      std::fprintf(stderr, "OBLIVDB_CHECK failed at %s:%d: %s %s %s\n",      \
-                   __FILE__, __LINE__, #a, #op, #b);                         \
-      std::abort();                                                          \
+    const auto& oblivdb_check_a = (a);                                       \
+    const auto& oblivdb_check_b = (b);                                       \
+    if (!(oblivdb_check_a op oblivdb_check_b)) {                             \
+      ::oblivdb::check_internal::CheckOpFailure(__FILE__, __LINE__, #a, #op, \
+                                                #b, oblivdb_check_a,         \
+                                                oblivdb_check_b);            \
     }                                                                        \
   } while (0)
 

@@ -1,0 +1,172 @@
+// Deterministic fault-injection harness.
+//
+// Four injection sites model the environmental faults an enclave-hosted
+// engine actually faces:
+//
+//   decrypt_mac — EncryptedOArray authenticated read fails (transient bus /
+//                 torn-write corruption; a real forgery also lands here);
+//   epc_evict   — sgx_sim::TryReserveEpc refuses an enclave-heap
+//                 reservation (EPC exhaustion under concurrent load);
+//   pool_spawn  — ThreadPool::TrySpawnProbe refuses a parallel fan-out
+//                 (thread / task-slot exhaustion);
+//   alloc       — OArray construction fails (public-memory exhaustion).
+//
+// Configuration comes from the OBLIVDB_FAULT_SPEC environment variable (or
+// Configure() in tests), e.g.
+//
+//     OBLIVDB_FAULT_SPEC="decrypt_mac:0.01;epc_evict:5;pool_spawn:once"
+//
+// where each site takes one mode: a probability in (0,1) (fire that
+// fraction of arrivals), an integer N >= 1 (fire every Nth arrival),
+// "once" (fire the first arrival only), or "off".
+//
+// Determinism is the point: whether arrival k at a site fires is the pure
+// function MixSeed(MixSeed(seed, site), k) — the same per-stream derivation
+// as ExecContext::DeriveSeed (common/bits.h) — of the injector seed and the
+// site's arrival counter.  Same spec + same seed + same workload ⇒ the
+// identical fault sequence and the identical Status, run after run
+// (tests/robustness_test.cc pins this).  Decisions never read data, so
+// injection preserves trace data-independence.
+
+#ifndef OBLIVDB_COMMON_FAULT_H_
+#define OBLIVDB_COMMON_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace oblivdb {
+
+enum class FaultSite : uint8_t {
+  kDecryptMac = 0,
+  kEpcEvict = 1,
+  kPoolSpawn = 2,
+  kAlloc = 3,
+};
+
+inline constexpr size_t kNumFaultSites = 4;
+
+// The spec-syntax token for a site ("decrypt_mac", "epc_evict",
+// "pool_spawn", "alloc").
+const char* FaultSiteName(FaultSite site);
+
+struct FaultMode {
+  enum class Kind : uint8_t { kOff, kProbability, kEveryNth, kOnce };
+  Kind kind = Kind::kOff;
+  double probability = 0.0;  // kProbability: in (0, 1)
+  uint64_t n = 0;            // kEveryNth: fire arrivals N, 2N, 3N, ...
+};
+
+struct FaultSpec {
+  std::array<FaultMode, kNumFaultSites> sites{};
+
+  bool any() const {
+    for (const FaultMode& m : sites) {
+      if (m.kind != FaultMode::Kind::kOff) return true;
+    }
+    return false;
+  }
+
+  // Parses "site:mode;site:mode".  Empty text parses to the all-off spec.
+  // Unknown site names or malformed modes yield kInvalidArgument and leave
+  // *out untouched.
+  static Status Parse(std::string_view text, FaultSpec* out);
+};
+
+// Monotonic counters, snapshot-able so operators can report the faults that
+// fired inside their own execution window (JoinStats::op_faults_injected /
+// op_degradations / op_retries are window deltas of these).
+struct FaultCounters {
+  std::array<uint64_t, kNumFaultSites> arrivals{};
+  std::array<uint64_t, kNumFaultSites> fired{};
+  uint64_t degradations = 0;
+  uint64_t retries = 0;
+
+  uint64_t TotalFired() const {
+    uint64_t total = 0;
+    for (uint64_t f : fired) total += f;
+    return total;
+  }
+};
+
+class FaultInjector {
+ public:
+  // Process-wide injector.  First use parses OBLIVDB_FAULT_SPEC (unset,
+  // empty, or unparsable — with a stderr warning — means disabled) under
+  // the library's default seed.
+  static FaultInjector& Global();
+
+  // Replaces spec and seed.  Not synchronized against concurrent ShouldFire
+  // callers — configuration belongs at startup or between pipeline runs
+  // (tests use ScopedFaultInjection).  Counters are left running.
+  void Configure(const FaultSpec& spec, uint64_t seed);
+
+  const FaultSpec& spec() const { return spec_; }
+  uint64_t seed() const { return seed_; }
+  bool enabled() const { return enabled_; }
+
+  // Registers one arrival at `site` and decides — deterministically, as a
+  // pure function of (seed, site, arrival index) — whether the fault fires.
+  // Thread-safe; the arrival order across threads is whatever the workload
+  // makes it (single-driver workloads are exactly reproducible).
+  bool ShouldFire(FaultSite site);
+
+  // Degradation / retry bookkeeping for the recovery paths.
+  void RecordDegradation() {
+    degradations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+
+  FaultCounters Snapshot() const;
+
+ private:
+  friend class ScopedFaultInjection;
+
+  FaultInjector() = default;
+
+  // Test-only: bulk-restores counter values (ScopedFaultInjection teardown).
+  void RestoreCounters(const FaultCounters& counters);
+
+  FaultSpec spec_{};
+  uint64_t seed_ = 0;
+  bool enabled_ = false;
+  std::array<std::atomic<uint64_t>, kNumFaultSites> arrivals_{};
+  std::array<std::atomic<uint64_t>, kNumFaultSites> fired_{};
+  std::atomic<uint64_t> degradations_{0};
+  std::atomic<uint64_t> retries_{0};
+};
+
+// Default injector seed (also ExecContext's default rng_seed, so env-driven
+// injection and context-derived streams share one root by default).
+inline constexpr uint64_t kDefaultFaultSeed = 0x0b11da7aba5e5eedULL;
+
+// RAII configuration override for tests: swaps the global injector's spec,
+// seed, and counters in, restores all of them on destruction — so a test
+// can pin exact fired/retry counts without seeing its neighbours' arrivals.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection(const FaultSpec& spec, uint64_t seed = kDefaultFaultSeed);
+  // Parses `spec_text`; a malformed spec is a test bug and aborts.
+  explicit ScopedFaultInjection(std::string_view spec_text,
+                                uint64_t seed = kDefaultFaultSeed);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  void Install(const FaultSpec& spec, uint64_t seed);
+
+  FaultSpec saved_spec_;
+  uint64_t saved_seed_ = 0;
+  bool saved_enabled_ = false;
+  FaultCounters saved_counters_;
+};
+
+}  // namespace oblivdb
+
+#endif  // OBLIVDB_COMMON_FAULT_H_

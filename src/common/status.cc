@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oblivdb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kIntegrityViolation:
+      return "INTEGRITY_VIOLATION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void RaiseOrAbort(Status status, const char* file, int line) {
+  OBLIVDB_CHECK(!status.ok());
+  if (RecoveryScope::Active()) {
+    throw internal::StatusError{std::move(status)};
+  }
+  // Same shape as an OBLIVDB_CHECK diagnostic so log scrapers (and the
+  // existing death-test regexes) treat both failure classes uniformly.
+  std::fprintf(stderr, "OBLIVDB fault (no recovery scope) at %s:%d: %s\n",
+               file, line, status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace oblivdb

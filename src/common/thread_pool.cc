@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <utility>
+
+#include "common/cancel.h"
+#include "common/fault.h"
 
 namespace oblivdb {
 
@@ -25,24 +30,53 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::Submit(Task task) {
+void ThreadPool::Submit(Task task, const char* label) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), label});
   }
   cv_.notify_one();
   activity_cv_.notify_all();
 }
 
+bool ThreadPool::TrySpawnProbe() {
+  return !FaultInjector::Global().ShouldFire(FaultSite::kPoolSpawn);
+}
+
+void ThreadPool::RunTask(QueuedTask& item) {
+  // Enforce the no-throw contract with a diagnostic naming the task; a bare
+  // escape would std::terminate with no context (worker thread) or unwind a
+  // helping bystander's stack (RunOneTask).
+  try {
+    item.task();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "OBLIVDB_CHECK failed: ThreadPool task '%s' violated the "
+                 "no-throw contract: %s\n",
+                 item.label, e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr,
+                 "OBLIVDB_CHECK failed: ThreadPool task '%s' violated the "
+                 "no-throw contract (non-std exception)\n",
+                 item.label);
+    std::abort();
+  }
+}
+
 bool ThreadPool::RunOneTask() {
-  Task task;
+  QueuedTask item;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return false;
-    task = std::move(queue_.front());
+    item = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  // A helping waiter may carry cancellation / recovery scopes (it is a
+  // driver thread mid-pipeline); suspend them so the task runs exactly as
+  // it would on a bare worker.
+  SuspendResilienceScopes suspend;
+  RunTask(item);
   activity_cv_.notify_all();
   return true;
 }
@@ -57,15 +91,15 @@ void ThreadPool::WaitForActivity() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    Task task;
+    QueuedTask item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    RunTask(item);
     activity_cv_.notify_all();
   }
 }
@@ -81,12 +115,14 @@ ThreadPool& ThreadPool::Global() {
   return pool;
 }
 
-void TaskGroup::Run(ThreadPool::Task task) {
+void TaskGroup::Run(ThreadPool::Task task, const char* label) {
   pending_.fetch_add(1, std::memory_order_relaxed);
-  pool_.Submit([this, task = std::move(task)] {
-    task();
-    pending_.fetch_sub(1, std::memory_order_release);
-  });
+  pool_.Submit(
+      [this, task = std::move(task)] {
+        task();
+        pending_.fetch_sub(1, std::memory_order_release);
+      },
+      label);
 }
 
 void TaskGroup::Wait() {

@@ -11,8 +11,17 @@
 // worker is itself blocked in a Wait: some thread always finds runnable
 // work, so the task DAG keeps making progress.
 //
-// Tasks must not throw (the library reports contract violations via
-// OBLIVDB_CHECK / abort, not exceptions).
+// No-throw contract: pool tasks MUST NOT throw.  Tasks run on whichever
+// thread picks them up — a worker, or a helping waiter inside RunOneTask —
+// so an escaping exception could unwind a bystander's stack (or, with no
+// handler on a worker, std::terminate with zero context).  The pool
+// enforces the contract: task invocation is wrapped, and an escaping
+// exception aborts with an OBLIVDB_CHECK-style diagnostic naming the task's
+// label and the exception message.  This includes the library's own
+// internal fault unwind (common/status.h): helpers suspend the thread's
+// cancellation/recovery scopes while running a task, so environmental
+// faults raised inside a task abort loudly instead of tunnelling into an
+// unrelated caller.
 
 #ifndef OBLIVDB_COMMON_THREAD_POOL_H_
 #define OBLIVDB_COMMON_THREAD_POOL_H_
@@ -43,8 +52,17 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
-  // Enqueues a task for any worker (or a helping waiter) to run.
-  void Submit(Task task);
+  // Enqueues a task for any worker (or a helping waiter) to run.  `label`
+  // (static storage duration) names the task in the no-throw-contract
+  // diagnostic if it ever throws.
+  void Submit(Task task, const char* label = "unnamed");
+
+  // Fault-injection admission probe for a parallel fan-out: false models a
+  // failed task spawn (fault site "pool_spawn", common/fault.h), and the
+  // caller degrades to its sequential tier instead of submitting.  Submit
+  // itself never fails — once admitted, tasks always run — so correctness
+  // never depends on the probe's answer, only the execution tier does.
+  bool TrySpawnProbe();
 
   // Runs one queued task on the calling thread; returns false if the queue
   // was empty.  This is the helping primitive TaskGroup::Wait builds on.
@@ -63,12 +81,20 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
+  struct QueuedTask {
+    Task task;
+    const char* label = "unnamed";
+  };
+
   void WorkerLoop();
+
+  // Invokes a task under the no-throw contract (see the header comment).
+  static void RunTask(QueuedTask& item);
 
   std::mutex mu_;
   std::condition_variable cv_;            // workers: work available / stop
   std::condition_variable activity_cv_;   // waiters: queue grew or task done
-  std::deque<Task> queue_;
+  std::deque<QueuedTask> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
@@ -85,7 +111,7 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  void Run(ThreadPool::Task task);
+  void Run(ThreadPool::Task task, const char* label = "unnamed");
   void Wait();
 
  private:

@@ -28,6 +28,8 @@ std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
   JoinStats stats;
   stats.n1 = table1.size();
   stats.n2 = table2.size();
+  const FaultCounters fault_start = FaultInjector::Global().Snapshot();
+  Checkpoint("join_phase");
   Timer timer;
   const size_t n1 = table1.size();
   const size_t n2 = table2.size();
@@ -126,6 +128,7 @@ std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
   }
   stats.m = groups;
   stats.total_seconds = timer.ElapsedSeconds();
+  RecordFaultDelta(fault_start, stats);
   ctx.ReportStats("aggregate", stats);
   return result;
 }

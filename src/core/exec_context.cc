@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "common/bits.h"
 #include "obliv/sort_policy.h"
 
 namespace oblivdb::core {
@@ -35,13 +36,22 @@ uint32_t ExecContext::DefaultShards() {
 }
 
 uint64_t ExecContext::DeriveSeed(uint64_t seed, uint64_t stream) {
-  // splitmix64 finalizer over seed ^ golden-ratio-spread stream: cheap,
-  // deterministic, and distinct streams give independent-looking values.
-  uint64_t z = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
-  z += 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  // The library-wide per-stream mixer (common/bits.h) — shared with the
+  // fault injector so injected fault sequences and shard seeds derive from
+  // the same deterministic root.
+  return MixSeed(seed, stream);
+}
+
+double ExecContext::DefaultDeadlineSeconds() {
+  static const double deadline = [] {
+    const char* env = std::getenv("OBLIVDB_DEADLINE_MS");
+    if (env == nullptr) return 0.0;
+    char* end = nullptr;
+    const double ms = std::strtod(env, &end);
+    if (end == env || ms <= 0) return 0.0;  // unrecognized: no deadline
+    return ms / 1000.0;
+  }();
+  return deadline;
 }
 
 bool ExecContext::DefaultSortElision() {

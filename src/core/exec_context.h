@@ -36,8 +36,11 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/stats.h"
 #include "memtrace/trace.h"
@@ -103,6 +106,12 @@ struct ExecContext {
   // off (bench/smoke.sh).
   static bool DefaultSortElision();
 
+  // The process-wide default for `deadline_seconds`: OBLIVDB_DEADLINE_MS
+  // set to a positive number of milliseconds bounds every fallible entry
+  // point's wall time; unset or <= 0 means no deadline.  Read once and
+  // cached, like the other env defaults.
+  static double DefaultDeadlineSeconds();
+
   // The process-wide default for `shards`: OBLIVDB_SHARDS set to a positive
   // integer forces that shard count on every Join/Aggregate (clamped to
   // kMaxShards; 1 = sharding off); unset, "0" or "auto" leaves the
@@ -147,6 +156,24 @@ struct ExecContext {
   // Operators themselves never touch this — they emit through whatever
   // sink is installed (memtrace::GetTraceSink()).
   memtrace::TraceSink* trace_sink = nullptr;
+
+  // Cooperative cancellation (common/cancel.h).  Non-owning; honoured only
+  // by the fallible entry points (TryObliviousJoin, Executor::TryRun, the
+  // Try* sharded variants), which install the scope the pipeline's
+  // Checkpoint() polls read.  Polls fire only at public-size-determined
+  // phase boundaries, so cancellation cannot leak row contents: a cancelled
+  // run's trace is a byte-identical prefix of the uncancelled run's.
+  const CancelToken* cancel_token = nullptr;
+
+  // Wall-clock budget in seconds for a fallible entry point, anchored when
+  // the Try* call installs its scope; <= 0 = none.  Enforced at the same
+  // public checkpoints as cancellation (kDeadlineExceeded).
+  double deadline_seconds = DefaultDeadlineSeconds();
+
+  // Observer of checkpoint polls; tests use it to pin the checkpoint
+  // sequence as a function of public sizes (and to cancel at an exact
+  // checkpoint).  Like the token, only the Try* entry points install it.
+  CheckpointSink* checkpoint_sink = nullptr;
 
   // Sharded execution (core/shard.h): how many independent per-shard
   // pipelines a Join/Aggregate splits into.  1 = never shard; k >= 2 =
@@ -198,6 +225,27 @@ struct ExecContext {
     if (stats_sink != nullptr) stats_sink->OnOperatorStats(op, s);
   }
 };
+
+// Runs `fn` as a fallible entry point under `ctx`: installs the context's
+// cancellation scope (token + deadline + checkpoint sink) and a recovery
+// scope, catches the internal fault unwind, and returns the result — or the
+// fault — as a StatusOr.  Every Try* API (TryObliviousJoin,
+// Executor::TryRun, TryShardedJoin, QueryInterpreter::TryRun) is this
+// wrapper around its abort-on-fault sibling; the wrapped computation is
+// unchanged, so traces and outputs stay byte-identical to the legacy path.
+template <typename Fn>
+auto RunRecoverable(const ExecContext& ctx, Fn&& fn)
+    -> StatusOr<decltype(fn())> {
+  using Result = decltype(fn());
+  RecoveryScope recovery;
+  CancelScope cancel(ctx.cancel_token, ctx.deadline_seconds,
+                     ctx.checkpoint_sink);
+  try {
+    return StatusOr<Result>(fn());
+  } catch (const internal::StatusError& e) {
+    return StatusOr<Result>(e.status);
+  }
+}
 
 }  // namespace oblivdb::core
 

@@ -52,10 +52,12 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   stats->n1 = table1.size();
   stats->n2 = table2.size();
 
+  const FaultCounters fault_start = FaultInjector::Global().Snapshot();
   Timer total_timer;
   Timer phase_timer;
 
   // (1) Group dimensions (Algorithm 2).
+  Checkpoint("join_phase");
   AugmentResult augmented =
       AugmentTables(table1, table2, ctx, &stats->augment_sort_comparisons,
                     hints, &stats->op_sorts_elided,
@@ -65,6 +67,7 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   stats->augment_seconds = phase_timer.ElapsedSeconds();
 
   // (2)+(3) Oblivious expansion of both tables (Algorithms 3 and 4).
+  Checkpoint("join_phase");
   phase_timer.Start();
   obliv::PrimitiveStats expand_stats;
   memtrace::OArray<Entry> s1 = ExpandTable(
@@ -83,6 +86,7 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   // smaller prefix sorts' resolutions first; same model inputs except n).
   // With a key-unique input the sort is skipped entirely (align.h) and the
   // last recorded tier stays the expansion's.
+  Checkpoint("join_phase");
   phase_timer.Start();
   AlignTable(s2, m, ctx, &stats->align_sort_comparisons,
              &stats->op_sort_policy_chosen, hints, &stats->op_sorts_elided);
@@ -90,6 +94,7 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
 
   // (5) Zip the aligned rows into the output (Algorithm 1, lines 6-9),
   // span-batched: reads of S1/S2 and writes of TD stay per-element events.
+  Checkpoint("join_phase");
   phase_timer.Start();
   memtrace::OArray<JoinedEntry> output(m, "TD");
   constexpr uint64_t kChunk = 256;
@@ -119,10 +124,19 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
   }
   stats->zip_seconds = phase_timer.ElapsedSeconds();
   stats->total_seconds = total_timer.ElapsedSeconds();
+  RecordFaultDelta(fault_start, *stats);
   // ReportStats' copy into ctx.stats is a no-op self-assign here (stats
   // already aliases it when set); the sink dispatch is what matters.
   ctx.ReportStats("join", *stats);
   return rows;
+}
+
+StatusOr<std::vector<JoinedRecord>> TryObliviousJoin(const Table& table1,
+                                                     const Table& table2,
+                                                     const ExecContext& ctx,
+                                                     const OrderHints& hints) {
+  return RunRecoverable(
+      ctx, [&] { return ObliviousJoin(table1, table2, ctx, hints); });
 }
 
 std::vector<JoinedRecord> ObliviousJoin(const Table& table1,

@@ -58,6 +58,17 @@ std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
                                         const ExecContext& ctx = {},
                                         const OrderHints& hints = {});
 
+// Fallible form of ObliviousJoin: the identical computation — same output,
+// same trace — but environmental faults surface as a Status instead of an
+// abort: kCancelled / kDeadlineExceeded when ctx.cancel_token or the
+// ctx.deadline_seconds budget fires at a public checkpoint
+// (common/cancel.h), kIntegrityViolation / kResourceExhausted when a fault
+// site raises through the recovery unwind (common/status.h).  Programming
+// errors (OBLIVDB_CHECK) still abort.
+StatusOr<std::vector<JoinedRecord>> TryObliviousJoin(
+    const Table& table1, const Table& table2, const ExecContext& ctx = {},
+    const OrderHints& hints = {});
+
 // Deprecated shim over the ExecContext form.
 std::vector<JoinedRecord> ObliviousJoin(const Table& table1,
                                         const Table& table2,

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/check.h"
+#include "common/status.h"
 #include "core/multiway.h"
 #include "core/shard.h"
 #include "obliv/sort_policy.h"
@@ -214,6 +216,19 @@ void ExplainAnnotatedInto(const PlanPtr& node,
   if (s.stats.op_shards > 1) {
     out += " shards=" + std::to_string(s.stats.op_shards);
   }
+  // Resilience markers (core/stats.h): injected faults observed in the
+  // node's window, degradations taken (pool-spawn / EPC downgrades), and
+  // transient-fault retries absorbed.  Zero counters render nothing, so
+  // fault-free explains are unchanged.
+  if (s.stats.op_faults_injected > 0) {
+    out += " faults=" + std::to_string(s.stats.op_faults_injected);
+  }
+  if (s.stats.op_degradations > 0) {
+    out += " degraded=" + std::to_string(s.stats.op_degradations);
+  }
+  if (s.stats.op_retries > 0) {
+    out += " retries=" + std::to_string(s.stats.op_retries);
+  }
   out += "]\n";
   size_t child_base = base;
   for (const PlanPtr& in : node->inputs) {
@@ -250,6 +265,11 @@ PlanResult Executor::Execute(const PlanPtr& plan) {
 }
 
 Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
+  // Cancellation checkpoint: one per plan node, on entry, before the
+  // children recurse.  The visit order is the (public) tree shape, so the
+  // checkpoint schedule is a pure function of the plan — never of row
+  // contents (common/cancel.h).
+  Checkpoint("plan_node");
   // Children first (left to right), so node_stats_ ends up in post-order.
   // Scan leaves are borrowed straight from the immutable plan node — no
   // per-run copy of the base tables; other children materialize into
@@ -356,6 +376,13 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
   entry.output_rows = out.size();
   node_stats_.push_back(std::move(entry));
   return out;
+}
+
+StatusOr<PlanResult> Executor::TryRun(const PlanPtr& plan) {
+  if (plan == nullptr) {
+    return Status(StatusCode::kInvalidArgument, "TryRun: null plan");
+  }
+  return RunRecoverable(ctx_, [&] { return Execute(plan); });
 }
 
 uint64_t Executor::TotalComparisons() const {

@@ -131,8 +131,10 @@ struct PlanNodeStats;
 // revealed output size, the tier its sorts actually executed on (the kAuto
 // resolution recorded in JoinStats::op_sort_policy_chosen), when order
 // propagation elided entry sorts (op_sorts_elided > 0) a `sort=elided`
-// marker, and — when the node ran sharded (op_shards > 1) — a `shards=k`
-// marker, e.g.
+// marker, when the node ran sharded (op_shards > 1) a `shards=k` marker,
+// and — when the fault-injection counters recorded activity during the
+// node's window (core/stats.h) — `faults=N`, `degraded=N`, and
+// `retries=N` markers, e.g.
 //
 //   aggregate [rows=3 sort=blocked sort=elided]
 //     join [rows=7 sort=blocked sort=elided]
@@ -175,6 +177,15 @@ class Executor {
   explicit Executor(const ExecContext& ctx) : ctx_(ctx) {}
 
   PlanResult Execute(const PlanPtr& plan);
+
+  // Fallible variant: Execute under a recovery + cancellation scope
+  // (RunRecoverable, core/exec_context.h).  A null plan is reported as
+  // kInvalidArgument instead of aborting; environmental faults —
+  // cancellation, deadline expiry, MAC failure past the retry budget,
+  // resource exhaustion — come back as their Status.  node_stats() reflects
+  // the nodes that completed before the fault (the in-flight node's entry
+  // is not pushed).  Programming errors still abort.
+  StatusOr<PlanResult> TryRun(const PlanPtr& plan);
 
   const std::vector<PlanNodeStats>& node_stats() const { return node_stats_; }
 

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/check.h"
+#include "common/fault.h"
+#include "common/status.h"
 #include "common/timer.h"
+#include "sgx_sim/epc_simulator.h"
 #include "core/comparators.h"
 #include "memtrace/oarray.h"
 #include "memtrace/trace.h"
@@ -74,8 +80,20 @@ std::vector<double> RunShardJobs(
     uint32_t k, const ExecContext& ctx,
     const std::function<void(uint32_t, const ExecContext&)>& job) {
   std::vector<double> seconds(k, 0.0);
-  if (memtrace::GetTraceSink() != nullptr) {
+  // Sequential driver-thread execution: traced runs always (concurrency
+  // would interleave the shards' access streams nondeterministically), and
+  // untraced runs whose spawn probe reports thread exhaustion (fault site
+  // "pool_spawn") — the concurrency degradation path.  Shard order and
+  // count are public, so the per-shard checkpoint schedule is
+  // size-determined.
+  const bool concurrent = memtrace::GetTraceSink() == nullptr &&
+                          ctx.pool_or_global().TrySpawnProbe();
+  if (!concurrent) {
+    if (memtrace::GetTraceSink() == nullptr) {
+      FaultInjector::Global().RecordDegradation();
+    }
     for (uint32_t s = 0; s < k; ++s) {
+      Checkpoint("shard_pipeline");
       Timer timer;
       job(s, ctx.ForShard(s, ctx.pool));
       seconds[s] = timer.ElapsedSeconds();
@@ -96,16 +114,37 @@ std::vector<double> RunShardJobs(
     }
   }
 
+  // Fault propagation: when the driver sits under a fallible entry point,
+  // each shard thread re-installs a recovery scope so a per-shard
+  // environmental fault unwinds to here instead of aborting the process;
+  // the first shard's Status is re-raised on the driver after the join.
+  // Cancellation scopes are deliberately NOT propagated — checkpoints poll
+  // only on the driver thread, keeping the checkpoint sequence a
+  // deterministic, single-threaded function of the public sizes.
+  const bool recover = RecoveryScope::Active();
+  std::mutex error_mu;
+  Status first_error;
   std::vector<std::thread> threads;
   threads.reserve(k);
   for (uint32_t s = 0; s < k; ++s) {
+    Checkpoint("shard_pipeline");
     threads.emplace_back([&, s] {
-      Timer timer;
-      job(s, ctx.ForShard(s, shard_pool[s]));
-      seconds[s] = timer.ElapsedSeconds();
+      std::optional<RecoveryScope> scope;
+      if (recover) scope.emplace();
+      try {
+        Timer timer;
+        job(s, ctx.ForShard(s, shard_pool[s]));
+        seconds[s] = timer.ElapsedSeconds();
+      } catch (const oblivdb::internal::StatusError& e) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = e.status;
+      }
     });
   }
   for (std::thread& t : threads) t.join();
+  if (!first_error.ok()) {
+    RaiseOrAbort(std::move(first_error), __FILE__, __LINE__);
+  }
   return seconds;
 }
 
@@ -136,7 +175,12 @@ uint64_t MergeSortedRuns(memtrace::OArray<T>& a, std::vector<size_t> runs,
 
 // Accumulates one shard pipeline's counters into the sharded operator's
 // aggregate record (phase counters and times sum; the resolved sort tier
-// is last-writer-wins, like the unsharded pipeline's own phases).
+// is last-writer-wins, like the unsharded pipeline's own phases).  The
+// fault counters (op_faults_injected / op_degradations / op_retries) are
+// deliberately NOT summed: each shard's RecordFaultDelta measured its own
+// global-counter window, and those windows overlap when shards run
+// concurrently — the sharded operator reports one RecordFaultDelta over
+// its whole execution window instead.
 void FoldShardStats(const JoinStats& shard, JoinStats& agg) {
   agg.augment_sort_comparisons += shard.augment_sort_comparisons;
   agg.expand_sort_comparisons += shard.expand_sort_comparisons;
@@ -224,6 +268,24 @@ uint32_t ResolveShardCount(const Table& t1, const Table& t2,
   // Public fallbacks (header comment: one revealed bit).  An empty input
   // makes every shard pure padding — nothing to parallelize.
   if (t1.empty() || t2.empty()) return 1;
+
+  // Enclave-heap admission: the sharded pipeline's dominant resident
+  // footprint is the two padded partitions plus the per-shard pipelines'
+  // working entries — roughly four Entry copies per padded slot.  If the
+  // EPC budget (or the injected "epc_evict" fault) refuses the reservation,
+  // halve the shard count and retry: fewer shards mean less padding, so the
+  // footprint shrinks monotonically.  Each halving is a recorded
+  // degradation; the shard count was already public, so degrading on a
+  // public budget leaks nothing new.
+  while (k >= 2) {
+    const uint64_t bytes =
+        4 * static_cast<uint64_t>(sizeof(Entry)) * k *
+        (ShardCapacity(t1.size(), k) + ShardCapacity(t2.size(), k));
+    if (sgx_sim::TryReserveEpc(bytes).ok()) break;
+    k /= 2;
+    FaultInjector::Global().RecordDegradation();
+  }
+  if (k < 2) return 1;
 
   // Client-side prechecks at the trust boundary: keys inside the reserved
   // padding window would collide with either table's padding, and a shard
@@ -329,11 +391,32 @@ ShardSet ObliviousShardPartition(const Table& table, uint32_t k,
   return out;
 }
 
+namespace {
+
+// Folds the fault-counter deltas accrued while resolving the shard count
+// (EPC-driven downgrades) into the stats record the unsharded fallback
+// already filled — its own RecordFaultDelta window started after resolve.
+void AddResolveFaultDelta(const FaultCounters& start, const FaultCounters& end,
+                          const ExecContext& ctx) {
+  if (ctx.stats == nullptr) return;
+  ctx.stats->op_faults_injected += end.TotalFired() - start.TotalFired();
+  ctx.stats->op_degradations += end.degradations - start.degradations;
+  ctx.stats->op_retries += end.retries - start.retries;
+}
+
+}  // namespace
+
 std::vector<JoinedRecord> ShardedJoin(const Table& t1, const Table& t2,
                                       const ExecContext& ctx,
                                       const OrderHints& hints) {
+  const FaultCounters fault_start = FaultInjector::Global().Snapshot();
   const uint32_t k = ResolveShardCount(t1, t2, ctx);
-  if (k <= 1) return ObliviousJoin(t1, t2, ctx, hints);
+  if (k <= 1) {
+    const FaultCounters resolve_end = FaultInjector::Global().Snapshot();
+    std::vector<JoinedRecord> rows = ObliviousJoin(t1, t2, ctx, hints);
+    AddResolveFaultDelta(fault_start, resolve_end, ctx);
+    return rows;
+  }
 
   JoinStats stats;
   stats.n1 = t1.size();
@@ -397,6 +480,7 @@ std::vector<JoinedRecord> ShardedJoin(const Table& t1, const Table& t2,
   for (size_t i = 0; i < total_m; ++i) rows[i] = ToJoinedRecord(data[i]);
 
   stats.total_seconds = total_timer.ElapsedSeconds();
+  RecordFaultDelta(fault_start, stats);
   ctx.ReportStats("join", stats);
   return rows;
 }
@@ -405,8 +489,15 @@ std::vector<JoinGroupAggregate> ShardedJoinAggregate(const Table& t1,
                                                      const Table& t2,
                                                      const ExecContext& ctx,
                                                      const OrderHints& hints) {
+  const FaultCounters fault_start = FaultInjector::Global().Snapshot();
   const uint32_t k = ResolveShardCount(t1, t2, ctx);
-  if (k <= 1) return ObliviousJoinAggregate(t1, t2, ctx, hints);
+  if (k <= 1) {
+    const FaultCounters resolve_end = FaultInjector::Global().Snapshot();
+    std::vector<JoinGroupAggregate> groups =
+        ObliviousJoinAggregate(t1, t2, ctx, hints);
+    AddResolveFaultDelta(fault_start, resolve_end, ctx);
+    return groups;
+  }
 
   JoinStats stats;
   stats.n1 = t1.size();
@@ -459,8 +550,23 @@ std::vector<JoinGroupAggregate> ShardedJoinAggregate(const Table& t1,
   for (size_t i = 0; i < total_groups; ++i) groups[i] = data[i];
 
   stats.total_seconds = total_timer.ElapsedSeconds();
+  RecordFaultDelta(fault_start, stats);
   ctx.ReportStats("aggregate", stats);
   return groups;
+}
+
+StatusOr<std::vector<JoinedRecord>> TryShardedJoin(const Table& t1,
+                                                   const Table& t2,
+                                                   const ExecContext& ctx,
+                                                   const OrderHints& hints) {
+  return RunRecoverable(ctx, [&] { return ShardedJoin(t1, t2, ctx, hints); });
+}
+
+StatusOr<std::vector<JoinGroupAggregate>> TryShardedJoinAggregate(
+    const Table& t1, const Table& t2, const ExecContext& ctx,
+    const OrderHints& hints) {
+  return RunRecoverable(
+      ctx, [&] { return ShardedJoinAggregate(t1, t2, ctx, hints); });
 }
 
 }  // namespace oblivdb::core

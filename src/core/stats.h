@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fault.h"
 #include "obliv/sort_policy.h"
 
 namespace oblivdb::core {
@@ -61,6 +62,20 @@ struct JoinStats {
   // nothing recorded" sentinel since a resolved tier is never kAuto.
   obliv::SortPolicy op_sort_policy_chosen = obliv::SortPolicy::kAuto;
 
+  // Resilience telemetry (common/fault.h): faults the deterministic
+  // injector fired inside this operator's execution window, recovery
+  // degradations taken (sort-policy downgrades on pool-spawn refusal,
+  // shard-count halvings on EPC exhaustion), and bounded retries (transient
+  // MAC faults cleared by re-reading).  Functions of public configuration
+  // — the fault spec, seed, and arrival counts — never of row contents.
+  // Rendered by the annotated ExplainPlan as `faults=i degraded=d
+  // retries=r` when nonzero.  Window deltas of the process-wide counters
+  // (RecordFaultDelta below), so the sharded wrappers own their whole
+  // window and FoldShardStats deliberately does not sum these.
+  uint64_t op_faults_injected = 0;
+  uint64_t op_degradations = 0;
+  uint64_t op_retries = 0;
+
   double augment_seconds = 0;
   double expand_seconds = 0;
   double align_seconds = 0;
@@ -73,6 +88,17 @@ struct JoinStats {
            op_route_ops;
   }
 };
+
+// Sets `stats`'s resilience counters to the delta between the process-wide
+// fault counters now and the `since` snapshot the operator took at entry.
+// Call once, immediately before ReportStats, so the operator's window is
+// [entry, report].
+inline void RecordFaultDelta(const FaultCounters& since, JoinStats& stats) {
+  const FaultCounters now = FaultInjector::Global().Snapshot();
+  stats.op_faults_injected = now.TotalFired() - since.TotalFired();
+  stats.op_degradations = now.degradations - since.degradations;
+  stats.op_retries = now.retries - since.retries;
+}
 
 }  // namespace oblivdb::core
 

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/fault.h"
+#include "common/status.h"
 #include "memtrace/trace.h"
 
 namespace oblivdb::memtrace {
@@ -63,7 +65,18 @@ class OArray {
   explicit OArray(size_t length, std::string name = "arr")
       : data_(length),
         name_(std::move(name)),
-        array_id_(RegisterArray(name_, length, sizeof(T))) {}
+        array_id_(RegisterArray(name_, length, sizeof(T))) {
+    // Fault-injection site "alloc": models public-memory exhaustion at the
+    // one place the algorithms acquire it.  Under a Try* entry point the
+    // fault unwinds as kResourceExhausted; legacy callers abort.  Array
+    // shapes are public, so the probe leaks nothing.
+    if (FaultInjector::Global().ShouldFire(FaultSite::kAlloc)) {
+      RaiseOrAbort(Status(StatusCode::kResourceExhausted,
+                          "injected allocation failure for array '" + name_ +
+                              "'"),
+                   __FILE__, __LINE__);
+    }
+  }
 
   OArray(const OArray&) = delete;
   OArray& operator=(const OArray&) = delete;

@@ -32,6 +32,8 @@ struct AccessEvent {
   uint32_t array_id;
   uint64_t index;
   uint32_t elem_size;
+
+  friend bool operator==(const AccessEvent&, const AccessEvent&) = default;
 };
 
 // Receiver interface for public-memory events.

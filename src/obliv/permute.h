@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "common/cancel.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "memtrace/oarray.h"
@@ -103,6 +104,10 @@ class BenesNetwork {
   template <bool kTraced, typename T, typename Emitter>
   void Apply(T* d, Emitter* emitter) const {
     for (size_t level = 0; level < depth(); ++level) {
+      // Cancellation checkpoint: once per network level.  depth() is a
+      // function of network_size() — public — so the poll schedule is
+      // size-determined (common/cancel.h).  No-op on pool worker threads.
+      Checkpoint("benes_level");
       const size_t h = Hop(level);
       const std::vector<uint64_t>& bits = switches_[level];
       for (size_t base = 0; base < m_; base += 2 * h) {
@@ -152,6 +157,9 @@ class BenesNetwork {
                                      size_t{4} * pool.worker_count()));
     const size_t per_chunk = (gates + chunks - 1) / chunks;
     for (size_t level = 0; level < depth(); ++level) {
+      // Same per-level checkpoint as the sequential Apply, polled on the
+      // driver before the column fans out.
+      Checkpoint("benes_level");
       const size_t h = Hop(level);
       const std::vector<uint64_t>& bits = switches_[level];
       TaskGroup group(pool);

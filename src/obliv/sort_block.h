@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "common/cancel.h"
 #include "memtrace/oarray.h"
 #include "obliv/bitonic_sort.h"
 
@@ -156,6 +157,10 @@ void BlockedMerge(BlockedSortCtx<T, Less>& ctx, size_t lo, size_t n, bool up) {
     RunBlock</*kIsMerge=*/true>(ctx, lo, n, up);
     return;
   }
+  // Cancellation checkpoint: one per cross-block merge pass.  The recursion
+  // shape is a function of (n, block_elems) only — both public — so the
+  // poll schedule cannot depend on data (common/cancel.h).
+  Checkpoint("sort_pass");
   // Cross-half pass at a stride too large for the block: per-element, like
   // the reference network (or raw when nothing observes the trace).
   const size_t m = MergeHop(n);

@@ -37,6 +37,8 @@
 #include <cstdint>
 
 #include "common/bits.h"
+#include "common/cancel.h"
+#include "common/fault.h"
 #include "memtrace/oarray.h"
 #include "obliv/bitonic_sort.h"
 #include "obliv/parallel_sort.h"
@@ -221,6 +223,9 @@ void SortRange(memtrace::OArray<T>& a, size_t lo, size_t len,
                const Less& less, SortPolicy policy,
                uint64_t* comparisons = nullptr, ThreadPool* pool = nullptr,
                SortPolicy* chosen = nullptr) {
+  // Cancellation checkpoint: one per operator sort.  The sort's position
+  // and length are public, so the poll is oblivious-safe (common/cancel.h).
+  Checkpoint("sort");
   if (policy == SortPolicy::kAuto) {
     size_t tag_bytes = 0;
     if constexpr (TagProjectable<Less, T>) {
@@ -259,6 +264,22 @@ void SortRange(memtrace::OArray<T>& a, size_t lo, size_t len,
        (pool != nullptr ? *pool : ThreadPool::Global()).worker_count() <=
            1)) {
     policy = SortPolicy::kBlocked;
+  }
+  // Graceful degradation (common/fault.h): before fanning out, the
+  // parallel tiers probe for a failed task spawn (fault site "pool_spawn")
+  // and fall back to their sequential equivalents — kParallelTag keeps the
+  // key/payload separation as kTagSort, kParallel keeps the blocked kernel.
+  // Every tier sorts to the same element order, and each downgraded tier's
+  // trace is byte-identical to its parallel sibling's (the PR 2/PR 4
+  // equivalence contracts), so a degraded run's output and trace are
+  // unchanged; only wall time moves.  The probe consults only the injector
+  // (spec, seed, arrival count) — never the data.
+  if (policy == SortPolicy::kParallel || policy == SortPolicy::kParallelTag) {
+    if (!(pool != nullptr ? *pool : ThreadPool::Global()).TrySpawnProbe()) {
+      policy = policy == SortPolicy::kParallelTag ? SortPolicy::kTagSort
+                                                  : SortPolicy::kBlocked;
+      FaultInjector::Global().RecordDegradation();
+    }
   }
   if (chosen != nullptr) *chosen = policy;
   switch (policy) {

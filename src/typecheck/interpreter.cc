@@ -114,4 +114,18 @@ core::PlanResult QueryInterpreter::Run(const QueryPtr& query) {
   return result;
 }
 
+StatusOr<core::PlanResult> QueryInterpreter::TryRun(const QueryPtr& query) {
+  // Graceful front door: the structural check that Run would turn into an
+  // abort becomes a kInvalidArgument carrying the checker's message.
+  const QueryCheckResult check = Check(query);
+  if (!check.ok) {
+    return Status(StatusCode::kInvalidArgument, check.error);
+  }
+  last_plan_ = LowerToPlan(query, catalog_);
+  core::Executor executor(ctx_);
+  StatusOr<core::PlanResult> result = executor.TryRun(last_plan_);
+  last_node_stats_ = executor.node_stats();
+  return result;
+}
+
 }  // namespace oblivdb::typecheck

@@ -78,6 +78,13 @@ class QueryInterpreter {
   // of the run stay available afterwards.
   core::PlanResult Run(const QueryPtr& query);
 
+  // Fallible variant: an ill-formed query comes back as kInvalidArgument
+  // carrying the checker's message instead of aborting, and environmental
+  // faults during execution (cancellation, deadline expiry, integrity or
+  // resource failures) come back as their Status via the Executor's
+  // recovery scope.  Programming errors still abort.
+  StatusOr<core::PlanResult> TryRun(const QueryPtr& query);
+
   const core::PlanPtr& last_plan() const { return last_plan_; }
   const std::vector<core::PlanNodeStats>& last_node_stats() const {
     return last_node_stats_;

@@ -101,7 +101,7 @@ TEST(EncryptedOArrayDeathTest, TamperingAborts) {
   memtrace::EncryptedOArray<Cell> arr(2, 11);
   arr.Write(1, Cell{1, 2});
   arr.MutableCiphertextAt(1).bytes[3] ^= 0xff;
-  EXPECT_DEATH((void)arr.Read(1), "OBLIVDB_CHECK");
+  EXPECT_DEATH((void)arr.Read(1), "INTEGRITY_VIOLATION: MAC verification failed");
 }
 
 TEST(EncryptedOArrayTest, EmitsTraceEvents) {

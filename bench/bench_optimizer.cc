@@ -1,0 +1,233 @@
+// Cost-based plan optimizer benchmark (core/optimizer.h): how much does
+// the rewrite pass buy on plans a client might plausibly write naively?
+//
+// Two scenarios, each run with the optimizer on and off
+// (ExecContext::optimize; outputs must be byte-identical):
+//
+//   * multiway_cascade — a 4-table MultiwayJoin with skewed public sizes
+//     whose key-unique middles arrive big-before-small: the optimizer
+//     reorders the middles by ascending estimated rows, so the tiny
+//     dimension collapses the intermediate before the big dimension's
+//     join instead of after it;
+//   * select_below_join — a key-only Select over a Join of two fact
+//     tables: pushing the filter below the join shrinks both inputs (and,
+//     quadratically, the revealed output m the align sort pays for).
+//
+// Emits JSON to stdout (bench/run_benches.sh captures it as
+// BENCH_optimizer.json): per scenario the wall time of each run, per-node
+// rows/rewrites, the off/on speedup, and the cost-annotated before/after
+// plans (ExplainPlanWithCosts).
+//
+//   bench_optimizer [--smoke]
+//
+// --smoke: tiny sizes; verifies byte-identical outputs with the optimizer
+// on vs. off and that the expected rewrites actually fired; exits nonzero
+// on any mismatch (bench/smoke.sh runs this).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/exec_context.h"
+#include "core/optimizer.h"
+#include "core/plan.h"
+#include "obliv/ct.h"
+
+namespace {
+
+using namespace oblivdb;
+using core::ExecContext;
+using core::Executor;
+using core::PlanPtr;
+using core::PlanResult;
+
+// `n` rows over `key_range` keys: joins have real groups, every revealed
+// size is a function of (n, key_range, seed) only.
+Table FactTable(const std::string& name, size_t n, uint64_t key_range,
+                uint64_t seed) {
+  Table t(name);
+  uint64_t state = seed;
+  t.rows().reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    t.rows().push_back(
+        Record{SplitMix64(state) % key_range, {SplitMix64(state), i}});
+  }
+  return t;
+}
+
+// Key-sorted, key-unique dimension table (primary keys 0..n-1).
+Table DimTable(const std::string& name, size_t n, uint64_t seed) {
+  Table t(name);
+  uint64_t state = seed;
+  t.rows().reserve(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    t.rows().push_back(Record{k, {SplitMix64(state), k}});
+  }
+  return t;
+}
+
+struct RunResult {
+  double seconds = 0;
+  PlanResult result;
+  std::vector<core::PlanNodeStats> node_stats;
+  PlanPtr executed;
+};
+
+RunResult RunPlan(const PlanPtr& plan, bool optimize, int reps) {
+  RunResult best;
+  for (int r = 0; r < reps; ++r) {
+    ExecContext ctx;
+    ctx.optimize = optimize;
+    Executor ex(ctx);
+    Timer timer;
+    PlanResult result = ex.Execute(plan);
+    const double s = timer.ElapsedSeconds();
+    if (r == 0 || s < best.seconds) {
+      best.seconds = s;
+      best.result = std::move(result);
+      best.node_stats = ex.node_stats();
+      best.executed = ex.executed_plan();
+    }
+  }
+  return best;
+}
+
+uint64_t TotalRewrites(const RunResult& run) {
+  uint64_t total = 0;
+  for (const auto& s : run.node_stats) total += s.stats.op_rewrites;
+  return total;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '\n') out += "\\n";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\\') out += "\\\\";
+    else out += c;
+  }
+  return out;
+}
+
+void PrintRun(const char* label, const RunResult& run, bool last) {
+  std::printf("      {\"optimize\": \"%s\", \"seconds\": %.6f, "
+              "\"rewrites\": %" PRIu64 ", \"nodes\": [",
+              label, run.seconds, TotalRewrites(run));
+  for (size_t i = 0; i < run.node_stats.size(); ++i) {
+    const core::PlanNodeStats& s = run.node_stats[i];
+    std::printf("%s\n        {\"op\": \"%s\", \"rows\": %" PRIu64
+                ", \"seconds\": %.6f, \"rewrites\": %" PRIu64 "}",
+                i == 0 ? "" : ",", core::PlanOpName(s.op), s.output_rows,
+                s.stats.total_seconds, s.stats.op_rewrites);
+  }
+  std::printf("]}%s\n", last ? "" : ",");
+}
+
+struct Scenario {
+  std::string name;
+  PlanPtr plan;
+  uint64_t min_rewrites;  // smoke bar: rewrites the optimized run must show
+};
+
+std::vector<Scenario> MakeScenarios(bool smoke) {
+  // Multiway cascade with skewed sizes: factA joins the *big* dimension
+  // first as written; the tiny dimension would collapse the intermediate
+  // ~64x earlier if it ran first.  First/last inputs are pinned (they
+  // carry the packed payload words), so only the middles may move.
+  const size_t fact_a = smoke ? 96 : (size_t{1} << 16);
+  const size_t dim_big = smoke ? 24 : (size_t{1} << 14);
+  const size_t dim_small = smoke ? 8 : (size_t{1} << 6);
+  const size_t fact_b = smoke ? 48 : (size_t{1} << 14);
+  const uint64_t cascade_keys = smoke ? 16 : (uint64_t{1} << 12);
+
+  const Table t_fact_a = FactTable("factA", fact_a, cascade_keys, 11);
+  const Table t_dim_big = DimTable("dimBig", dim_big, 22);
+  const Table t_dim_small = DimTable("dimSmall", dim_small, 33);
+  const Table t_fact_b = FactTable("factB", fact_b, cascade_keys, 44);
+
+  // Key-only select over a fact-fact join: ~1/8 of the key space passes,
+  // so pushing it below shrinks both inputs 8x and the revealed m ~64x.
+  const size_t sel_n = smoke ? 128 : (size_t{1} << 14);
+  const uint64_t sel_keys = smoke ? 32 : (uint64_t{1} << 11);
+  const uint64_t sel_bound = sel_keys / 8;
+  const Table t_sel_a = FactTable("selA", sel_n, sel_keys, 55);
+  const Table t_sel_b = FactTable("selB", sel_n, sel_keys, 66);
+  auto pred = [sel_bound](const Record& r) {
+    return ct::LeqMask(r.key + 1, sel_bound);
+  };
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(Scenario{
+      "multiway_cascade",
+      core::MultiwayJoin(
+          {core::Scan(t_fact_a),
+           core::Scan(t_dim_big, core::OrderSpec::ByKey(true)),
+           core::Scan(t_dim_small, core::OrderSpec::ByKey(true)),
+           core::Scan(t_fact_b)}),
+      1});
+  scenarios.push_back(Scenario{
+      "select_below_join",
+      core::Select(core::Join(core::Scan(t_sel_a), core::Scan(t_sel_b)), pred,
+                   /*key_only=*/true),
+      1});
+  return scenarios;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int reps = smoke ? 1 : 3;
+  const std::vector<Scenario> scenarios = MakeScenarios(smoke);
+  const unsigned workers = ThreadPool::Global().worker_count();
+
+  bool ok = true;
+  std::printf("{\n  \"bench\": \"optimizer\",\n  \"threads\": %u,\n"
+              "  \"smoke\": %s,\n  \"scenarios\": [\n",
+              workers, smoke ? "true" : "false");
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    const RunResult on = RunPlan(sc.plan, /*optimize=*/true, reps);
+    const RunResult off = RunPlan(sc.plan, /*optimize=*/false, reps);
+    // Only the root Table is compared: pushing a select below a root join
+    // legitimately moves which node populates PlanResult::join_rows.
+    if (on.result.table.rows() != off.result.table.rows()) {
+      std::fprintf(stderr, "FAIL: %s: optimize on/off outputs differ\n",
+                   sc.name.c_str());
+      ok = false;
+    }
+    if (TotalRewrites(on) < sc.min_rewrites || TotalRewrites(off) != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s: expected >= %" PRIu64
+                   " rewrites on (got %" PRIu64 ") and 0 off (got %" PRIu64
+                   ")\n",
+                   sc.name.c_str(), sc.min_rewrites, TotalRewrites(on),
+                   TotalRewrites(off));
+      ok = false;
+    }
+    std::printf("    {\"name\": \"%s\", \"runs\": [\n", sc.name.c_str());
+    PrintRun("on", on, /*last=*/false);
+    PrintRun("off", off, /*last=*/true);
+    std::printf("    ], \"speedup_off_over_on\": %.3f,\n",
+                on.seconds > 0 ? off.seconds / on.seconds : 0.0);
+    std::printf("     \"plan_before\": \"%s\",\n",
+                JsonEscape(core::ExplainPlanWithCosts(sc.plan, workers))
+                    .c_str());
+    std::printf("     \"plan_after\": \"%s\"}%s\n",
+                JsonEscape(core::ExplainPlanWithCosts(on.executed, workers))
+                    .c_str(),
+                i + 1 == scenarios.size() ? "" : ",");
+  }
+  std::printf("  ]\n}\n");
+  if (smoke) {
+    std::fprintf(stderr,
+                 ok ? "optimizer smoke OK\n" : "optimizer smoke FAILED\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Runs the sort-kernel, distribute, end-to-end join-pipeline,
-# sharded-join and fault-resilience benchmarks and records the perf
-# trajectory in BENCH_sort.json / BENCH_distribute.json /
-# BENCH_join.json / BENCH_shard.json / BENCH_faults.json so future PRs
-# have numbers to regress against.
+# sharded-join, fault-resilience and plan-optimizer benchmarks and
+# records the perf trajectory in BENCH_sort.json / BENCH_distribute.json
+# / BENCH_join.json / BENCH_shard.json / BENCH_faults.json /
+# BENCH_optimizer.json so future PRs have numbers to regress against.
 #
 #   bench/run_benches.sh [sort_output.json] [distribute_output.json] \
 #                        [join_output.json] [shard_output.json] \
-#                        [faults_output.json]
+#                        [faults_output.json] [optimizer_output.json]
 #
 # Environment:
 #   BUILD_DIR        cmake build directory (default: build)
@@ -24,11 +24,12 @@ dist_out="${2:-$repo_root/BENCH_distribute.json}"
 join_out="${3:-$repo_root/BENCH_join.json}"
 shard_out="${4:-$repo_root/BENCH_shard.json}"
 faults_out="${5:-$repo_root/BENCH_faults.json}"
+opt_out="${6:-$repo_root/BENCH_optimizer.json}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" \
   --target bench_sort_kernel bench_distribute bench_join_pipeline \
-  bench_shard bench_faults -j >/dev/null
+  bench_shard bench_faults bench_optimizer -j >/dev/null
 
 "$build_dir/bench_sort_kernel" >"$sort_out"
 echo "wrote $sort_out"
@@ -40,3 +41,5 @@ echo "wrote $join_out"
 echo "wrote $shard_out"
 "$build_dir/bench_faults" >"$faults_out"
 echo "wrote $faults_out"
+"$build_dir/bench_optimizer" >"$opt_out"
+echo "wrote $opt_out"

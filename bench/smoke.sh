@@ -7,9 +7,11 @@
 # elision pinned off (OBLIVDB_SORT_ELISION=off) so both sides of the
 # elision flag stay green, and with sharded execution forced
 # (OBLIVDB_SHARDS=4) so every suite also passes through the k-way
-# partitioned pipelines — then run the small-n sort / distribute /
-# join-pipeline / shard / faults benches and the query-plan demo
-# (plan-vs-direct cross-check).  A fifth ctest pass rebuilds under
+# partitioned pipelines, and with the plan optimizer pinned off
+# (OBLIVDB_OPTIMIZE=off) so the unrewritten plans stay byte-for-byte
+# healthy on their own — then run the small-n sort / distribute /
+# join-pipeline / shard / faults / optimizer benches and the query-plan
+# demo (plan-vs-direct cross-check).  A final ctest pass rebuilds under
 # ASan+UBSan (-DOBLIVDB_SANITIZE=address,undefined) and runs the whole
 # suite with fault injection live (OBLIVDB_FAULT_SPEC), so the recovery
 # unwind paths are exercised leak- and UB-checked.
@@ -39,6 +41,11 @@ OBLIVDB_SORT_ELISION=off \
 # operators run as k concurrent per-shard pipelines.
 OBLIVDB_SHARDS=4 OBLIVDB_THREADS=4 \
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+# Sixth pass with the plan optimizer pinned off: every suite must stay
+# green when plans execute exactly as written (the default-on runs above
+# already cover the rewrite pass engaged).
+OBLIVDB_OPTIMIZE=off \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
 # The plan layer gates the whole query path: run its suite once more,
 # loudly, so a plan regression is unmissable in the CI log.  (The binary
 # only exists when GTest does — ctest above already covered it then.)
@@ -58,8 +65,11 @@ cmake --build "$build_dir" --target bench_smoke
 # Fault-resilience cross-check: clean-vs-faulty byte equality on every
 # graceful-degradation path plus the cancellation contract.
 "$build_dir/bench_faults" --smoke >/dev/null
+# Optimizer cross-check: optimized-vs-unoptimized byte equality on both
+# scenarios, and the expected rewrites must actually fire.
+"$build_dir/bench_optimizer" --smoke >/dev/null
 cmake --build "$build_dir" --target plan_smoke
-# Fifth pass: rebuild under ASan+UBSan and run the whole suite with a
+# Final pass: rebuild under ASan+UBSan and run the whole suite with a
 # low-rate transient-MAC fault stream live, so the retry and unwind
 # machinery runs sanitized.  robustness_test then re-runs alone under a
 # hotter multi-site spec (every-3rd EPC refusal, every-2nd spawn refusal).

@@ -48,9 +48,15 @@ std::vector<JoinGroupAggregate> ObliviousJoinAggregate(
   // order is enough: a by-key-covered input elides the union sort into a
   // run merge (tid is constant per run; see core/augment.cc for the same
   // pattern on the join's entry sort).
+  // Like the join's entry sort, the elision is cost-arbitrated: merge only
+  // when the model says [per-run sorts + one merge] beats the full union
+  // sort under the current policy and worker count (RunMergePays).
+  const bool cov_left = hints.left.Covers(OrderSpec::ByKey());
+  const bool cov_right = hints.right.Covers(OrderSpec::ByKey());
   const bool merge_entry =
-      ctx.sort_elision && (hints.left.Covers(OrderSpec::ByKey()) ||
-                           hints.right.Covers(OrderSpec::ByKey()));
+      ctx.sort_elision && (cov_left || cov_right) &&
+      obliv::RunMergePays<Entry, ByJoinKeyThenTidLess>(
+          ctx.sort_policy, n1, cov_left, n2, cov_right, ctx.pool);
   if (merge_entry) {
     if (!hints.left.Covers(OrderSpec::ByKey())) {
       obliv::SortRange(tc, 0, n1, ByJoinKeyThenTidLess{}, ctx.sort_policy,

@@ -54,6 +54,18 @@ double ExecContext::DefaultDeadlineSeconds() {
   return deadline;
 }
 
+bool ExecContext::DefaultOptimize() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("OBLIVDB_OPTIMIZE");
+    if (env == nullptr) return true;
+    const std::string_view v(env);
+    if (v == "off" || v == "0" || v == "false") return false;
+    if (v == "on" || v == "1" || v == "true") return true;
+    return true;  // unrecognized values cannot abort a run
+  }();
+  return enabled;
+}
+
 bool ExecContext::DefaultSortElision() {
   static const bool enabled = [] {
     const char* env = std::getenv("OBLIVDB_SORT_ELISION");

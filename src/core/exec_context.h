@@ -106,6 +106,13 @@ struct ExecContext {
   // off (bench/smoke.sh).
   static bool DefaultSortElision();
 
+  // The process-wide default for `optimize`: OBLIVDB_OPTIMIZE set to
+  // "off"/"0"/"false" disables the plan rewrite pass (core/optimizer.h),
+  // anything else (including unset) leaves the compiled-in default of
+  // *on*.  Read once and cached; CI uses it to run the whole suite with
+  // the optimizer pinned off (bench/smoke.sh).
+  static bool DefaultOptimize();
+
   // The process-wide default for `deadline_seconds`: OBLIVDB_DEADLINE_MS
   // set to a positive number of milliseconds bounds every fallible entry
   // point's wall time; unset or <= 0 means no deadline.  Read once and
@@ -136,6 +143,16 @@ struct ExecContext {
   // the flag (tests/plan_test.cc pins both).  Direct operator calls that
   // pass no hints never elide, whatever this flag says.
   bool sort_elision = DefaultSortElision();
+
+  // Cost-based plan optimization (core/optimizer.h): when true, the
+  // Executor rewrites the plan tree before running it — multiway join
+  // reordering, key-only select pushdown, redundant-distinct removal.
+  // Every rewrite decision is a pure function of (plan shape, public
+  // sizes, public flags) — never of row contents — and every rewritten
+  // plan's root Table output is byte-identical to the original's
+  // (tests/optimizer_test.cc pins both across all policy/elision/shard
+  // settings).
+  bool optimize = DefaultOptimize();
 
   // Worker pool for the operators' parallel phases (kParallel /
   // kParallelTag sorts, Beneš switch planning and column fan-out);

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/status.h"
 #include "core/multiway.h"
+#include "core/optimizer.h"
 #include "core/shard.h"
 #include "obliv/sort_policy.h"
 
@@ -51,13 +52,14 @@ PlanPtr Scan(Table table, OrderSpec declared_order) {
   return node;
 }
 
-PlanPtr Select(PlanPtr input, CtRowPredicate predicate) {
+PlanPtr Select(PlanPtr input, CtRowPredicate predicate, bool key_only) {
   OBLIVDB_CHECK(input != nullptr);
   OBLIVDB_CHECK(predicate != nullptr);
   auto node = std::make_shared<PlanNode>();
   node->op = PlanOp::kSelect;
   node->label = PlanOpName(PlanOp::kSelect);
   node->predicate = std::move(predicate);
+  node->key_only = key_only;
   node->inputs.push_back(std::move(input));
   return node;
 }
@@ -212,6 +214,12 @@ void ExplainAnnotatedInto(const PlanPtr& node,
   // Order propagation skipped (or merged away) entry sorts at this node;
   // a node that ran no sort at all renders `sort=elided` alone.
   if (s.stats.op_sorts_elided > 0) out += " sort=elided";
+  // Optimizer rewrites that produced or landed on this node
+  // (core/optimizer.h); only meaningful when the rendered tree is the
+  // Executor's executed_plan().
+  if (s.stats.op_rewrites > 0) {
+    out += " rewrites=" + std::to_string(s.stats.op_rewrites);
+  }
   // Sharded execution (core/shard.h): the node split into k pipelines.
   if (s.stats.op_shards > 1) {
     out += " shards=" + std::to_string(s.stats.op_shards);
@@ -251,12 +259,16 @@ std::string ExplainPlan(const PlanPtr& plan,
 PlanResult Executor::Execute(const PlanPtr& plan) {
   OBLIVDB_CHECK(plan != nullptr);
   node_stats_.clear();
+  // The rewrite pass reads only plan shape and public sizes, so running it
+  // outside the trace scope is sound: the trace of the optimized run is the
+  // trace of the rewritten tree, itself a pure function of public inputs.
+  executed_plan_ = ctx_.optimize ? OptimizePlan(plan, ctx_) : plan;
   PlanResult result;
   if (ctx_.trace_sink != nullptr) {
     memtrace::TraceScope scope(ctx_.trace_sink);
-    result.table = ExecNode(plan, &result);
+    result.table = ExecNode(executed_plan_, &result);
   } else {
-    result.table = ExecNode(plan, &result);
+    result.table = ExecNode(executed_plan_, &result);
   }
   // The caller's per-call out-parameter receives the root operator's
   // counters (node_stats() has the full per-node breakdown).
@@ -284,6 +296,7 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
       leaf.op = in->op;
       leaf.label = in->label;
       leaf.stats.m = in->table.size();
+      leaf.stats.op_rewrites = in->rewrites;
       leaf.output_rows = in->table.size();
       node_stats_.push_back(std::move(leaf));
       inputs.push_back(&in->table);
@@ -374,6 +387,9 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
   }
 
   entry.output_rows = out.size();
+  // After the operator's ReportStats filled entry.stats: the rewrite count
+  // is plan-tree bookkeeping, not an operator counter.
+  entry.stats.op_rewrites = node->rewrites;
   node_stats_.push_back(std::move(entry));
   return out;
 }

@@ -63,6 +63,21 @@ struct PlanNode {
   Table table;                // kScan payload
   OrderSpec scan_order;       // kScan: the table's declared order (if any)
   CtRowPredicate predicate;   // kSelect payload
+  // kSelect: the client's declaration that `predicate` reads only the join
+  // key of each row (never the payload words).  Public plan metadata with
+  // the same trust-boundary contract as a declared scan order: a wrong
+  // declaration yields wrong *results*, never a trace leak — the optimizer
+  // reads only the flag, not the predicate.  Key-only selects are what the
+  // optimizer may push below Join/SemiJoin/AntiJoin/Aggregate/Union/
+  // Distinct/MultiwayJoin (core/optimizer.h): key-based filtering commutes
+  // with key-matching operators, and payload narrowing at node boundaries
+  // cannot change what the predicate sees.
+  bool key_only = false;
+  // Optimizer bookkeeping (core/optimizer.h): how many rewrites produced
+  // or landed on this node.  Zero on every client-built node; the Executor
+  // copies it into JoinStats::op_rewrites so the annotated ExplainPlan can
+  // render `rewrites=N`.
+  uint64_t rewrites = 0;
   // kJoin / kAggregate: per-node shard-count override (core/shard.h).
   // 0 = inherit ExecContext::shards (the OBLIVDB_SHARDS knob / kAuto
   // crossover); 1 = pin this node unsharded; k >= 2 = force k shards,
@@ -85,7 +100,9 @@ PlanPtr Scan(Table table);
 // motivating case — they elide both the Augment entry sort and the full
 // m-sized Align sort of a fact-table join.
 PlanPtr Scan(Table table, OrderSpec declared_order);
-PlanPtr Select(PlanPtr input, CtRowPredicate predicate);
+// `key_only` declares the predicate reads only each row's join key (see
+// PlanNode::key_only) — the optimizer's license to push the select down.
+PlanPtr Select(PlanPtr input, CtRowPredicate predicate, bool key_only = false);
 PlanPtr Distinct(PlanPtr input);
 // `shards` is the node's sharded-execution override (PlanNode::shards;
 // 0 = inherit the context's knob).
@@ -176,6 +193,13 @@ class Executor {
  public:
   explicit Executor(const ExecContext& ctx) : ctx_(ctx) {}
 
+  // When ctx.optimize is set (the default), the plan is first rewritten by
+  // OptimizePlan (core/optimizer.h) and the rewritten tree executes;
+  // executed_plan() returns it.  Outputs are byte-identical either way
+  // (the optimizer's contract); node_stats() describes the *executed*
+  // tree, so the annotated ExplainPlan overload must be called with
+  // executed_plan(), not the tree passed in (they are the same object when
+  // no rewrite applied).
   PlanResult Execute(const PlanPtr& plan);
 
   // Fallible variant: Execute under a recovery + cancellation scope
@@ -189,6 +213,11 @@ class Executor {
 
   const std::vector<PlanNodeStats>& node_stats() const { return node_stats_; }
 
+  // The tree the last Execute actually ran: the optimizer's rewrite when
+  // ctx.optimize was set and a rule fired, otherwise the plan passed in.
+  // Null before the first Execute.
+  const PlanPtr& executed_plan() const { return executed_plan_; }
+
   // Sum of TotalComparisons over every node of the last Execute.
   uint64_t TotalComparisons() const;
 
@@ -197,6 +226,7 @@ class Executor {
 
   ExecContext ctx_;
   std::vector<PlanNodeStats> node_stats_;
+  PlanPtr executed_plan_;
 };
 
 }  // namespace oblivdb::core

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/bits.h"
 #include "common/cancel.h"
 #include "common/check.h"
 #include "common/fault.h"
@@ -241,6 +242,63 @@ uint32_t ShardOfKey(uint64_t key, uint64_t seed, uint32_t k) {
   return static_cast<uint32_t>(ExecContext::DeriveSeed(seed, key) % k);
 }
 
+namespace {
+
+// Modeled cost (ns) of one unsharded Join/Aggregate pipeline over inputs
+// of n1 + n2 rows on w workers: the pipeline is dominated by ~4 full
+// Entry-width sorts of the union (entry sort, two expansion prefix sorts,
+// the align sort), each running whatever tier the kAuto resolution would
+// pick at that size.  The absolute number only matters insofar as it ranks
+// shard counts correctly, exactly like the sort model it builds on.
+double JoinPipelineNs(size_t n, unsigned w) {
+  if (n < 2) return 0.0;
+  constexpr size_t kTagBytes = 8 * (ByJoinKeyThenTidLess::kSortKeyWords + 1);
+  const obliv::SortPolicy tier = obliv::ResolveSortPolicy(
+      obliv::SortPolicy::kAuto, sizeof(Entry), kTagBytes, n, w);
+  return 4.0 * static_cast<double>(n) *
+         obliv::EstimateSortNsPerElement(tier, sizeof(Entry), kTagBytes, n, w);
+}
+
+}  // namespace
+
+double EstimateShardedJoinNs(size_t n1, size_t n2, uint32_t k,
+                             unsigned workers) {
+  workers = std::max(workers, 1u);
+  if (k <= 1) return JoinPipelineNs(n1 + n2, workers);
+  // Partition: each table pays roughly two full sorts of its padded array
+  // (the (shard, j, d) grouping sort and the distribute's routing sort).
+  const size_t cap1 = ShardCapacity(n1, k);
+  const size_t cap2 = ShardCapacity(n2, k);
+  const size_t padded1 = static_cast<size_t>(k) * cap1;
+  const size_t padded2 = static_cast<size_t>(k) * cap2;
+  auto partition_ns = [&](size_t padded) {
+    if (padded < 2) return 0.0;
+    constexpr size_t kTagBytes =
+        8 * (ByJoinKeyThenTidLess::kSortKeyWords + 1);
+    const obliv::SortPolicy tier = obliv::ResolveSortPolicy(
+        obliv::SortPolicy::kAuto, sizeof(Entry), kTagBytes, padded, workers);
+    return 2.0 * static_cast<double>(padded) *
+           obliv::EstimateSortNsPerElement(tier, sizeof(Entry), kTagBytes,
+                                           padded, workers);
+  };
+  double total = partition_ns(padded1) + partition_ns(padded2);
+  // Per-shard pipelines: k runs over (cap1 + cap2)-row inputs, overlapped
+  // across min(k, workers) concurrent drivers, each with a workers/k-way
+  // split of the pool (floor 1).
+  const unsigned per_shard_workers = std::max(workers / k, 1u);
+  const double concurrency =
+      static_cast<double>(std::min<uint32_t>(k, workers));
+  total += static_cast<double>(k) *
+           JoinPipelineNs(cap1 + cap2, per_shard_workers) / concurrency;
+  // Recombine: ceil(log2 k) sequential merge rounds, each one full-width
+  // pass over the combined padded rows (an upper bound on the output).
+  const double rounds = static_cast<double>(Log2Floor(CeilPow2(k)));
+  total += rounds * static_cast<double>(padded1 + padded2) *
+           obliv::internal::WordCmpNs(sizeof(Entry)) *
+           static_cast<double>(sizeof(Entry) / 8);
+  return total;
+}
+
 uint32_t ResolveShardCount(const Table& t1, const Table& t2,
                            const ExecContext& ctx) {
   uint32_t k = 0;
@@ -248,21 +306,30 @@ uint32_t ResolveShardCount(const Table& t1, const Table& t2,
   if (ctx.shards >= 2) {
     k = std::min(ctx.shards, ExecContext::kMaxShards);
   } else {
-    // kAuto crossover.  The size floor comes first so small operators never
+    // kAuto: cost-model argmin over candidate shard counts.  The size
+    // floors come first — as hard lower bounds — so small operators never
     // touch the pool (ThreadPool::Global() spawns its workers on first use
-    // — the same hygiene as the sort kernel's kAuto path).
+    // — the same hygiene as the sort kernel's kAuto path) and never pay
+    // partition overhead on inputs too small for the model's asymptotics
+    // to be trustworthy.
     const size_t n_total = t1.size() + t2.size();
     if (n_total < kAutoShardMinRows) return 1;
     const unsigned workers = ctx.pool_or_global().worker_count();
     if (workers < 2) return 1;
     const uint32_t ceiling = std::min<uint32_t>(workers, kMaxAutoShards);
-    uint32_t cand = 1;
-    while (cand * 2 <= ceiling &&
-           n_total / (cand * 2) >= kAutoShardMinRowsPerShard) {
-      cand *= 2;
+    uint32_t best = 1;
+    double best_ns = EstimateShardedJoinNs(t1.size(), t2.size(), 1, workers);
+    for (uint32_t cand = 2; cand <= ceiling; cand *= 2) {
+      if (n_total / cand < kAutoShardMinRowsPerShard) break;
+      const double ns =
+          EstimateShardedJoinNs(t1.size(), t2.size(), cand, workers);
+      if (ns < best_ns) {
+        best = cand;
+        best_ns = ns;
+      }
     }
-    if (cand < 2) return 1;
-    k = cand;
+    if (best < 2) return 1;
+    k = best;
   }
 
   // Public fallbacks (header comment: one revealed bit).  An empty input

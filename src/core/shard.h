@@ -93,12 +93,28 @@ size_t ShardCapacity(size_t n, uint32_t k);
 // same (seed, k), so rows that can match are co-sharded.
 uint32_t ShardOfKey(uint64_t key, uint64_t seed, uint32_t k);
 
+// Modeled wall time (ns) of a Join/Aggregate of public input sizes
+// (n1, n2) executed as k shards on a `workers`-thread pool; k = 1 is the
+// unsharded pipeline.  Built from the sort cost model
+// (obliv/sort_kernel.h): the pipeline's four Entry-width sorts dominate,
+// the partition adds two sorts per table, the recombine adds
+// ceil(log2 k) merge rounds, and the k pipelines overlap across
+// min(k, workers) drivers with a workers/k-way pool split each.  A pure
+// function of public values — ResolveShardCount's auto path picks the
+// argmin over candidate k, so the decision (and every test pinning it) is
+// a function of (sizes, workers) only.  Exposed for the optimizer's cost
+// column (core/optimizer.h) and the shard tests.
+double EstimateShardedJoinNs(size_t n1, size_t n2, uint32_t k,
+                             unsigned workers);
+
 // The shard count a Join/Aggregate of these two inputs actually runs with
-// under `ctx`: ctx.shards when forced (>= 2), the cost-model crossover when
-// 0 (auto), downgraded to 1 by the public fallbacks (empty input, reserved
-// keys, capacity overflow under the derived key-to-shard map).  Every
-// caller of the sharded operators resolves through this one function, so
-// tests can pin the decision.
+// under `ctx`: ctx.shards when forced (>= 2), the cost-model argmin over
+// EstimateShardedJoinNs when 0 (auto; the kAutoShardMinRows /
+// kAutoShardMinRowsPerShard floors remain lower bounds so small operators
+// never pay partition overhead or spawn the pool), downgraded to 1 by the
+// public fallbacks (empty input, reserved keys, capacity overflow under
+// the derived key-to-shard map).  Every caller of the sharded operators
+// resolves through this one function, so tests can pin the decision.
 uint32_t ResolveShardCount(const Table& t1, const Table& t2,
                            const ExecContext& ctx);
 

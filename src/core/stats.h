@@ -46,6 +46,13 @@ struct JoinStats {
   // Rendered by the annotated ExplainPlan as `sort=elided`.
   uint64_t op_sorts_elided = 0;
 
+  // Optimizer rewrites (core/optimizer.h) that produced or landed on this
+  // node: multiway input reorders, selects pushed below this operator,
+  // distincts folded into it.  Like op_sorts_elided, a pure function of
+  // (plan shape, public sizes, flags) — identical across different data of
+  // the same plan.  Rendered by the annotated ExplainPlan as `rewrites=N`.
+  uint64_t op_rewrites = 0;
+
   // Sharded execution (core/shard.h): the number of per-shard pipelines the
   // operator ran (1 = unsharded), and each shard pipeline's wall time in
   // shard order.  The shard count is a function of the public sizes and the

@@ -210,6 +210,54 @@ inline SortPolicy ResolveSortPolicy(SortPolicy policy, size_t elem_bytes,
   return best;
 }
 
+// Cost-model arbiter for the run-merge elision (core/order.h): given two
+// adjacent runs of n1 and n2 elements where coveredX says run X already
+// satisfies the target order, is [sort the uncovered runs, then one
+// O(n log n) bitonic merge] estimated cheaper than one full O(n log^2 n)
+// sort of the concatenation under `policy`?  Ties keep the merge (the
+// pre-cost-model behaviour).  Every input is public — sizes, coverage
+// flags derived from plan shape, the policy, the pool's worker count — so
+// the decision is a pure function of public state; and because the merge's
+// per-element cost is levels/2 compare-exchanges against the full sort's
+// levels^2/4, the merge wins everywhere the older unconditional elision
+// fired on one thread, keeping existing single-threaded elision counts
+// stable.  The sequential-merge model (no PassSpeedup credit) is
+// deliberate: the merge path in core/order.h runs single-threaded.
+template <typename T, typename Less>
+  requires CtLess<Less, T>
+bool RunMergePays(SortPolicy policy, size_t n1, bool covered1, size_t n2,
+                  bool covered2, ThreadPool* pool = nullptr) {
+  const size_t n = n1 + n2;
+  if (n < 2) return true;
+  size_t tag_bytes = 0;
+  if constexpr (TagProjectable<Less, T>) {
+    tag_bytes = 8 * (Less::kSortKeyWords + 1);
+  }
+  // Mirror SortRange's worker probe: below the parallel cutoff no parallel
+  // tier is eligible, so do not force the global pool to spawn.
+  auto workers_for = [&](size_t len) -> unsigned {
+    if (len < internal::kParallelCutoff) return 1;
+    return (pool != nullptr ? *pool : ThreadPool::Global()).worker_count();
+  };
+  auto sort_ns = [&](size_t len) -> double {
+    if (len < 2) return 0.0;
+    const unsigned w = workers_for(len);
+    const SortPolicy resolved =
+        ResolveSortPolicy(policy, sizeof(T), tag_bytes, len, w);
+    return static_cast<double>(len) *
+           EstimateSortNsPerElement(resolved, sizeof(T), tag_bytes, len, w);
+  };
+  const double full_ns = sort_ns(n);
+  // One bitonic merge stage: log2(ceil_pow2(n)) levels of n/2
+  // compare-exchanges, full-width, sequential.
+  const double levels = static_cast<double>(Log2Floor(CeilPow2(n)));
+  double merge_ns = static_cast<double>(n) * internal::WordCmpNs(sizeof(T)) *
+                    static_cast<double>(sizeof(T) / 8) * levels / 2.0;
+  if (!covered1) merge_ns += sort_ns(n1);
+  if (!covered2) merge_ns += sort_ns(n2);
+  return merge_ns <= full_ns;
+}
+
 // Policy dispatchers: one call site, any implementation.  `pool` is the
 // worker pool for the parallel tiers (kParallel's task fan-out, kTagSort's
 // Beneš switch planning, kParallelTag's column fan-out); nullptr means the

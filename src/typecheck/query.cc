@@ -25,10 +25,12 @@ QueryPtr QScan(std::string table_name) {
   return q;
 }
 
-QueryPtr QSelect(QueryPtr input, core::CtRowPredicate predicate) {
+QueryPtr QSelect(QueryPtr input, core::CtRowPredicate predicate,
+                 bool key_only) {
   auto q = std::make_shared<QueryExpr>();
   q->kind = core::PlanOp::kSelect;
   q->predicate = std::move(predicate);
+  q->key_only = key_only;
   q->children.push_back(std::move(input));
   return q;
 }
@@ -147,7 +149,7 @@ core::PlanPtr LowerNode(const QueryPtr& query, const QueryCatalog& catalog) {
     }
     case core::PlanOp::kSelect:
       return core::Select(LowerNode(query->children[0], catalog),
-                          query->predicate);
+                          query->predicate, query->key_only);
     case core::PlanOp::kDistinct:
       return core::Distinct(LowerNode(query->children[0], catalog));
     case core::PlanOp::kJoin:

@@ -44,6 +44,11 @@ struct QueryExpr {
   core::PlanOp kind;
   std::string table_name;          // kScan
   core::CtRowPredicate predicate;  // kSelect
+  // kSelect: the predicate reads only the join key (PlanNode::key_only in
+  // core/plan.h) — lowered verbatim; it is the optimizer's license to push
+  // the select below joins.  Declared client metadata, same trust-boundary
+  // contract as a declared scan order.
+  bool key_only = false;
   // kJoin / kAggregate: sharded-execution override, lowered verbatim onto
   // PlanNode::shards (0 = inherit the interpreter context's knob).  Public
   // program text, like the operator itself — the compositional
@@ -56,7 +61,10 @@ struct QueryExpr {
 
 // Builders.
 QueryPtr QScan(std::string table_name);
-QueryPtr QSelect(QueryPtr input, core::CtRowPredicate predicate);
+// `key_only` declares the predicate reads only each row's join key (see
+// QueryExpr::key_only).
+QueryPtr QSelect(QueryPtr input, core::CtRowPredicate predicate,
+                 bool key_only = false);
 QueryPtr QDistinct(QueryPtr input);
 QueryPtr QJoin(QueryPtr left, QueryPtr right, uint32_t shards = 0);
 QueryPtr QSemiJoin(QueryPtr left, QueryPtr right);

@@ -480,11 +480,15 @@ TEST(PlanElisionTest, DecisionsIdenticalAcrossDataOfSamePlan) {
 // order on one join side elides both the Augment entry sort and the full
 // m-sized Align sort.
 TEST(PlanElisionTest, DeclaredKeyUniqueScanElidesAugmentAndAlign) {
+  // The covered run must dominate the union for the entry-sort merge to
+  // pay under the cost model (RunMergePays): sorting a 48-row uncovered
+  // run plus a 64-row merge would cost more than one full 64-row sort, so
+  // the dimension table carries 48 of the 64 rows here.
   Table dims("dims");
-  for (uint64_t k = 0; k < 16; ++k) {
+  for (uint64_t k = 0; k < 48; ++k) {
     dims.rows().push_back(Record{k, {100 + k, 0}});  // key-sorted, unique
   }
-  const Table facts = StructuredTable("facts", 48, 16, 5);
+  const Table facts = StructuredTable("facts", 16, 16, 5);
 
   const PlanPtr plan = core::Join(
       core::Scan(dims, core::OrderSpec::ByKey(/*key_unique=*/true)),
@@ -568,13 +572,18 @@ TEST(PlanOrderTest, ProducedOrderPropagation) {
 TEST(PlanElisionTest, DistinctOverAggregateElides) {
   const PlanPtr plan = core::Distinct(
       core::Aggregate(core::Scan(SmallT1()), core::Scan(SmallT2())));
+  // Pin the optimizer off: this test exercises the *operator-level* elision
+  // inside the distinct, and the optimizer would remove the redundant
+  // distinct node outright (tests/optimizer_test.cc pins that rewrite).
   ExecContext on;
+  on.optimize = false;
   on.sort_elision = true;
   Executor ex(on);
   const PlanResult r = ex.Execute(plan);
   EXPECT_EQ(ex.node_stats().back().stats.op_sorts_elided, 1u);
 
   ExecContext off;
+  off.optimize = false;
   off.sort_elision = false;
   Executor ex_off(off);
   EXPECT_EQ(r.table.rows(), ex_off.Execute(plan).table.rows());
@@ -586,7 +595,11 @@ TEST(PlanElisionTest, DistinctOverAggregateElides) {
 TEST(PlanExplainTest, AnnotatedExplainShowsElision) {
   const PlanPtr plan = core::Join(core::Distinct(core::Scan(SmallT1())),
                                   core::Distinct(core::Scan(SmallT2())));
+  // Pin the optimizer off: the Distinct(Distinct(...)) shape below is
+  // exactly what its idempotence rule collapses, and the annotated explain
+  // must be rendered against the tree that actually executed.
   ExecContext ctx;
+  ctx.optimize = false;
   ctx.sort_elision = true;
   Executor ex(ctx);
   (void)ex.Execute(plan);

@@ -162,6 +162,59 @@ TEST(ResolveShardCountTest, AutoStaysUnshardedBelowSizeFloor) {
   EXPECT_EQ(ResolveShardCount(tc.t1, tc.t2, ShardedCtx(0)), 1u);
 }
 
+// The sharded-cost estimate is a pure function of (n1, n2, k, workers):
+// deterministic, and shaped sensibly — more shards on one worker only add
+// partition and merge overhead, so k = 1 must win there.
+TEST(ResolveShardCountTest, EstimateShardedJoinNsDeterministicAndShaped) {
+  const size_t n1 = size_t{1} << 17, n2 = size_t{1} << 16;
+  for (const uint32_t k : {1u, 2u, 4u, 8u}) {
+    const double ns = core::EstimateShardedJoinNs(n1, n2, k, 8);
+    EXPECT_GT(ns, 0.0);
+    EXPECT_EQ(ns, core::EstimateShardedJoinNs(n1, n2, k, 8));
+  }
+  EXPECT_LT(core::EstimateShardedJoinNs(n1, n2, 1, 1),
+            core::EstimateShardedJoinNs(n1, n2, 4, 1));
+}
+
+// The auto path is the cost-model argmin over candidate shard counts — a
+// function of the public sizes and the worker count only, so two tables of
+// the same sizes but different contents resolve identically, and the
+// chosen k is the model's cheapest candidate (floors permitting).
+TEST(ResolveShardCountTest, AutoDecisionIsCostArgminAndShapeDeterministic) {
+  ThreadPool pool(8);
+  auto big_pair = [](uint64_t variant) {
+    // 3 * 2^16 rows combined: above kAutoShardMinRows with room for
+    // several shards above kAutoShardMinRowsPerShard.
+    Table t1("auto1"), t2("auto2");
+    for (uint64_t i = 0; i < (uint64_t{1} << 17); ++i) {
+      t1.Add(i % 50021, 1000 * variant + i);
+    }
+    for (uint64_t i = 0; i < (uint64_t{1} << 16); ++i) {
+      t2.Add(i % 50021, 2000 * variant + i);
+    }
+    return std::make_pair(std::move(t1), std::move(t2));
+  };
+  ExecContext ctx;
+  ctx.shards = 0;
+  ctx.pool = &pool;
+
+  const auto [a1, a2] = big_pair(1);
+  const uint32_t k = ResolveShardCount(a1, a2, ctx);
+  const auto [b1, b2] = big_pair(2);
+  EXPECT_EQ(ResolveShardCount(b1, b2, ctx), k);
+
+  // The resolved k is no worse than any other candidate the floors admit.
+  const size_t n_total = a1.size() + a2.size();
+  const double chosen_ns =
+      core::EstimateShardedJoinNs(a1.size(), a2.size(), std::max(k, 1u), 8);
+  for (uint32_t cand = 1; cand <= 8; cand *= 2) {
+    if (cand >= 2 && n_total / cand < core::kAutoShardMinRowsPerShard) break;
+    EXPECT_LE(chosen_ns,
+              core::EstimateShardedJoinNs(a1.size(), a2.size(), cand, 8))
+        << "candidate k=" << cand;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // The partition itself.
 

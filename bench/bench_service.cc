@@ -1,0 +1,254 @@
+// Query service benchmark (service/query_service.h): queries/sec as the
+// session count grows, and what the shape-keyed caches buy on repeated
+// same-shape queries.
+//
+// Workload: Q submissions of the same join shape (distinct plan objects
+// over identical public sizes — the repeated-dashboard-query pattern), run
+// under the tag-sort tier (obliv::SortPolicy::kTagSort: the Beneš-planning
+// tier, so the artifact cache has real switch plans to reuse).  Variants:
+//
+//   * sessions1_nocache   — 1 session, caches off, FIFO: the baseline;
+//   * sessions1_cache     — 1 session, caches on: the pure artifact +
+//                           plan-cache speedup (same schedule);
+//   * sessions2_cache     — 2 concurrent sessions, caches on;
+//   * sessions4_cache     — 4 concurrent sessions, caches on;
+//   * sessions4_batched   — 4 sessions, caches on, batched admission.
+//
+// Every variant byte-compares each response against a direct solo
+// Executor reference — concurrency and caching must never change a bit.
+//
+// Emits JSON to stdout (bench/run_benches.sh captures it as
+// BENCH_service.json): per variant the wall seconds, queries/sec, and the
+// cache/batch counters; the header carries the thread budget and the
+// cache-on hit rates.
+//
+//   bench_service [--smoke]
+//
+// --smoke: tiny sizes; verifies byte-identical outputs across every
+// variant, that the cache-on rows actually hit both caches and the
+// cache-off row hits neither; exits nonzero on any mismatch
+// (bench/smoke.sh runs this).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/exec_context.h"
+#include "core/plan.h"
+#include "obliv/artifact_cache.h"
+#include "obliv/sort_kernel.h"
+#include "service/query_service.h"
+
+namespace {
+
+using namespace oblivdb;
+using core::ExecContext;
+using core::Executor;
+using core::PlanPtr;
+using service::PendingQuery;
+using service::QueryResponse;
+using service::QueryService;
+using service::ServiceOptions;
+
+Table FactTable(const std::string& name, size_t n, uint64_t key_range,
+                uint64_t seed) {
+  Table t(name);
+  uint64_t state = seed;
+  t.rows().reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    t.rows().push_back(
+        Record{SplitMix64(state) % key_range, {SplitMix64(state), i}});
+  }
+  return t;
+}
+
+Table DimTable(const std::string& name, size_t n, uint64_t seed) {
+  Table t(name);
+  uint64_t state = seed;
+  t.rows().reserve(n);
+  for (uint64_t k = 0; k < n; ++k) {
+    t.rows().push_back(Record{k, {SplitMix64(state), k}});
+  }
+  return t;
+}
+
+ExecContext BaseContext(obliv::ArtifactCache* cache) {
+  ExecContext ctx;
+  ctx.sort_policy = obliv::SortPolicy::kTagSort;  // the Beneš-planning tier
+  ctx.optimize = true;
+  ctx.artifact_cache = cache;
+  return ctx;
+}
+
+struct VariantSpec {
+  const char* name;
+  unsigned sessions;
+  bool plan_cache;
+  bool batch_admit;
+};
+
+struct VariantResult {
+  double seconds = 0;
+  double qps = 0;
+  unsigned session_workers = 0;
+  obliv::ArtifactCache::Stats artifact;
+  QueryService::Counters counters;
+  bool outputs_ok = true;
+};
+
+VariantResult RunVariant(const VariantSpec& spec,
+                         const std::vector<PlanPtr>& plans,
+                         const std::vector<Record>& expected) {
+  obliv::ArtifactCache cache;  // private per variant: honest hit counts
+  ServiceOptions opts;
+  opts.sessions = spec.sessions;
+  opts.plan_cache = spec.plan_cache;
+  opts.batch_admit = spec.batch_admit;
+  QueryService svc(BaseContext(&cache), opts);
+
+  VariantResult out;
+  out.session_workers = svc.session_workers();
+  Timer timer;
+  std::vector<std::shared_ptr<PendingQuery>> pending;
+  pending.reserve(plans.size());
+  for (const PlanPtr& p : plans) {
+    auto submitted = svc.Submit(p);
+    if (!submitted.ok()) {
+      std::fprintf(stderr, "FAIL: %s: submit: %s\n", spec.name,
+                   submitted.status().ToString().c_str());
+      out.outputs_ok = false;
+      continue;
+    }
+    pending.push_back(*submitted);
+  }
+  for (const auto& p : pending) {
+    const StatusOr<QueryResponse>& r = p->Wait();
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAIL: %s: query: %s\n", spec.name,
+                   r.status().ToString().c_str());
+      out.outputs_ok = false;
+    } else if (r->result.table.rows() != expected) {
+      std::fprintf(stderr, "FAIL: %s: output differs from solo reference\n",
+                   spec.name);
+      out.outputs_ok = false;
+    }
+  }
+  out.seconds = timer.ElapsedSeconds();
+  out.qps = out.seconds > 0 ? static_cast<double>(plans.size()) / out.seconds
+                            : 0.0;
+  out.artifact = cache.stats();
+  out.counters = svc.counters();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  const size_t fact_n = smoke ? 96 : (size_t{1} << 13);
+  const size_t dim_n = smoke ? 12 : (size_t{1} << 10);
+  const uint64_t keys = smoke ? 12 : (uint64_t{1} << 10);
+  const size_t queries = smoke ? 6 : 16;
+
+  // Q distinct plan objects over the *same* tables: same shape signature,
+  // same permutation content, so repeats exercise every cache layer.
+  const Table fact = FactTable("fact", fact_n, keys, 101);
+  const Table dim = DimTable("dim", dim_n, 202);
+  std::vector<PlanPtr> plans;
+  plans.reserve(queries);
+  for (size_t i = 0; i < queries; ++i) {
+    plans.push_back(core::Join(
+        core::Scan(fact), core::Scan(dim, core::OrderSpec::ByKey(true))));
+  }
+
+  // Solo reference under the same knobs (cache irrelevant to bytes).
+  std::vector<Record> expected;
+  {
+    obliv::ArtifactCache ref_cache;
+    Executor ex(BaseContext(&ref_cache));
+    expected = ex.Execute(plans.front()).table.rows();
+  }
+
+  const VariantSpec specs[] = {
+      {"sessions1_nocache", 1, false, false},
+      {"sessions1_cache", 1, true, false},
+      {"sessions2_cache", 2, true, false},
+      {"sessions4_cache", 4, true, false},
+      {"sessions4_batched", 4, true, true},
+  };
+
+  bool ok = true;
+  std::vector<VariantResult> results;
+  for (const VariantSpec& spec : specs) {
+    results.push_back(RunVariant(spec, plans, expected));
+    ok = ok && results.back().outputs_ok;
+  }
+
+  // Smoke bars: cache-on rows must actually hit, the cache-off row must
+  // not, and the same-shape repeats must land in the plan cache.
+  const VariantResult& nocache = results[0];
+  const VariantResult& cached = results[1];
+  if (nocache.artifact.hits != 0 || nocache.artifact.misses != 0) {
+    std::fprintf(stderr, "FAIL: cache-off variant touched the artifact "
+                         "cache\n");
+    ok = false;
+  }
+  if (cached.artifact.hits == 0) {
+    std::fprintf(stderr, "FAIL: cache-on variant recorded no artifact "
+                         "hits\n");
+    ok = false;
+  }
+  if (cached.counters.plan_cache_hits == 0) {
+    std::fprintf(stderr, "FAIL: cache-on variant recorded no plan-cache "
+                         "hits\n");
+    ok = false;
+  }
+
+  const uint64_t agg_hits = cached.artifact.hits;
+  const uint64_t agg_total = cached.artifact.hits + cached.artifact.misses;
+  const uint64_t plan_total =
+      cached.counters.plan_cache_hits + cached.counters.plan_cache_misses;
+  std::printf(
+      "{\n  \"bench\": \"service\",\n  \"threads\": %u,\n"
+      "  \"smoke\": %s,\n  \"queries\": %zu,\n"
+      "  \"fact_rows\": %zu,\n  \"dim_rows\": %zu,\n"
+      "  \"artifact_cache_hit_rate\": %.3f,\n"
+      "  \"plan_cache_hit_rate\": %.3f,\n  \"variants\": [\n",
+      ThreadPool::Global().worker_count(), smoke ? "true" : "false", queries,
+      fact_n, dim_n,
+      agg_total > 0 ? static_cast<double>(agg_hits) / agg_total : 0.0,
+      plan_total > 0
+          ? static_cast<double>(cached.counters.plan_cache_hits) / plan_total
+          : 0.0);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const VariantSpec& spec = specs[i];
+    const VariantResult& r = results[i];
+    std::printf(
+        "    {\"name\": \"%s\", \"sessions\": %u, \"session_workers\": %u, "
+        "\"plan_cache\": %s, \"batch_admit\": %s,\n"
+        "     \"seconds\": %.6f, \"queries_per_sec\": %.3f,\n"
+        "     \"artifact_hits\": %" PRIu64 ", \"artifact_misses\": %" PRIu64
+        ", \"plan_cache_hits\": %" PRIu64 ", \"plan_cache_misses\": %" PRIu64
+        ", \"coalesced\": %" PRIu64 ", \"batches\": %" PRIu64 "}%s\n",
+        spec.name, spec.sessions, r.session_workers,
+        spec.plan_cache ? "true" : "false",
+        spec.batch_admit ? "true" : "false", r.seconds, r.qps,
+        r.artifact.hits, r.artifact.misses, r.counters.plan_cache_hits,
+        r.counters.plan_cache_misses, r.counters.coalesced,
+        r.counters.batches, i + 1 == results.size() ? "" : ",");
+  }
+  std::printf("  ],\n  \"speedup_cache_over_nocache\": %.3f\n}\n",
+              cached.seconds > 0 ? nocache.seconds / cached.seconds : 0.0);
+
+  if (smoke) {
+    std::fprintf(stderr, ok ? "service smoke OK\n" : "service smoke FAILED\n");
+  }
+  return ok ? 0 : 1;
+}

@@ -10,11 +10,16 @@
 # partitioned pipelines, and with the plan optimizer pinned off
 # (OBLIVDB_OPTIMIZE=off) so the unrewritten plans stay byte-for-byte
 # healthy on their own — then run the small-n sort / distribute /
-# join-pipeline / shard / faults / optimizer benches and the query-plan
-# demo (plan-vs-direct cross-check).  A final ctest pass rebuilds under
-# ASan+UBSan (-DOBLIVDB_SANITIZE=address,undefined) and runs the whole
-# suite with fault injection live (OBLIVDB_FAULT_SPEC), so the recovery
-# unwind paths are exercised leak- and UB-checked.
+# join-pipeline / shard / faults / optimizer / service benches and the
+# query-plan demo (plan-vs-direct cross-check).  A sixth pass rebuilds
+# under ASan+UBSan (-DOBLIVDB_SANITIZE=address,undefined) and runs the
+# whole suite with fault injection live (OBLIVDB_FAULT_SPEC), so the
+# recovery unwind paths are exercised leak- and UB-checked.  A seventh
+# pass rebuilds under TSan (-DOBLIVDB_SANITIZE=thread) and runs the
+# suite with the query service at 4 concurrent sessions
+# (OBLIVDB_SERVICE_SESSIONS=4), so the service's shared state — the
+# admission queue, both cache layers, the exclusive-trace lock — is
+# exercised race-checked.
 #
 #   bench/smoke.sh [build-dir]      # default: build-smoke
 
@@ -68,6 +73,9 @@ cmake --build "$build_dir" --target bench_smoke
 # Optimizer cross-check: optimized-vs-unoptimized byte equality on both
 # scenarios, and the expected rewrites must actually fire.
 "$build_dir/bench_optimizer" --smoke >/dev/null
+# Query-service cross-check: byte equality vs a solo Executor across every
+# cache/batching/session-count variant, and the cache-on rows must hit.
+"$build_dir/bench_service" --smoke >/dev/null
 cmake --build "$build_dir" --target plan_smoke
 # Final pass: rebuild under ASan+UBSan and run the whole suite with a
 # low-rate transient-MAC fault stream live, so the retry and unwind
@@ -86,4 +94,19 @@ if [ -x "$san_dir/robustness_test" ]; then
     "$san_dir/robustness_test" --gtest_brief=1
 fi
 OBLIVDB_FAULT_SPEC="decrypt_mac:0.01" "$san_dir/bench_faults" --smoke >/dev/null
+# Seventh pass: rebuild under TSan and run the suite with the query
+# service at 4 concurrent sessions, so session workers, the admission
+# queue, the plan/artifact caches and the shared-exclusive trace lock all
+# run race-checked.  sort_kernel_test is excluded: its perf-bar assertion
+# (blocked >= 2x reference) compares wall times, which TSan's ~10x
+# instrumentation skew makes meaningless — every concurrency-bearing
+# suite still runs.
+tsan_dir="$build_dir-tsan"
+cmake -B "$tsan_dir" -S "$repo_root" -DOBLIVDB_SANITIZE=thread >/dev/null
+cmake --build "$tsan_dir" -j "$(nproc)"
+OBLIVDB_SERVICE_SESSIONS=4 OBLIVDB_THREADS=4 \
+  ctest --test-dir "$tsan_dir" --output-on-failure -j "$(nproc)" \
+  -E '^sort_kernel_test$'
+OBLIVDB_SERVICE_SESSIONS=4 OBLIVDB_THREADS=4 \
+  "$tsan_dir/bench_service" --smoke >/dev/null
 echo "smoke OK"

@@ -98,6 +98,9 @@ class StatusOr {
   T& operator*() { return value(); }
   const T& operator*() const { return value(); }
 
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
  private:
   Status status_;
   T value_{};

@@ -44,6 +44,7 @@
 #include "common/thread_pool.h"
 #include "core/stats.h"
 #include "memtrace/trace.h"
+#include "obliv/artifact_cache.h"
 #include "obliv/sort_kernel.h"
 
 namespace oblivdb::core {
@@ -204,6 +205,15 @@ struct ExecContext {
   // executor (core/shard.h) to derive the partition PRPs and the per-shard
   // seeds; reserved for the other probabilistic paths (encrypted arrays).
   uint64_t rng_seed = 0x0b11da7aba5e5eedULL;
+
+  // Artifact cache for query-independent expensive byproducts — Beneš
+  // switch plans today (obliv/artifact_cache.h).  The Executor installs it
+  // (ArtifactCacheScope) around each run and the sharded executor
+  // re-installs it on its worker threads; nullptr disables caching for
+  // runs under this context.  Defaults to the process-wide cache unless
+  // OBLIVDB_PLAN_CACHE says off.  A hit changes only wall time — planning
+  // is trace-silent — so this is a pure speed knob, like the SortPolicy.
+  obliv::ArtifactCache* artifact_cache = obliv::ArtifactCache::DefaultForProcess();
 
   ThreadPool& pool_or_global() const {
     return pool != nullptr ? *pool : ThreadPool::Global();

@@ -14,17 +14,23 @@
 
 namespace oblivdb::core {
 
-size_t EstimateRows(const PlanPtr& plan) {
+size_t EstimateRows(const PlanPtr& plan, const SizeFeedback* feedback) {
   OBLIVDB_CHECK(plan != nullptr);
+  if (feedback != nullptr && !feedback->empty()) {
+    const auto it = feedback->rows_by_signature.find(PlanShapeSignature(plan));
+    if (it != feedback->rows_by_signature.end()) {
+      return static_cast<size_t>(it->second);
+    }
+  }
   switch (plan->op) {
     case PlanOp::kScan:
       return plan->table.size();
     case PlanOp::kSelect:
     case PlanOp::kDistinct:
-      return EstimateRows(plan->inputs[0]);
+      return EstimateRows(plan->inputs[0], feedback);
     case PlanOp::kJoin: {
-      const size_t l = EstimateRows(plan->inputs[0]);
-      const size_t r = EstimateRows(plan->inputs[1]);
+      const size_t l = EstimateRows(plan->inputs[0], feedback);
+      const size_t r = EstimateRows(plan->inputs[1], feedback);
       const bool lu = ProducedOrder(plan->inputs[0]).key_unique;
       const bool ru = ProducedOrder(plan->inputs[1]).key_unique;
       if (lu && ru) return std::min(l, r);
@@ -38,17 +44,18 @@ size_t EstimateRows(const PlanPtr& plan) {
     }
     case PlanOp::kSemiJoin:
     case PlanOp::kAntiJoin:
-      return EstimateRows(plan->inputs[0]);
+      return EstimateRows(plan->inputs[0], feedback);
     case PlanOp::kAggregate:
-      return std::min(EstimateRows(plan->inputs[0]),
-                      EstimateRows(plan->inputs[1]));
+      return std::min(EstimateRows(plan->inputs[0], feedback),
+                      EstimateRows(plan->inputs[1], feedback));
     case PlanOp::kUnion:
-      return EstimateRows(plan->inputs[0]) + EstimateRows(plan->inputs[1]);
+      return EstimateRows(plan->inputs[0], feedback) +
+             EstimateRows(plan->inputs[1], feedback);
     case PlanOp::kMultiwayJoin: {
-      size_t acc = EstimateRows(plan->inputs[0]);
+      size_t acc = EstimateRows(plan->inputs[0], feedback);
       bool acc_unique = ProducedOrder(plan->inputs[0]).key_unique;
       for (size_t i = 1; i < plan->inputs.size(); ++i) {
-        const size_t r = EstimateRows(plan->inputs[i]);
+        const size_t r = EstimateRows(plan->inputs[i], feedback);
         const bool ru = ProducedOrder(plan->inputs[i]).key_unique;
         if (acc_unique && ru) acc = std::min(acc, r);
         else if (acc_unique) acc = r;
@@ -61,6 +68,10 @@ size_t EstimateRows(const PlanPtr& plan) {
   }
   OBLIVDB_CHECK(false);
   return 0;
+}
+
+size_t EstimateRows(const PlanPtr& plan) {
+  return EstimateRows(plan, nullptr);
 }
 
 namespace {
@@ -79,13 +90,13 @@ std::shared_ptr<PlanNode> CloneWith(const PlanNode& base,
   return node;
 }
 
-PlanPtr Rewrite(const PlanPtr& node);
+PlanPtr Rewrite(const PlanPtr& node, const SizeFeedback* fb);
 
 // R2: key-only select pushdown.  `sel` must be a key_only select; returns
 // its replacement (the child operator with the select pushed into every
 // input, each pushed copy recursively rewritten so it can keep sinking),
 // or `sel` unchanged when the child's operator does not commute.
-PlanPtr PushDownSelect(const PlanPtr& sel) {
+PlanPtr PushDownSelect(const PlanPtr& sel, const SizeFeedback* fb) {
   const PlanPtr& child = sel->inputs[0];
   switch (child->op) {
     case PlanOp::kJoin:
@@ -108,7 +119,7 @@ PlanPtr PushDownSelect(const PlanPtr& sel) {
         pushed->key_only = true;
         pushed->rewrites = 1;  // this node exists because a rule fired
         pushed->inputs.push_back(gc);
-        kids.push_back(Rewrite(PlanPtr(std::move(pushed))));
+        kids.push_back(Rewrite(PlanPtr(std::move(pushed)), fb));
       }
       return CloneWith(*child, std::move(kids), /*extra=*/1 + sel->rewrites);
     }
@@ -124,7 +135,7 @@ PlanPtr PushDownSelect(const PlanPtr& sel) {
       pushed->rewrites = 1;
       pushed->inputs.push_back(child->inputs[0]);
       std::vector<PlanPtr> kids;
-      kids.push_back(Rewrite(PlanPtr(std::move(pushed))));
+      kids.push_back(Rewrite(PlanPtr(std::move(pushed)), fb));
       return CloneWith(*child, std::move(kids), /*extra=*/1 + sel->rewrites);
     }
     case PlanOp::kScan:
@@ -161,7 +172,7 @@ PlanPtr SimplifyDistinct(PlanPtr cur) {
 // may permute only when all of them are key-unique, the condition under
 // which equal-key accumulator rows are bytewise identical regardless of
 // which middle produced them.
-PlanPtr ReorderMultiway(PlanPtr cur) {
+PlanPtr ReorderMultiway(PlanPtr cur, const SizeFeedback* fb) {
   if (cur->op != PlanOp::kMultiwayJoin || cur->inputs.size() < 4) return cur;
   const size_t n = cur->inputs.size();
   for (size_t i = 1; i + 1 < n; ++i) {
@@ -170,10 +181,11 @@ PlanPtr ReorderMultiway(PlanPtr cur) {
   std::vector<PlanPtr> middles(cur->inputs.begin() + 1,
                                cur->inputs.end() - 1);
   // Stable, so equal estimates keep the client's order — the choice stays
-  // a deterministic function of the (public) size vector.
+  // a deterministic function of the (public) size vector (and, when
+  // feedback is present, of the public revealed sizes it carries).
   std::stable_sort(middles.begin(), middles.end(),
-                   [](const PlanPtr& a, const PlanPtr& b) {
-                     return EstimateRows(a) < EstimateRows(b);
+                   [fb](const PlanPtr& a, const PlanPtr& b) {
+                     return EstimateRows(a, fb) < EstimateRows(b, fb);
                    });
   bool changed = false;
   for (size_t i = 0; i < middles.size(); ++i) {
@@ -188,21 +200,23 @@ PlanPtr ReorderMultiway(PlanPtr cur) {
   return CloneWith(*cur, std::move(kids), /*extra=*/1);
 }
 
-PlanPtr Rewrite(const PlanPtr& node) {
+PlanPtr Rewrite(const PlanPtr& node, const SizeFeedback* fb) {
   // Children first; share every unchanged subtree (pointer identity).
   bool changed = false;
   std::vector<PlanPtr> kids;
   kids.reserve(node->inputs.size());
   for (const PlanPtr& in : node->inputs) {
-    PlanPtr r = Rewrite(in);
+    PlanPtr r = Rewrite(in, fb);
     changed = changed || r != in;
     kids.push_back(std::move(r));
   }
   PlanPtr cur = changed ? PlanPtr(CloneWith(*node, std::move(kids), 0)) : node;
 
-  if (cur->op == PlanOp::kSelect && cur->key_only) cur = PushDownSelect(cur);
+  if (cur->op == PlanOp::kSelect && cur->key_only) {
+    cur = PushDownSelect(cur, fb);
+  }
   cur = SimplifyDistinct(cur);
-  cur = ReorderMultiway(cur);
+  cur = ReorderMultiway(cur, fb);
   return cur;
 }
 
@@ -280,14 +294,44 @@ void ExplainCostsInto(const PlanPtr& node, unsigned workers, size_t depth,
   }
 }
 
+// CollectSizeFeedback's walk: the Executor pushes node_stats in post-order
+// with exactly one entry per node (scan leaves included), so a post-order
+// walk consuming entries left to right lines each node up with its entry.
+void CollectFeedbackInto(const PlanPtr& node,
+                         const std::vector<PlanNodeStats>& node_stats,
+                         size_t& next, SizeFeedback& fb) {
+  for (const PlanPtr& in : node->inputs) {
+    CollectFeedbackInto(in, node_stats, next, fb);
+  }
+  OBLIVDB_CHECK(next < node_stats.size());
+  fb.rows_by_signature[PlanShapeSignature(node)] =
+      node_stats[next++].output_rows;
+}
+
 }  // namespace
 
 PlanPtr OptimizePlan(const PlanPtr& plan, const ExecContext& ctx) {
+  return OptimizePlan(plan, ctx, nullptr);
+}
+
+PlanPtr OptimizePlan(const PlanPtr& plan, const ExecContext& ctx,
+                     const SizeFeedback* feedback) {
   OBLIVDB_CHECK(plan != nullptr);
   (void)ctx;  // every current rule is shape/size-driven; the knobs the
               // executor applies afterwards (policy, shards) read the
               // rewritten shape through the same shared cost model.
-  return Rewrite(plan);
+  if (feedback != nullptr && feedback->empty()) feedback = nullptr;
+  return Rewrite(plan, feedback);
+}
+
+SizeFeedback CollectSizeFeedback(const PlanPtr& executed,
+                                 const std::vector<PlanNodeStats>& node_stats) {
+  OBLIVDB_CHECK(executed != nullptr);
+  SizeFeedback fb;
+  size_t next = 0;
+  CollectFeedbackInto(executed, node_stats, next, fb);
+  OBLIVDB_CHECK(next == node_stats.size());
+  return fb;
 }
 
 std::string ExplainPlanWithCosts(const PlanPtr& plan, unsigned workers) {

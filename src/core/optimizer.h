@@ -61,12 +61,35 @@
 #define OBLIVDB_CORE_OPTIMIZER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/exec_context.h"
 #include "core/plan.h"
 
 namespace oblivdb::core {
+
+// Revealed-size feedback from prior executions of the same plan shape:
+// maps a subtree's PlanShapeSignature (core/plan.h) to the output row
+// count a previous run of that shape revealed.  Revealed sizes are public
+// in the paper's model (§3.1), and the signature is built from public
+// metadata only, so feeding the map back into EstimateRows keeps every
+// rewrite decision a pure function of public state — outputs stay
+// byte-identical because the rewrite rules are output-preserving under
+// *any* estimates; feedback only changes which (equivalent) tree runs.
+// Distinct subtrees that share a signature (e.g. two same-shape selects
+// with different predicates) share a slot — last writer wins, which only
+// moves a ranking, never a result.  The service plan cache
+// (service/plan_cache.h) records one of these per shape and replays it on
+// later same-shape queries (the selectivity-feedback follow-on: a
+// select's revealed output size replaces the input-size upper bound).
+struct SizeFeedback {
+  std::unordered_map<std::string, uint64_t> rows_by_signature;
+
+  bool empty() const { return rows_by_signature.empty(); }
+};
 
 // Estimated output rows of a plan node: a pure function of the plan shape
 // and the (public) scan sizes.  Scans are exact; selects and distincts
@@ -76,6 +99,20 @@ namespace oblivdb::core {
 // left; aggregates by the smaller input (one row per matched group);
 // unions add; the multiway cascade folds the join rule left to right.
 size_t EstimateRows(const PlanPtr& plan);
+
+// Feedback-aware overload: a subtree whose signature appears in
+// `feedback` uses the prior run's revealed size verbatim; everything else
+// falls back to the structural estimate (recursing with the feedback, so
+// an annotated subtree sharpens its ancestors too).  feedback == nullptr
+// or empty degenerates to the overload above.
+size_t EstimateRows(const PlanPtr& plan, const SizeFeedback* feedback);
+
+// Harvests feedback from a finished run: walks `executed` (the Executor's
+// executed_plan()) against its post-order `node_stats` and records every
+// subtree's revealed output size under its signature.  node_stats must
+// come from an Executor that just ran this exact tree.
+SizeFeedback CollectSizeFeedback(const PlanPtr& executed,
+                                 const std::vector<PlanNodeStats>& node_stats);
 
 // The rewrite pass.  Applies R1-R3 bottom-up until none fires; every
 // decision reads only (shape, EstimateRows, ProducedOrder, ctx's public
@@ -89,6 +126,16 @@ size_t EstimateRows(const PlanPtr& plan);
 // PlanResult::join_rows / aggregate_rows may be populated differently —
 // equivalence comparisons must use PlanResult::table.
 PlanPtr OptimizePlan(const PlanPtr& plan, const ExecContext& ctx);
+
+// Feedback-aware overload: identical rules, but every EstimateRows the
+// pass consults is sharpened by `feedback` (so e.g. a multiway middle
+// whose select revealed 4 rows last run now ranks ahead of one that
+// revealed 400, where the structural upper bounds tied).  The rewritten
+// tree's output stays byte-identical to the original's — feedback picks
+// among equivalent trees, never changes what a tree computes.  nullptr
+// degenerates to the overload above.
+PlanPtr OptimizePlan(const PlanPtr& plan, const ExecContext& ctx,
+                     const SizeFeedback* feedback);
 
 // Pre-execution rendering of the tree with the optimizer's view of it:
 // each node annotated with its estimated output rows and its modeled cost

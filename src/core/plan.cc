@@ -183,6 +183,51 @@ std::string ExplainPlan(const PlanPtr& plan) {
 
 namespace {
 
+void SignatureInto(const PlanPtr& node, std::string& out) {
+  out += PlanOpName(node->op);
+  if (node->op == PlanOp::kScan) {
+    out += '#';
+    out += std::to_string(node->table.size());
+    const OrderSpec& o = node->scan_order;
+    if (!o.terms.empty() || o.key_unique) {
+      out += '@';
+      for (const OrderTerm& t : o.terms) {
+        switch (t.col) {
+          case OrderCol::kKey: out += 'k'; break;
+          case OrderCol::kPayload0: out += 'a'; break;
+          case OrderCol::kPayload1: out += 'b'; break;
+        }
+        if (!t.ascending) out += '-';
+      }
+      if (o.key_unique) out += '!';
+    }
+  }
+  if (node->op == PlanOp::kSelect && node->key_only) out += "?k";
+  if (node->shards != 0) {
+    out += "/s";
+    out += std::to_string(node->shards);
+  }
+  if (!node->inputs.empty()) {
+    out += '(';
+    for (size_t i = 0; i < node->inputs.size(); ++i) {
+      if (i != 0) out += ',';
+      SignatureInto(node->inputs[i], out);
+    }
+    out += ')';
+  }
+}
+
+}  // namespace
+
+std::string PlanShapeSignature(const PlanPtr& plan) {
+  OBLIVDB_CHECK(plan != nullptr);
+  std::string out;
+  SignatureInto(plan, out);
+  return out;
+}
+
+namespace {
+
 // Number of node_stats entries a subtree contributes: one per node, in the
 // post-order the Executor pushes them (each child's subtree, then self —
 // scan children count one leaf entry each).
@@ -237,6 +282,14 @@ void ExplainAnnotatedInto(const PlanPtr& node,
   if (s.stats.op_retries > 0) {
     out += " retries=" + std::to_string(s.stats.op_retries);
   }
+  // Artifact-cache lookups in the node's window (core/stats.h): every
+  // needed switch plan found cached renders `cache=hit`; any fresh
+  // planning renders `cache=miss`.  Lookup-free nodes render nothing.
+  if (s.stats.op_cache_hits > 0 && s.stats.op_cache_misses == 0) {
+    out += " cache=hit";
+  } else if (s.stats.op_cache_misses > 0) {
+    out += " cache=miss";
+  }
   out += "]\n";
   size_t child_base = base;
   for (const PlanPtr& in : node->inputs) {
@@ -259,6 +312,11 @@ std::string ExplainPlan(const PlanPtr& plan,
 PlanResult Executor::Execute(const PlanPtr& plan) {
   OBLIVDB_CHECK(plan != nullptr);
   node_stats_.clear();
+  // Install the context's artifact cache for the whole run (the sharded
+  // executor re-installs it on its worker threads).  A pure speed knob:
+  // cached switch plans are trace-silent, so hit vs. miss never moves the
+  // public access sequence.
+  obliv::ArtifactCacheScope cache_scope(ctx_.artifact_cache);
   // The rewrite pass reads only plan shape and public sizes, so running it
   // outside the trace scope is sound: the trace of the optimized run is the
   // trace of the rewritten tree, itself a pure function of public inputs.
@@ -325,6 +383,12 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
   if (node->inputs.size() >= 1) hints.left = child_order(0);
   if (node->inputs.size() >= 2) hints.right = child_order(1);
 
+  // Artifact-cache window for this node's own operator: the children above
+  // already recursed, so the delta below covers exactly this operator's
+  // driver-thread lookups (mirrors RecordFaultDelta's window idiom).
+  const obliv::ArtifactCacheCounters cache_before =
+      obliv::ThreadArtifactCacheCounters();
+
   Table out;
   switch (node->op) {
     case PlanOp::kScan:
@@ -388,8 +452,13 @@ Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
 
   entry.output_rows = out.size();
   // After the operator's ReportStats filled entry.stats: the rewrite count
-  // is plan-tree bookkeeping, not an operator counter.
+  // and the cache-window delta are plan-tree bookkeeping, not operator
+  // counters.
   entry.stats.op_rewrites = node->rewrites;
+  const obliv::ArtifactCacheCounters cache_after =
+      obliv::ThreadArtifactCacheCounters();
+  entry.stats.op_cache_hits = cache_after.hits - cache_before.hits;
+  entry.stats.op_cache_misses = cache_after.misses - cache_before.misses;
   node_stats_.push_back(std::move(entry));
   return out;
 }

@@ -19,6 +19,7 @@
 #include "core/comparators.h"
 #include "memtrace/oarray.h"
 #include "memtrace/trace.h"
+#include "obliv/artifact_cache.h"
 #include "obliv/ct.h"
 #include "obliv/distribute.h"
 #include "obliv/merge.h"
@@ -132,6 +133,10 @@ std::vector<double> RunShardJobs(
     threads.emplace_back([&, s] {
       std::optional<RecoveryScope> scope;
       if (recover) scope.emplace();
+      // Re-install the context's artifact cache: the Executor's scope is
+      // thread-local to the driver, and a shard pipeline's tag sorts
+      // should hit (or honour the disabling of) the same cache.
+      obliv::ArtifactCacheScope cache_scope(ctx.artifact_cache);
       try {
         Timer timer;
         job(s, ctx.ForShard(s, shard_pool[s]));

@@ -83,6 +83,19 @@ struct JoinStats {
   uint64_t op_degradations = 0;
   uint64_t op_retries = 0;
 
+  // Artifact-cache lookups (obliv/artifact_cache.h) this operator's window
+  // incurred: Beneš switch plans found cached vs. planned afresh.  Window
+  // deltas of the per-thread lookup counters, recorded by the plan
+  // Executor after the operator runs (like op_rewrites, this is plan-tree
+  // bookkeeping rather than an operator counter); lookups made on a
+  // sharded operator's concurrent worker threads accrue to those threads
+  // and are not folded in here.  A hit vs. a miss changes only wall time —
+  // planning is trace-silent — so the counters are telemetry, not part of
+  // the public trace.  Rendered by the annotated ExplainPlan as
+  // `cache=hit` / `cache=miss`.
+  uint64_t op_cache_hits = 0;
+  uint64_t op_cache_misses = 0;
+
   double augment_seconds = 0;
   double expand_seconds = 0;
   double align_seconds = 0;

@@ -1,0 +1,176 @@
+#include "obliv/artifact_cache.h"
+
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+namespace oblivdb::obliv {
+
+namespace {
+
+// 64-bit FNV-1a over the permutation words: cheap (one linear pass, local
+// memory only) and collision-tolerant — GetOrPlan verifies candidates
+// element-wise, so the hash only has to shard the index well.
+uint64_t HashPerm(const std::vector<uint32_t>& perm) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint32_t v : perm) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  // Fold in the length so a prefix-extension cannot alias its prefix.
+  h ^= perm.size();
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+size_t NetworkBytes(const std::vector<uint32_t>& perm,
+                    const BenesNetwork& net) {
+  const size_t bitmap_words = (net.network_size() + 63) / 64;
+  return perm.size() * sizeof(uint32_t) +
+         net.depth() * bitmap_words * sizeof(uint64_t);
+}
+
+thread_local ArtifactCacheCounters tls_counters;
+thread_local ArtifactCache* tls_cache = nullptr;
+thread_local bool tls_cache_installed = false;
+
+}  // namespace
+
+const ArtifactCacheCounters& ThreadArtifactCacheCounters() {
+  return tls_counters;
+}
+
+ArtifactCache& ArtifactCache::Global() {
+  static ArtifactCache cache;
+  return cache;
+}
+
+bool ArtifactCache::DefaultEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("OBLIVDB_PLAN_CACHE");
+    if (env == nullptr) return true;
+    const std::string_view v(env);
+    if (v == "off" || v == "0" || v == "false") return false;
+    return true;  // unrecognized values cannot abort a run
+  }();
+  return enabled;
+}
+
+ArtifactCache* ArtifactCache::DefaultForProcess() {
+  return DefaultEnabled() ? &Global() : nullptr;
+}
+
+std::shared_ptr<const BenesNetwork> ArtifactCache::LookupLocked(
+    uint64_t hash, const std::vector<uint32_t>& perm) {
+  auto [it, end] = index_.equal_range(hash);
+  for (; it != end; ++it) {
+    EntryList::iterator entry = it->second;
+    if (entry->perm == perm) {
+      // Move to MRU position; the index iterator stays valid (splice does
+      // not invalidate list iterators).
+      entries_.splice(entries_.begin(), entries_, entry);
+      return entry->net;
+    }
+  }
+  return nullptr;
+}
+
+void ArtifactCache::EvictToBudgetLocked() {
+  while (bytes_ > max_bytes_ && entries_.size() > 1) {
+    EntryList::iterator victim = std::prev(entries_.end());
+    auto [it, end] = index_.equal_range(victim->hash);
+    for (; it != end; ++it) {
+      if (it->second == victim) {
+        index_.erase(it);
+        break;
+      }
+    }
+    bytes_ -= victim->bytes;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+}
+
+std::shared_ptr<const BenesNetwork> ArtifactCache::GetOrPlan(
+    std::vector<uint32_t> perm, ThreadPool* pool) {
+  const uint64_t hash = HashPerm(perm);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::shared_ptr<const BenesNetwork> net = LookupLocked(hash, perm)) {
+      ++hits_;
+      ++tls_counters.hits;
+      return net;
+    }
+  }
+  // Miss: plan outside the lock so concurrent sessions planning different
+  // permutations overlap their (DRAM-latency-bound) cycle walks.  The
+  // network keeps no reference to `perm`, so the vector doubles as the
+  // stored key.
+  auto net = std::make_shared<const BenesNetwork>(perm, pool);
+  ++tls_counters.misses;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  // A racing session may have inserted the same permutation meanwhile:
+  // return the incumbent and drop ours, keeping the byte budget honest.
+  if (std::shared_ptr<const BenesNetwork> raced = LookupLocked(hash, perm)) {
+    return raced;
+  }
+  Entry entry;
+  entry.hash = hash;
+  entry.bytes = NetworkBytes(perm, *net);
+  entry.perm = std::move(perm);
+  entry.net = net;
+  bytes_ += entry.bytes;
+  entries_.push_front(std::move(entry));
+  index_.emplace(hash, entries_.begin());
+  ++insertions_;
+  EvictToBudgetLocked();
+  return net;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.calibration_hits = calibration_hits_.load(std::memory_order_relaxed);
+  s.calibration_misses = calibration_misses_.load(std::memory_order_relaxed);
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void ArtifactCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+ArtifactCacheScope::ArtifactCacheScope(ArtifactCache* cache)
+    : saved_cache_(tls_cache), saved_installed_(tls_cache_installed) {
+  tls_cache = cache;
+  tls_cache_installed = true;
+}
+
+ArtifactCacheScope::~ArtifactCacheScope() {
+  tls_cache = saved_cache_;
+  tls_cache_installed = saved_installed_;
+}
+
+ArtifactCache* CurrentArtifactCache() {
+  return tls_cache_installed ? tls_cache : ArtifactCache::DefaultForProcess();
+}
+
+std::shared_ptr<const BenesNetwork> PlanBenesNetwork(
+    std::vector<uint32_t> perm, ThreadPool* pool) {
+  ArtifactCache* cache = CurrentArtifactCache();
+  if (cache == nullptr) {
+    return std::make_shared<const BenesNetwork>(std::move(perm), pool);
+  }
+  return cache->GetOrPlan(std::move(perm), pool);
+}
+
+}  // namespace oblivdb::obliv

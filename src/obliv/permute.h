@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -395,6 +396,16 @@ void ObliviousPermute(memtrace::OArray<T>& a, std::vector<uint32_t> perm) {
   const BenesNetwork net(std::move(perm));
   ObliviousPermuteRange(a, 0, net);
 }
+
+// The artifact-cache seam (obliv/artifact_cache.h): returns the switch
+// plan for `perm` — from this thread's artifact cache when one is
+// installed and holds it, freshly planned otherwise.  Planning emits zero
+// public trace events either way, so a hit changes only wall time.  The
+// tag sort (obliv/tag_sort.h) constructs every pipeline network through
+// this seam; callers that need an uncached network keep using the
+// BenesNetwork constructor directly.  Defined in artifact_cache.cc.
+std::shared_ptr<const BenesNetwork> PlanBenesNetwork(
+    std::vector<uint32_t> perm, ThreadPool* pool = nullptr);
 
 }  // namespace oblivdb::obliv
 

@@ -16,12 +16,15 @@
 #include "obliv/sort_kernel.h"
 
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "common/bits.h"
 #include "common/timer.h"
 #include "memtrace/trace.h"
+#include "obliv/artifact_cache.h"
 #include "obliv/permute.h"
 
 namespace oblivdb::obliv {
@@ -152,13 +155,40 @@ internal::SortCostModel CalibrateSortCostModel(ThreadPool* pool_override) {
   return model;
 }
 
+internal::SortCostModel CalibrateSortCostModelShared(
+    ThreadPool* pool_override) {
+  ThreadPool& pool =
+      pool_override != nullptr ? *pool_override : ThreadPool::Global();
+  const unsigned workers = pool.worker_count();
+  // The store outlives every caller (leaked intentionally, like the global
+  // pools): calibration results are per-worker-count measurements, valid
+  // for the process lifetime.
+  static std::mutex mu;
+  static auto* store = new std::map<unsigned, internal::SortCostModel>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = store->find(workers);
+    if (it != store->end()) {
+      ArtifactCache::Global().RecordCalibration(/*hit=*/true);
+      return it->second;
+    }
+  }
+  // Probe outside the lock: two racing first-callers both measure (a few
+  // milliseconds each) and the first insert wins — cheaper than holding
+  // every other worker count's lookup hostage to a running probe.
+  const internal::SortCostModel model = CalibrateSortCostModel(&pool);
+  std::lock_guard<std::mutex> lock(mu);
+  ArtifactCache::Global().RecordCalibration(/*hit=*/false);
+  return store->emplace(workers, model).first->second;
+}
+
 namespace internal {
 
 const SortCostModel& CostModel() {
   static const SortCostModel model = [] {
     const char* env = std::getenv("OBLIVDB_CALIBRATE");
     if (env != nullptr && std::string_view(env) == "1") {
-      return CalibrateSortCostModel();
+      return CalibrateSortCostModelShared();
     }
     return SortCostModel{};
   }();

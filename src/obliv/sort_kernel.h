@@ -119,6 +119,17 @@ inline double PassSpeedup(size_t elem_bytes, unsigned workers) {
 // (benches, tests).
 internal::SortCostModel CalibrateSortCostModel(ThreadPool* pool = nullptr);
 
+// Memoizing wrapper: one calibration per pool worker count, shared
+// process-wide behind a mutex, so a service start pays the micro-probe
+// once and every session (and every later QueryService instance) reuses
+// the measurement.  The lock is taken only here — never on the sort hot
+// path, where CostModel() remains a function-local static.  Hit/miss
+// telemetry lands in the artifact cache's calibration counters
+// (obliv/artifact_cache.h, ArtifactCache::Global().stats()).  This is what
+// internal::CostModel() invokes under OBLIVDB_CALIBRATE=1.
+internal::SortCostModel CalibrateSortCostModelShared(ThreadPool* pool =
+                                                         nullptr);
+
 // Estimated per-element cost of running `policy` on n elements of
 // elem_bytes, with tags of tag_bytes (0 = comparator not TagProjectable)
 // and a `workers`-thread pool.  Exposed for the bench and tests; the

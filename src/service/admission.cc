@@ -1,0 +1,105 @@
+#include "service/admission.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace oblivdb::service {
+
+PendingQuery::PendingQuery(core::PlanPtr plan, std::string signature,
+                           uint64_t input_rows, SessionOptions options)
+    : plan_(std::move(plan)),
+      signature_(std::move(signature)),
+      input_rows_(input_rows),
+      options_(options) {
+  if (options_.deadline_seconds > 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(options_.deadline_seconds));
+  }
+}
+
+const StatusOr<QueryResponse>& PendingQuery::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return response_.has_value(); });
+  return *response_;
+}
+
+bool PendingQuery::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return response_.has_value();
+}
+
+void PendingQuery::Resolve(StatusOr<QueryResponse> response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OBLIVDB_CHECK(!response_.has_value());  // resolve-once contract
+    response_.emplace(std::move(response));
+  }
+  cv_.notify_all();
+}
+
+Status AdmissionQueue::TryEnqueue(std::shared_ptr<PendingQuery> query) {
+  OBLIVDB_CHECK(query != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status(StatusCode::kResourceExhausted,
+                    "admission queue closed: service shutting down");
+    }
+    if (queue_.size() >= limits_.queue_capacity) {
+      return Status(StatusCode::kResourceExhausted,
+                    "admission queue full: " +
+                        std::to_string(limits_.queue_capacity) +
+                        " queries already waiting");
+    }
+    queue_.push_back(std::move(query));
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+std::vector<std::shared_ptr<PendingQuery>> AdmissionQueue::PopBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return {};  // closed and drained
+
+  std::vector<std::shared_ptr<PendingQuery>> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const PendingQuery& head = *batch.front();
+  if (!limits_.batching || head.exclusive()) return batch;
+
+  // Later same-signature, non-exclusive entries join the head while the
+  // summed public input rows fit the capacity budget; skipped entries
+  // keep their FIFO positions.  Everything read here is public metadata.
+  uint64_t rows = head.input_rows();
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < limits_.max_batch;) {
+    const PendingQuery& cand = **it;
+    if (!cand.exclusive() && cand.signature() == head.signature() &&
+        rows + cand.input_rows() <= limits_.batch_capacity_rows) {
+      rows += cand.input_rows();
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace oblivdb::service

@@ -1,0 +1,190 @@
+// Admission control for the concurrent query service: a bounded FIFO of
+// pending queries with optional same-shape batch formation.
+//
+// The queue is the service's only shared front-door state.  Admission
+// decisions read exclusively *public* per-query metadata — the plan-shape
+// signature (core/plan.h PlanShapeSignature: operator schedule + public
+// sizes), the summed public input sizes, and the session's own knobs —
+// never row contents, so which queries batch together, and in what order,
+// is itself a function of public state (§3.1's composition argument
+// extends across queries).
+//
+// Batching model: the head of the queue always dispatches; when batching
+// is enabled, up to `max_batch - 1` *later* entries with the head's exact
+// signature join it, skipping over entries of other shapes (those keep
+// their FIFO positions), as long as the batch's summed public input rows
+// stay within `batch_capacity_rows` — the padded-capacity budget one
+// worker pass is allowed to absorb.  Same-shape queries admitted together
+// run back-to-back on one session worker with every shape-keyed artifact
+// already warm (Beneš switch plans, optimized-plan cache entries), which
+// is where the batch throughput win comes from; queries over the *same
+// plan object* additionally coalesce to a single execution
+// (service/query_service.h).  Queries that carry a trace sink are marked
+// exclusive and always form a batch of one — the memory-trace
+// instrumentation is process-global (memtrace/trace.h), so a traced run
+// owns the engine.
+//
+// Rejection is Status-typed, never silent: a full queue refuses with
+// kResourceExhausted at Submit time; a query whose deadline lapsed while
+// it waited is resolved kDeadlineExceeded by the worker that pops it.
+
+#ifndef OBLIVDB_SERVICE_ADMISSION_H_
+#define OBLIVDB_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "core/exec_context.h"
+#include "core/plan.h"
+#include "memtrace/trace.h"
+
+namespace oblivdb::service {
+
+// Per-query session configuration, supplied at Submit.  Everything here is
+// public (sinks, knobs, seeds) — the same trust story as ExecContext.
+struct SessionOptions {
+  // Per-query telemetry sink; reports arrive only from this query's own
+  // execution (never another session's — isolation is pinned by
+  // tests/service_test.cc).  A query with a stats or trace sink never
+  // coalesces onto another query's result: its telemetry must come from a
+  // real execution.
+  core::StatsSink* stats_sink = nullptr;
+
+  // Full public-memory trace of this query.  Setting it marks the query
+  // *exclusive*: it runs alone (no concurrent queries, batch of one), so
+  // the process-global trace instrumentation observes exactly what a solo
+  // Executor run would emit — byte-identical traces are the contract.
+  memtrace::TraceSink* trace_sink = nullptr;
+
+  // Cooperative cancellation for this query only.  Checked before
+  // execution starts (deterministic kCancelled for a pre-cancelled token)
+  // and polled at the pipeline's public checkpoints while running.
+  const CancelToken* cancel_token = nullptr;
+
+  // Wall-clock budget covering admission wait *plus* execution; <= 0 =
+  // none.  A query still queued when it expires resolves
+  // kDeadlineExceeded without executing.
+  double deadline_seconds = 0.0;
+
+  // Deterministic rng stream for this query: the service derives the
+  // query's seed as DeriveSeed(base.rng_seed, kSessionSeedStreamBase +
+  // rng_stream), so same (base seed, stream) -> same seed, whatever
+  // session slot or admission order the query lands on.
+  uint64_t rng_stream = 0;
+};
+
+// What a resolved query hands back: the Executor's outputs plus the
+// service-level provenance flags the benches and tests key on.
+struct QueryResponse {
+  core::PlanResult result;
+  std::vector<core::PlanNodeStats> node_stats;
+  core::PlanPtr executed_plan;
+  // The service plan cache served this shape (identity hit: the cached
+  // optimized tree ran; shape hit: the cached revealed-size feedback
+  // steered the rewrite).  False on a miss or with the cache disabled.
+  bool plan_cache_hit = false;
+  // This response was copied from a same-batch execution of the *same
+  // plan object* instead of running again (see QueryService coalescing
+  // rule).  result/node_stats/executed_plan are the executed query's.
+  bool coalesced = false;
+  // How many queries the admission batch that carried this one held.
+  uint32_t batch_size = 1;
+};
+
+// A submitted query: the service resolves it exactly once; callers block
+// in Wait().  Created only by QueryService::Submit (via the queue).
+class PendingQuery {
+ public:
+  PendingQuery(core::PlanPtr plan, std::string signature,
+               uint64_t input_rows, SessionOptions options);
+
+  // Blocks until the service resolves this query; repeat calls return the
+  // same result.
+  const StatusOr<QueryResponse>& Wait();
+
+  bool done() const;
+
+  const core::PlanPtr& plan() const { return plan_; }
+  const std::string& signature() const { return signature_; }
+  uint64_t input_rows() const { return input_rows_; }
+  const SessionOptions& options() const { return options_; }
+  // Trace-sink queries run alone; see SessionOptions::trace_sink.
+  bool exclusive() const { return options_.trace_sink != nullptr; }
+
+  // Absolute deadline, fixed at construction (= submission).  Unset when
+  // options.deadline_seconds <= 0.
+  const std::optional<std::chrono::steady_clock::time_point>& deadline()
+      const {
+    return deadline_;
+  }
+
+  // Resolves the query (exactly once) and wakes every waiter.
+  void Resolve(StatusOr<QueryResponse> response);
+
+ private:
+  const core::PlanPtr plan_;
+  const std::string signature_;
+  const uint64_t input_rows_;
+  const SessionOptions options_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<StatusOr<QueryResponse>> response_;
+};
+
+struct AdmissionLimits {
+  // Maximum queries waiting (not yet popped); TryEnqueue refuses beyond it.
+  size_t queue_capacity = 64;
+  // Form same-signature batches (off = strict FIFO, batches of one).
+  bool batching = true;
+  // Largest batch, head included.
+  size_t max_batch = 8;
+  // Cap on a batch's summed public input rows — the padded capacity one
+  // admission is allowed to absorb.
+  uint64_t batch_capacity_rows = uint64_t{1} << 20;
+};
+
+// The bounded queue + batch former.  Thread-safe; many producers
+// (Submit), many consumers (session workers).
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionLimits limits) : limits_(limits) {}
+
+  // kOk and owns a queue slot, or kResourceExhausted (full) /
+  // kResourceExhausted (closed).  Never blocks.
+  Status TryEnqueue(std::shared_ptr<PendingQuery> query);
+
+  // Blocks until at least one query is available, then returns the head
+  // plus any same-signature batch mates per the limits (exclusive head ->
+  // batch of one).  Returns an empty vector only when the queue is closed
+  // *and* drained — the consumer's shutdown signal.
+  std::vector<std::shared_ptr<PendingQuery>> PopBatch();
+
+  // Stops accepting; queued queries still drain through PopBatch.
+  void Close();
+
+  size_t size() const;
+
+ private:
+  const AdmissionLimits limits_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<PendingQuery>> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace oblivdb::service
+
+#endif  // OBLIVDB_SERVICE_ADMISSION_H_

@@ -1,0 +1,58 @@
+#include "service/plan_cache.h"
+
+#include "common/check.h"
+
+namespace oblivdb::service {
+
+std::shared_ptr<const PlanCache::Entry> PlanCache::Lookup(
+    const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(signature);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  ++hits_;
+  return it->second->entry;
+}
+
+void PlanCache::Insert(const std::string& signature,
+                       std::shared_ptr<const Entry> entry) {
+  OBLIVDB_CHECK(entry != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(signature);
+  if (it != index_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++insertions_;
+    return;
+  }
+  lru_.push_front(Slot{signature, std::move(entry)});
+  index_.emplace(signature, lru_.begin());
+  ++insertions_;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().signature);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace oblivdb::service

@@ -1,0 +1,106 @@
+// Shape-keyed plan cache for the query service: memoizes, per plan-shape
+// signature (core/plan.h PlanShapeSignature), the optimizer's output and
+// the revealed-size feedback a prior execution of that shape harvested.
+//
+// Two hit flavours, both pure speed-ups:
+//
+//   * identity hit — the submitted plan is the *same object* the entry was
+//     built from.  The cached optimized tree runs directly (optimize off),
+//     skipping the rewrite pass entirely.  Sound because plans are
+//     immutable and the optimizer is deterministic: re-running it on the
+//     same tree under the same public knobs reproduces the cached output.
+//   * shape hit — an equal signature from a *different* plan object.  The
+//     cached tree cannot run (its Scan leaves embed the first query's
+//     tables), but the cached SizeFeedback can steer this query's own
+//     OptimizePlan: revealed sizes are a function of shape + public input
+//     profile only (the §3.1 model), and equal signatures mean equal
+//     public profiles wherever the estimate actually binds a decision —
+//     so feeding them back sharpens the rewrite ranking.  The reused
+//     feedback never touches what any tree *computes* (the rewrite rules
+//     are output-preserving under arbitrary estimates), so outputs stay
+//     byte-identical to an uncached run.
+//
+// Obliviousness: keys and payloads are functions of public state (shape
+// strings, revealed sizes, rewritten shapes).  A hit changes which of two
+// *equivalent* trees executes and how much driver-local planning work
+// happens — both already public — never the data-dependence of any trace.
+//
+// Concurrency: a single mutex around the LRU map.  Lookups happen once
+// per query on the session worker (driver) thread, never inside an
+// operator's hot loop, so the lock is structurally off the oblivious
+// pipeline's critical path.
+
+#ifndef OBLIVDB_SERVICE_PLAN_CACHE_H_
+#define OBLIVDB_SERVICE_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/optimizer.h"
+#include "core/plan.h"
+
+namespace oblivdb::service {
+
+class PlanCache {
+ public:
+  struct Entry {
+    // The exact plan object the entry was harvested from (identity test).
+    core::PlanPtr original;
+    // OptimizePlan's output for `original` under the service's base knobs
+    // (== original when nothing rewrote, or when optimization was off).
+    core::PlanPtr optimized;
+    // Revealed per-subtree output sizes from the run (core/optimizer.h).
+    core::SizeFeedback feedback;
+  };
+
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // The entry for `signature`, bumped most-recently-used, or nullptr.
+  std::shared_ptr<const Entry> Lookup(const std::string& signature);
+
+  // Inserts (or replaces) the entry for `signature`, evicting LRU entries
+  // beyond capacity.
+  void Insert(const std::string& signature, std::shared_ptr<const Entry> entry);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  struct Slot {
+    std::string signature;
+    std::shared_ptr<const Entry> entry;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Slot> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace oblivdb::service
+
+#endif  // OBLIVDB_SERVICE_PLAN_CACHE_H_

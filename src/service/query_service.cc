@@ -1,0 +1,294 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+#include "core/optimizer.h"
+
+namespace oblivdb::service {
+
+namespace {
+
+// Summed public scan sizes — the batch former's capacity currency.
+uint64_t SumScanRows(const core::PlanPtr& plan) {
+  if (plan->op == core::PlanOp::kScan) return plan->table.size();
+  uint64_t total = 0;
+  for (const core::PlanPtr& in : plan->inputs) total += SumScanRows(in);
+  return total;
+}
+
+double RemainingSeconds(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  if (!deadline.has_value()) return 0.0;  // none
+  return std::chrono::duration<double>(*deadline -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+}  // namespace
+
+unsigned ServiceOptions::DefaultSessions() {
+  static const unsigned sessions = [] {
+    const char* env = std::getenv("OBLIVDB_SERVICE_SESSIONS");
+    if (env == nullptr) return 2u;
+    unsigned parsed = 0;
+    for (const char* p = env; *p != '\0'; ++p) {
+      if (*p < '0' || *p > '9') return 2u;  // unrecognized: default
+      parsed = parsed * 10 + static_cast<unsigned>(*p - '0');
+      if (parsed > 256) return 256u;
+    }
+    return parsed == 0 ? 2u : parsed;
+  }();
+  return sessions;
+}
+
+bool ServiceOptions::DefaultBatchAdmit() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("OBLIVDB_BATCH_ADMIT");
+    if (env == nullptr) return true;
+    const std::string_view v(env);
+    if (v == "off" || v == "0" || v == "false") return false;
+    return true;  // unrecognized values cannot abort a run
+  }();
+  return enabled;
+}
+
+QueryService::QueryService(core::ExecContext base, ServiceOptions options)
+    : base_(base),
+      options_(options),
+      queue_(AdmissionLimits{options.queue_capacity, options.batch_admit,
+                             options.max_batch, options.batch_capacity_rows}),
+      plan_cache_(options.plan_cache_capacity) {
+  // The base context contributes only the public engine knobs; per-query
+  // channels are supplied per submission.
+  base_.stats = nullptr;
+  base_.stats_sink = nullptr;
+  base_.trace_sink = nullptr;
+  base_.cancel_token = nullptr;
+  base_.checkpoint_sink = nullptr;
+  base_.deadline_seconds = 0.0;
+  if (!options_.plan_cache) base_.artifact_cache = nullptr;
+
+  const unsigned sessions = std::max(1u, options_.sessions);
+  const unsigned base_workers = base_.pool_or_global().worker_count();
+  session_workers_ = std::max(1u, base_workers / sessions);
+
+  slot_pools_.reserve(sessions);
+  slots_.reserve(sessions);
+  for (unsigned i = 0; i < sessions; ++i) {
+    slot_pools_.push_back(std::make_unique<ThreadPool>(session_workers_));
+  }
+  for (unsigned i = 0; i < sessions; ++i) {
+    slots_.emplace_back([this, i] { SessionLoop(i); });
+  }
+}
+
+QueryService::~QueryService() { Close(); }
+
+void QueryService::Close() {
+  {
+    std::lock_guard<std::mutex> lock(close_mu_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  queue_.Close();
+  for (std::thread& t : slots_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+core::ExecContext QueryService::MakeSessionContext(
+    const SessionOptions& options) const {
+  core::ExecContext ctx = base_;
+  ctx.pool = slot_pools_.empty() ? nullptr : slot_pools_.front().get();
+  ctx.stats_sink = options.stats_sink;
+  ctx.trace_sink = options.trace_sink;
+  ctx.cancel_token = options.cancel_token;
+  ctx.deadline_seconds = options.deadline_seconds;
+  ctx.rng_seed = core::ExecContext::DeriveSeed(
+      base_.rng_seed, kSessionSeedStreamBase + options.rng_stream);
+  return ctx;
+}
+
+StatusOr<std::shared_ptr<PendingQuery>> QueryService::Submit(
+    core::PlanPtr plan, SessionOptions options) {
+  if (plan == nullptr) {
+    return Status(StatusCode::kInvalidArgument, "Submit: plan must not be null");
+  }
+  auto query = std::make_shared<PendingQuery>(
+      plan, core::PlanShapeSignature(plan), SumScanRows(plan), options);
+  const Status admitted = queue_.TryEnqueue(query);
+  if (!admitted.ok()) {
+    rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    return admitted;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return query;
+}
+
+StatusOr<QueryResponse> QueryService::Run(core::PlanPtr plan,
+                                          SessionOptions options) {
+  StatusOr<std::shared_ptr<PendingQuery>> submitted =
+      Submit(std::move(plan), options);
+  if (!submitted.ok()) return submitted.status();
+  return (*submitted)->Wait();
+}
+
+void QueryService::SessionLoop(unsigned slot) {
+  ThreadPool* slot_pool = slot_pools_[slot].get();
+  while (true) {
+    std::vector<std::shared_ptr<PendingQuery>> batch = queue_.PopBatch();
+    if (batch.empty()) return;  // closed and drained
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    if (batch.size() >= 2) {
+      batched_queries_.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+
+    // Exclusive (traced) batches own the engine; untraced batches share it.
+    // PopBatch guarantees exclusive queries arrive as batches of one.
+    std::unique_lock<std::shared_mutex> exclusive_lock;
+    std::shared_lock<std::shared_mutex> shared_lock;
+    if (batch.front()->exclusive()) {
+      exclusive_lock = std::unique_lock<std::shared_mutex>(exec_mu_);
+    } else {
+      shared_lock = std::shared_lock<std::shared_mutex>(exec_mu_);
+    }
+
+    // Same-plan-object members coalesce onto the first execution's
+    // response (deterministic pipeline + identical inputs => identical
+    // outputs); members with private sinks always execute for real.
+    std::vector<std::pair<const core::PlanNode*, QueryResponse>> executed;
+    const uint32_t batch_size = static_cast<uint32_t>(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      PendingQuery& q = *batch[i];
+      const SessionOptions& opts = q.options();
+
+      if (opts.cancel_token != nullptr && opts.cancel_token->cancelled()) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        q.Resolve(Status(StatusCode::kCancelled,
+                         "query cancelled before execution"));
+        continue;
+      }
+      if (q.deadline().has_value() && RemainingSeconds(q.deadline()) <= 0) {
+        rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        q.Resolve(Status(StatusCode::kDeadlineExceeded,
+                         "deadline expired before admission"));
+        continue;
+      }
+
+      if (opts.stats_sink == nullptr && opts.trace_sink == nullptr) {
+        const auto it = std::find_if(
+            executed.begin(), executed.end(),
+            [&](const auto& e) { return e.first == q.plan().get(); });
+        if (it != executed.end()) {
+          QueryResponse copy = it->second;
+          copy.coalesced = true;
+          coalesced_.fetch_add(1, std::memory_order_relaxed);
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          q.Resolve(std::move(copy));
+          continue;
+        }
+      }
+
+      StatusOr<QueryResponse> response = ExecuteQuery(q, slot_pool, batch_size);
+      if (response.ok()) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (i + 1 < batch.size()) {
+          executed.emplace_back(q.plan().get(), *response);  // keep a copy
+        }
+      } else {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      q.Resolve(std::move(response));
+    }
+  }
+}
+
+StatusOr<QueryResponse> QueryService::ExecuteQuery(const PendingQuery& query,
+                                                   ThreadPool* slot_pool,
+                                                   uint32_t batch_size) {
+  core::ExecContext ctx = MakeSessionContext(query.options());
+  ctx.pool = slot_pool;
+  if (query.deadline().has_value()) {
+    const double remaining = RemainingSeconds(query.deadline());
+    if (remaining <= 0) {
+      return Status(StatusCode::kDeadlineExceeded,
+                    "deadline expired before admission");
+    }
+    ctx.deadline_seconds = remaining;
+  }
+
+  // The plan cache engages only when both the service cache switch and the
+  // base optimize knob are on: with the rewrite pass off there is nothing
+  // to memoize (the submitted tree runs as-is) and feedback has no
+  // consumer, so OBLIVDB_OPTIMIZE=off keeps its exact solo semantics.
+  const bool cache_enabled = options_.plan_cache && base_.optimize;
+  bool cache_hit = false;
+  std::shared_ptr<const PlanCache::Entry> entry;
+  core::PlanPtr to_run = query.plan();
+  if (cache_enabled) {
+    entry = plan_cache_.Lookup(query.signature());
+    if (entry != nullptr) {
+      cache_hit = true;
+      plan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (entry->original == query.plan()) {
+        // Identity hit: the cached rewrite of this exact tree runs
+        // directly — the whole optimizer pass is skipped.
+        to_run = entry->optimized;
+      } else {
+        // Shape hit: the cached tree embeds another query's tables, so
+        // only the revealed-size feedback transfers — it steers this
+        // query's own rewrite (equivalent output, sharper ranking).
+        to_run = core::OptimizePlan(query.plan(), ctx, &entry->feedback);
+      }
+      ctx.optimize = false;  // already optimized (or deliberately as-is)
+    } else {
+      plan_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  core::Executor executor(ctx);
+  StatusOr<core::PlanResult> result = executor.TryRun(to_run);
+  if (!result.ok()) return result.status();
+
+  if (cache_enabled && entry == nullptr) {
+    auto fresh = std::make_shared<PlanCache::Entry>();
+    fresh->original = query.plan();
+    fresh->optimized = executor.executed_plan();
+    fresh->feedback =
+        core::CollectSizeFeedback(executor.executed_plan(),
+                                  executor.node_stats());
+    plan_cache_.Insert(query.signature(), std::move(fresh));
+  }
+
+  QueryResponse response;
+  response.result = std::move(*result);
+  response.node_stats = executor.node_stats();
+  response.executed_plan = executor.executed_plan();
+  response.plan_cache_hit = cache_hit;
+  response.coalesced = false;
+  response.batch_size = batch_size;
+  return response;
+}
+
+QueryService::Counters QueryService::counters() const {
+  Counters c;
+  c.submitted = submitted_.load(std::memory_order_relaxed);
+  c.completed = completed_.load(std::memory_order_relaxed);
+  c.failed = failed_.load(std::memory_order_relaxed);
+  c.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  c.rejected_deadline = rejected_deadline_.load(std::memory_order_relaxed);
+  c.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
+  c.plan_cache_misses = plan_cache_misses_.load(std::memory_order_relaxed);
+  c.coalesced = coalesced_.load(std::memory_order_relaxed);
+  c.batches = batches_.load(std::memory_order_relaxed);
+  c.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace oblivdb::service

@@ -1,0 +1,185 @@
+// QueryService: N concurrent query sessions multiplexed over the engine.
+//
+// The paper's engine executes one query at a time; a realistic deployment
+// serves many clients.  The service owns a pool of session workers, each
+// with a private worker-thread budget carved out of the global pool (the
+// ForShard discipline of core/shard.h, lifted one level: workers / N
+// threads per session), and pushes every submitted query through a
+// bounded admission queue (service/admission.h).  Three layers make the
+// multiplexing both *safe* and *fast*:
+//
+//   1. Session isolation.  Each query runs under a private ExecContext
+//      clone of the service's base: its own stats/trace sinks, its own
+//      CancelToken and deadline, a deterministically derived rng seed
+//      (DeriveSeed(base_seed, kSessionSeedStreamBase + rng_stream) — a
+//      stream namespace disjoint from the sharded executor's), and a
+//      session-slot ThreadPool whose size is independent of which slot
+//      runs the query (all slots have equal budgets, so policy resolution
+//      and traces cannot depend on placement).  A query's output — and,
+//      for traced queries, its public-memory trace — is byte-identical to
+//      a solo Executor run under MakeSessionContext(options)
+//      (tests/service_test.cc pins it).
+//
+//   2. Shape-keyed caching.  Two caches, both keyed on public state only:
+//      the process/context ArtifactCache (obliv/artifact_cache.h) reuses
+//      Beneš switch plans and calibration probes across queries, and the
+//      service PlanCache (service/plan_cache.h) reuses optimized plans
+//      (identity hits) and revealed-size feedback (shape hits).  Hits
+//      change wall time, never a trace or an output.
+//
+//   3. Batched admission.  Same-signature queries admit as one batch and
+//      run back-to-back on one session with every shape-keyed artifact
+//      warm; queries over the *same plan object* (and no private sinks)
+//      coalesce to a single execution whose response is copied out —
+//      legal precisely because equal plan pointers mean equal inputs and
+//      the pipeline is deterministic.  Batching is shape-gated, so the
+//      admission schedule is a function of public signatures and sizes.
+//
+// Traced queries are exclusive: the trace instrumentation is
+// process-global (memtrace/trace.h — one sink pointer, one array-id
+// counter touched by every OArray), so a query with a trace_sink takes
+// the service's execution lock uniquely and runs alone, giving it the
+// exact global state a solo run sees.  Untraced queries share the lock
+// and run genuinely concurrently.
+//
+// Knobs: OBLIVDB_SERVICE_SESSIONS (worker count, default 2),
+// OBLIVDB_PLAN_CACHE (off = disable both cache layers' defaults),
+// OBLIVDB_BATCH_ADMIT (off = strict FIFO).  All public configuration.
+
+#ifndef OBLIVDB_SERVICE_QUERY_SERVICE_H_
+#define OBLIVDB_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/exec_context.h"
+#include "core/plan.h"
+#include "service/admission.h"
+#include "service/plan_cache.h"
+
+namespace oblivdb::service {
+
+struct ServiceOptions {
+  // Concurrent session workers: OBLIVDB_SERVICE_SESSIONS when set to a
+  // positive integer, else 2.
+  static unsigned DefaultSessions();
+  // Batched admission default: OBLIVDB_BATCH_ADMIT off/0/false disables,
+  // anything else (including unset) enables.
+  static bool DefaultBatchAdmit();
+
+  unsigned sessions = DefaultSessions();
+  size_t queue_capacity = 64;
+  // Master switch for both cache layers: when false the service's queries
+  // run with artifact_cache = nullptr and the PlanCache is bypassed.
+  // Defaults to the OBLIVDB_PLAN_CACHE-driven process default.
+  bool plan_cache = obliv::ArtifactCache::DefaultEnabled();
+  size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+  bool batch_admit = DefaultBatchAdmit();
+  size_t max_batch = 8;
+  uint64_t batch_capacity_rows = uint64_t{1} << 20;
+};
+
+class QueryService {
+ public:
+  // `base` supplies the public execution knobs every session inherits
+  // (sort policy, elision, optimize, shards, rng root, artifact cache);
+  // its per-query fields (stats, sinks, token, pool) are ignored — those
+  // come from each query's SessionOptions.
+  explicit QueryService(core::ExecContext base, ServiceOptions options = {});
+  ~QueryService();  // Close(): drains queued queries, joins every session
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Enqueues a query.  Immediate kResourceExhausted when the admission
+  // queue is full (or the service is closed) — the caller's backpressure
+  // signal; otherwise the PendingQuery resolves exactly once with the
+  // response or with kCancelled / kDeadlineExceeded / any Status the
+  // fallible execution surfaces.
+  StatusOr<std::shared_ptr<PendingQuery>> Submit(core::PlanPtr plan,
+                                                 SessionOptions options = {});
+
+  // Submit + Wait.
+  StatusOr<QueryResponse> Run(core::PlanPtr plan, SessionOptions options = {});
+
+  // The ExecContext a query submitted with `options` executes under,
+  // modulo the session-slot pool (all slots have the worker budget this
+  // returns, so the published context is execution-equivalent).  Solo
+  // reference runs for the byte-identity tests use exactly this.
+  core::ExecContext MakeSessionContext(const SessionOptions& options) const;
+
+  // Per-session worker-thread budget: max(1, base workers / sessions).
+  unsigned session_workers() const { return session_workers_; }
+  unsigned sessions() const { return static_cast<unsigned>(slots_.size()); }
+
+  // Stops admission and blocks until queued queries resolve and every
+  // session worker exits.  Idempotent.
+  void Close();
+
+  struct Counters {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;          // resolved with an ok response
+    uint64_t failed = 0;             // resolved with a non-ok Status
+    uint64_t rejected_queue_full = 0;
+    uint64_t rejected_deadline = 0;  // expired while waiting for admission
+    uint64_t plan_cache_hits = 0;
+    uint64_t plan_cache_misses = 0;
+    uint64_t coalesced = 0;
+    uint64_t batches = 0;
+    uint64_t batched_queries = 0;  // queries admitted in batches of >= 2
+  };
+  Counters counters() const;
+
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
+  // Session rng streams live at kSessionSeedStreamBase + rng_stream —
+  // far above the sharded executor's reserved band ([0,
+  // kShardSeedStreamBase + kMaxShards)), so a session seed can never
+  // collide with a shard seed derived from the same root.
+  static constexpr uint64_t kSessionSeedStreamBase = 4096;
+
+ private:
+  void SessionLoop(unsigned slot);
+  StatusOr<QueryResponse> ExecuteQuery(const PendingQuery& query,
+                                       ThreadPool* slot_pool,
+                                       uint32_t batch_size);
+
+  core::ExecContext base_;
+  ServiceOptions options_;
+  unsigned session_workers_ = 1;
+  AdmissionQueue queue_;
+  PlanCache plan_cache_;
+
+  // Traced (exclusive) queries hold this uniquely; untraced queries hold
+  // it shared — the guard that keeps the process-global trace state
+  // single-writer while letting untraced work overlap.
+  std::shared_mutex exec_mu_;
+
+  std::vector<std::unique_ptr<ThreadPool>> slot_pools_;
+  std::vector<std::thread> slots_;
+  bool closed_ = false;
+  std::mutex close_mu_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_deadline_{0};
+  std::atomic<uint64_t> plan_cache_hits_{0};
+  std::atomic<uint64_t> plan_cache_misses_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_queries_{0};
+};
+
+}  // namespace oblivdb::service
+
+#endif  // OBLIVDB_SERVICE_QUERY_SERVICE_H_

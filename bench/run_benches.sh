@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Runs the sort-kernel, distribute, end-to-end join-pipeline,
-# sharded-join, fault-resilience, plan-optimizer and query-service
-# benchmarks and records the perf trajectory in BENCH_sort.json /
-# BENCH_distribute.json / BENCH_join.json / BENCH_shard.json /
-# BENCH_faults.json / BENCH_optimizer.json / BENCH_service.json so
-# future PRs have numbers to regress against.
+# sharded-join, fault-resilience, plan-optimizer, query-service and
+# service-chaos benchmarks and records the perf trajectory in
+# BENCH_sort.json / BENCH_distribute.json / BENCH_join.json /
+# BENCH_shard.json / BENCH_faults.json / BENCH_optimizer.json /
+# BENCH_service.json / BENCH_chaos.json so future PRs have numbers to
+# regress against.
 #
 #   bench/run_benches.sh [sort_output.json] [distribute_output.json] \
 #                        [join_output.json] [shard_output.json] \
 #                        [faults_output.json] [optimizer_output.json] \
-#                        [service_output.json]
+#                        [service_output.json] [chaos_output.json]
 #
 # Environment:
 #   BUILD_DIR        cmake build directory (default: build)
@@ -28,11 +29,13 @@ shard_out="${4:-$repo_root/BENCH_shard.json}"
 faults_out="${5:-$repo_root/BENCH_faults.json}"
 opt_out="${6:-$repo_root/BENCH_optimizer.json}"
 service_out="${7:-$repo_root/BENCH_service.json}"
+chaos_out="${8:-$repo_root/BENCH_chaos.json}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" \
   --target bench_sort_kernel bench_distribute bench_join_pipeline \
-  bench_shard bench_faults bench_optimizer bench_service -j >/dev/null
+  bench_shard bench_faults bench_optimizer bench_service bench_chaos \
+  -j >/dev/null
 
 "$build_dir/bench_sort_kernel" >"$sort_out"
 echo "wrote $sort_out"
@@ -48,3 +51,5 @@ echo "wrote $faults_out"
 echo "wrote $opt_out"
 "$build_dir/bench_service" >"$service_out"
 echo "wrote $service_out"
+"$build_dir/bench_chaos" >"$chaos_out"
+echo "wrote $chaos_out"

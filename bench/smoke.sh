@@ -19,7 +19,11 @@
 # suite with the query service at 4 concurrent sessions
 # (OBLIVDB_SERVICE_SESSIONS=4), so the service's shared state — the
 # admission queue, both cache layers, the exclusive-trace lock — is
-# exercised race-checked.
+# exercised race-checked.  An eighth pass runs the whole suite plus the
+# chaos harness with the resilience fault set live (worker crashes + the
+# transient environmental faults) at 4 sessions, so crash containment,
+# transparent retry and the circuit breaker absorb a real fault stream
+# while every byte-identity assertion stays green.
 #
 #   bench/smoke.sh [build-dir]      # default: build-smoke
 
@@ -109,4 +113,21 @@ OBLIVDB_SERVICE_SESSIONS=4 OBLIVDB_THREADS=4 \
   -E '^sort_kernel_test$'
 OBLIVDB_SERVICE_SESSIONS=4 OBLIVDB_THREADS=4 \
   "$tsan_dir/bench_service" --smoke >/dev/null
+# Eighth pass: chaos.  The whole suite runs with worker crashes and the
+# transient environmental faults live at 4 concurrent sessions — crash
+# containment requeues/respawns, transparent retry rescues transients, and
+# every byte-identity assertion must still hold.  (`alloc` stays out of
+# env specs: an OArray constructor firing outside a recovery scope is a
+# correct abort, not a test signal; `epc_evict` stays out too — its
+# shard-halving degradation moves the exact shard counts shard_test pins.)
+# bench_chaos then replays its seeded fault schedules — worker crashes,
+# EPC evictions, spawn refusals and alloc transients included — and
+# asserts loss-free fault-free goodput, byte-identical OK responses, and
+# trace-identical exclusive probes.
+OBLIVDB_FAULT_SPEC="worker_crash:0.02;pool_spawn:0.02" \
+OBLIVDB_SERVICE_SESSIONS=4 OBLIVDB_THREADS=4 \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+OBLIVDB_FAULT_SPEC="worker_crash:0.05;epc_evict:0.02;pool_spawn:0.02" \
+OBLIVDB_SERVICE_SESSIONS=4 \
+  "$build_dir/bench_chaos" --smoke >/dev/null
 echo "smoke OK"

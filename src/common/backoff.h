@@ -1,0 +1,67 @@
+// Deterministic retry backoff with seeded jitter.
+//
+// The service's retry loop (service/retry.h) sleeps between attempts to
+// avoid hammering a faulted resource, and load-shedding rejections carry a
+// retry_after_ms hint so clients back off honestly.  Both delays come from
+// here, and both are *pure functions* — no wall-clock randomness, no global
+// rng: the delay for attempt k under seed s is
+//
+//     jitter(MixSeed(s, k)) * min(max_ms, base_ms * multiplier^(k-1))
+//
+// where jitter scales the exponential step into [1 - jitter_frac, 1].  Same
+// seed + same attempt index ⇒ the same delay, run after run, which is what
+// lets the chaos harness (bench/bench_chaos.cc) replay a fault schedule and
+// get the identical retry timeline.  Sleeping is the caller's business;
+// nothing here touches a clock.
+
+#ifndef OBLIVDB_COMMON_BACKOFF_H_
+#define OBLIVDB_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/bits.h"
+
+namespace oblivdb {
+
+struct BackoffPolicy {
+  // First retry's pre-jitter delay; 0 disables sleeping entirely (tests and
+  // the chaos smoke run with 0 so retries are instant but still counted).
+  uint64_t base_ms = 1;
+  // Exponential growth factor per further attempt (>= 1).
+  uint64_t multiplier = 2;
+  // Ceiling on the pre-jitter delay.
+  uint64_t max_ms = 100;
+  // Fraction of the step the jitter may remove, in [0, 1): delay lands in
+  // [(1 - jitter_frac) * step, step].  Deterministic per (seed, attempt).
+  double jitter_frac = 0.5;
+};
+
+// Delay before retry attempt `attempt` (1-based: the first *re*-execution
+// is attempt 1).  Pure function of (policy, attempt, seed).
+inline uint64_t BackoffDelayMs(const BackoffPolicy& policy, uint32_t attempt,
+                               uint64_t seed) {
+  if (policy.base_ms == 0 || attempt == 0) return 0;
+  uint64_t step = policy.base_ms;
+  for (uint32_t i = 1; i < attempt; ++i) {
+    if (step >= policy.max_ms / (policy.multiplier > 0 ? policy.multiplier : 1)) {
+      step = policy.max_ms;
+      break;
+    }
+    step *= policy.multiplier > 0 ? policy.multiplier : 1;
+  }
+  if (step > policy.max_ms) step = policy.max_ms;
+  double frac = policy.jitter_frac;
+  if (frac < 0.0) frac = 0.0;
+  if (frac >= 1.0) frac = 0.999;
+  // 53-bit uniform in [0,1) from the shared per-stream mixer — the same
+  // derivation discipline as FaultInjector::ShouldFire.
+  const uint64_t h = MixSeed(seed, attempt);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double scaled = static_cast<double>(step) * (1.0 - frac * u);
+  const uint64_t delay = static_cast<uint64_t>(scaled);
+  return delay == 0 ? 1 : delay;
+}
+
+}  // namespace oblivdb
+
+#endif  // OBLIVDB_COMMON_BACKOFF_H_

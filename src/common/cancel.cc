@@ -4,11 +4,16 @@
 
 namespace oblivdb {
 
-CancelScope::CancelScope(const CancelToken* token, double deadline_seconds,
-                         CheckpointSink* sink) {
+CancelScope::CancelScope(const CancelToken* token,
+                         const CancelToken* secondary_token,
+                         double deadline_seconds, CheckpointSink* sink) {
   const bool has_deadline = deadline_seconds > 0;
-  if (token == nullptr && !has_deadline && sink == nullptr) return;
+  if (token == nullptr && secondary_token == nullptr && !has_deadline &&
+      sink == nullptr) {
+    return;
+  }
   state_.token = token;
+  state_.secondary_token = secondary_token;
   state_.has_deadline = has_deadline;
   if (has_deadline) {
     state_.deadline =

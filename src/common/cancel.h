@@ -63,6 +63,11 @@ namespace internal {
 
 struct CancelState {
   const CancelToken* token = nullptr;
+  // Second observed token: the query service's drain/shutdown token rides
+  // here alongside the caller's own (either firing cancels; both are
+  // polled at the same public checkpoints, so the two-token form changes
+  // nothing about where a run may stop).
+  const CancelToken* secondary_token = nullptr;
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
   CheckpointSink* sink = nullptr;
@@ -90,7 +95,13 @@ inline CancelState*& ActiveCancelState() {
 class CancelScope {
  public:
   CancelScope(const CancelToken* token, double deadline_seconds,
-              CheckpointSink* sink);
+              CheckpointSink* sink)
+      : CancelScope(token, nullptr, deadline_seconds, sink) {}
+  // Two-token form: `secondary_token` is the service-owned drain token
+  // (core/exec_context.h secondary_cancel_token); either token firing
+  // cancels the run.
+  CancelScope(const CancelToken* token, const CancelToken* secondary_token,
+              double deadline_seconds, CheckpointSink* sink);
   ~CancelScope();
 
   CancelScope(const CancelScope&) = delete;
@@ -135,7 +146,8 @@ inline void Checkpoint(const char* phase) {
   if (s == nullptr) return;
   ++s->seq;
   if (s->sink != nullptr) s->sink->OnCheckpoint(phase, s->seq);
-  if (s->token != nullptr && s->token->cancelled()) {
+  if ((s->token != nullptr && s->token->cancelled()) ||
+      (s->secondary_token != nullptr && s->secondary_token->cancelled())) {
     internal::CheckpointFailed(phase, /*deadline_hit=*/false);
   }
   if (s->has_deadline &&

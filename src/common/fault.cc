@@ -67,11 +67,13 @@ const char* FaultSiteName(FaultSite site) {
       return "pool_spawn";
     case FaultSite::kAlloc:
       return "alloc";
+    case FaultSite::kWorkerCrash:
+      return "worker_crash";
   }
   return "unknown";
 }
 
-Status FaultSpec::Parse(std::string_view text, FaultSpec* out) {
+StatusOr<FaultSpec> FaultSpec::Parse(std::string_view text) {
   FaultSpec parsed;
   size_t pos = 0;
   while (pos < text.size()) {
@@ -101,24 +103,28 @@ Status FaultSpec::Parse(std::string_view text, FaultSpec* out) {
     }
     parsed.sites[static_cast<size_t>(site)] = mode;
   }
-  *out = parsed;
-  return Status::Ok();
+  return parsed;
+}
+
+StatusOr<FaultSpec> FaultSpec::FromEnv() {
+  const char* env = std::getenv("OBLIVDB_FAULT_SPEC");
+  if (env == nullptr) return FaultSpec{};
+  return Parse(env);
 }
 
 FaultInjector& FaultInjector::Global() {
   static FaultInjector* injector = [] {
     auto* inj = new FaultInjector();
-    FaultSpec spec;
-    if (const char* env = std::getenv("OBLIVDB_FAULT_SPEC")) {
-      const Status parsed = FaultSpec::Parse(env, &spec);
-      if (!parsed.ok()) {
-        std::fprintf(stderr,
-                     "oblivdb: ignoring OBLIVDB_FAULT_SPEC: %s\n",
-                     parsed.ToString().c_str());
-        spec = FaultSpec{};
-      }
+    StatusOr<FaultSpec> parsed = FaultSpec::FromEnv();
+    if (!parsed.ok()) {
+      // Library code cannot refuse to start; the *service* startup path
+      // (QueryService::Create) re-parses and propagates the failure as a
+      // Status instead of running un-faulted.
+      std::fprintf(stderr, "oblivdb: ignoring OBLIVDB_FAULT_SPEC: %s\n",
+                   parsed.status().ToString().c_str());
+      parsed = FaultSpec{};
     }
-    inj->Configure(spec, kDefaultFaultSeed);
+    inj->Configure(*parsed, kDefaultFaultSeed);
     return inj;
   }();
   return *injector;
@@ -186,14 +192,13 @@ ScopedFaultInjection::ScopedFaultInjection(const FaultSpec& spec,
 
 ScopedFaultInjection::ScopedFaultInjection(std::string_view spec_text,
                                            uint64_t seed) {
-  FaultSpec spec;
-  const Status parsed = FaultSpec::Parse(spec_text, &spec);
+  const StatusOr<FaultSpec> parsed = FaultSpec::Parse(spec_text);
   if (!parsed.ok()) {
     std::fprintf(stderr, "ScopedFaultInjection: %s\n",
-                 parsed.ToString().c_str());
+                 parsed.status().ToString().c_str());
   }
   OBLIVDB_CHECK(parsed.ok());
-  Install(spec, seed);
+  Install(*parsed, seed);
 }
 
 void ScopedFaultInjection::Install(const FaultSpec& spec, uint64_t seed) {

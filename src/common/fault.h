@@ -9,7 +9,11 @@
 //                 reservation (EPC exhaustion under concurrent load);
 //   pool_spawn  — ThreadPool::TrySpawnProbe refuses a parallel fan-out
 //                 (thread / task-slot exhaustion);
-//   alloc       — OArray construction fails (public-memory exhaustion).
+//   alloc       — OArray construction fails (public-memory exhaustion);
+//   worker_crash— a QueryService session worker dies between queries (the
+//                 process-level analogue of a crashed enclave thread; the
+//                 service requeues its in-flight work and respawns the
+//                 slot — service/query_service.h).
 //
 // Configuration comes from the OBLIVDB_FAULT_SPEC environment variable (or
 // Configure() in tests), e.g.
@@ -46,12 +50,13 @@ enum class FaultSite : uint8_t {
   kEpcEvict = 1,
   kPoolSpawn = 2,
   kAlloc = 3,
+  kWorkerCrash = 4,
 };
 
-inline constexpr size_t kNumFaultSites = 4;
+inline constexpr size_t kNumFaultSites = 5;
 
 // The spec-syntax token for a site ("decrypt_mac", "epc_evict",
-// "pool_spawn", "alloc").
+// "pool_spawn", "alloc", "worker_crash").
 const char* FaultSiteName(FaultSite site);
 
 struct FaultMode {
@@ -72,9 +77,16 @@ struct FaultSpec {
   }
 
   // Parses "site:mode;site:mode".  Empty text parses to the all-off spec.
-  // Unknown site names or malformed modes yield kInvalidArgument and leave
-  // *out untouched.
-  static Status Parse(std::string_view text, FaultSpec* out);
+  // Unknown site names or malformed modes yield kInvalidArgument naming the
+  // offending token; nothing partial escapes.
+  static StatusOr<FaultSpec> Parse(std::string_view text);
+
+  // The spec OBLIVDB_FAULT_SPEC requests: the all-off spec when unset or
+  // empty, kInvalidArgument (with the offending token) when malformed.
+  // Service startup (QueryService::Create) propagates the failure instead
+  // of silently running un-faulted under a spec the operator thought was
+  // live.
+  static StatusOr<FaultSpec> FromEnv();
 };
 
 // Monotonic counters, snapshot-able so operators can report the faults that

@@ -19,8 +19,23 @@ const char* StatusCodeName(StatusCode code) {
       return "RESOURCE_EXHAUSTED";
     case StatusCode::kInvalidArgument:
       return "INVALID_ARGUMENT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
+}
+
+Status Status::Annotate(std::string_view op_name) const& {
+  return Status(*this).Annotate(op_name);
+}
+
+Status Status::Annotate(std::string_view op_name) && {
+  if (ok() || op_name.empty()) return std::move(*this);
+  std::string annotated(op_name);
+  annotated += ": ";
+  annotated += message_;
+  message_ = std::move(annotated);
+  return std::move(*this);
 }
 
 std::string Status::ToString() const {

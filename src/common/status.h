@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/check.h"
@@ -41,6 +42,8 @@ enum class StatusCode : uint8_t {
   kIntegrityViolation,  // authenticated decryption failed (§3.5)
   kResourceExhausted,   // allocation / EPC / pool capacity refused
   kInvalidArgument,     // malformed input to a fallible boundary API
+  kUnavailable,         // transient service-side refusal: worker crashed,
+                        // circuit open, service draining — safe to retry
 };
 
 // Stable upper-snake name ("INTEGRITY_VIOLATION") for logs and tests.
@@ -60,6 +63,14 @@ class Status {
 
   // "OK", or "INTEGRITY_VIOLATION: MAC verification failed ...".
   std::string ToString() const;
+
+  // Call-site context chaining: returns this Status with `op_name` prefixed
+  // onto the message ("join: shard[2]: MAC verification failed ..."), so a
+  // fault that unwinds through several boundaries names the path that
+  // raised it.  The code is preserved; annotating an ok Status is a no-op
+  // (there is nothing to locate).
+  Status Annotate(std::string_view op_name) const&;
+  Status Annotate(std::string_view op_name) &&;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;

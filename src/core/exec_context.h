@@ -183,6 +183,13 @@ struct ExecContext {
   // run's trace is a byte-identical prefix of the uncancelled run's.
   const CancelToken* cancel_token = nullptr;
 
+  // Second cancellation token, observed alongside cancel_token at the same
+  // public checkpoints — either firing cancels the run.  The query
+  // service's graceful drain (service/query_service.h Drain) owns this one:
+  // the caller keeps their token, the service keeps its drain token, and
+  // neither can mask the other.  Non-owning, like cancel_token.
+  const CancelToken* secondary_cancel_token = nullptr;
+
   // Wall-clock budget in seconds for a fallible entry point, anchored when
   // the Try* call installs its scope; <= 0 = none.  Enforced at the same
   // public checkpoints as cancellation (kDeadlineExceeded).
@@ -245,6 +252,28 @@ struct ExecContext {
 
   static constexpr uint64_t kShardSeedStreamBase = 16;
 
+  // The context a *retry* of a failed execution runs under: identical
+  // public knobs, but with the rng stream re-derived per attempt so a
+  // retried run never replays the exact pseudorandom draws of the attempt
+  // that died mid-flight.  Attempt 0 is the original execution (identity —
+  // a solo reference run and a first service attempt share the seed
+  // exactly).  Because outputs and oblivious traces are functions of the
+  // public shape alone — the seed steers only PRP contents, never an
+  // access position (core/shard.h's byte-equality pins) — a retried run
+  // stays byte-identical to a fresh fault-free run of the same plan.
+  ExecContext ForAttempt(uint32_t attempt) const {
+    ExecContext c = *this;
+    if (attempt > 0) {
+      c.rng_seed = DeriveSeed(rng_seed, kRetrySeedStreamBase + attempt);
+    }
+    return c;
+  }
+
+  // Retry streams live well above the sharded executor's reserved band
+  // ([0, kShardSeedStreamBase + kMaxShards)) so an attempt-derived seed
+  // never collides with a shard stream derived from the same seed.
+  static constexpr uint64_t kRetrySeedStreamBase = 1024;
+
   // Operators call this once on completion; also copies into `stats` so
   // direct (plan-free) callers keep the old out-parameter behaviour.
   void ReportStats(std::string_view op, const JoinStats& s) const {
@@ -265,8 +294,8 @@ auto RunRecoverable(const ExecContext& ctx, Fn&& fn)
     -> StatusOr<decltype(fn())> {
   using Result = decltype(fn());
   RecoveryScope recovery;
-  CancelScope cancel(ctx.cancel_token, ctx.deadline_seconds,
-                     ctx.checkpoint_sink);
+  CancelScope cancel(ctx.cancel_token, ctx.secondary_cancel_token,
+                     ctx.deadline_seconds, ctx.checkpoint_sink);
   try {
     return StatusOr<Result>(fn());
   } catch (const internal::StatusError& e) {

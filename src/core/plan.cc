@@ -335,6 +335,19 @@ PlanResult Executor::Execute(const PlanPtr& plan) {
 }
 
 Table Executor::ExecNode(const PlanPtr& node, PlanResult* root_result) {
+  // A fault unwinding out of this node's subtree gains the node's operator
+  // name, so by the time it reaches TryRun the Status message reads as the
+  // root-to-fault path ("aggregate: join: ...").  Mutate-and-rethrow keeps
+  // the unwind object itself; nothing is copied on the non-fault path.
+  try {
+    return ExecNodeImpl(node, root_result);
+  } catch (oblivdb::internal::StatusError& e) {
+    e.status = std::move(e.status).Annotate(PlanOpName(node->op));
+    throw;
+  }
+}
+
+Table Executor::ExecNodeImpl(const PlanPtr& node, PlanResult* root_result) {
   // Cancellation checkpoint: one per plan node, on entry, before the
   // children recurse.  The visit order is the (public) tree shape, so the
   // checkpoint schedule is a pure function of the plan — never of row

@@ -237,7 +237,12 @@ class Executor {
   uint64_t TotalComparisons() const;
 
  private:
+  // ExecNode annotates any unwinding environmental fault with this node's
+  // operator name (Status::Annotate), so a fault raised deep in the tree
+  // surfaces naming the root-to-operator path ("join: shard[1]: MAC ...");
+  // ExecNodeImpl is the actual recursive evaluator.
   Table ExecNode(const PlanPtr& node, PlanResult* root_result);
+  Table ExecNodeImpl(const PlanPtr& node, PlanResult* root_result);
 
   ExecContext ctx_;
   std::vector<PlanNodeStats> node_stats_;

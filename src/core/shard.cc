@@ -143,7 +143,12 @@ std::vector<double> RunShardJobs(
         seconds[s] = timer.ElapsedSeconds();
       } catch (const oblivdb::internal::StatusError& e) {
         std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = e.status;
+        if (first_error.ok()) {
+          // Name the failing pipeline: chaos-test failures should read
+          // "join: shard[2]: ..." without a debugger.
+          first_error =
+              e.status.Annotate("shard[" + std::to_string(s) + "]");
+        }
       }
     });
   }

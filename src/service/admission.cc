@@ -1,8 +1,11 @@
 #include "service/admission.h"
 
+#include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "common/check.h"
+#include "service/retry.h"
 
 namespace oblivdb::service {
 
@@ -39,23 +42,63 @@ void PendingQuery::Resolve(StatusOr<QueryResponse> response) {
   cv_.notify_all();
 }
 
+Status AdmissionQueue::PressureStatus(const char* reason,
+                                      size_t depth) const {
+  return WithRetryAfter(
+      Status(StatusCode::kResourceExhausted,
+             std::string(reason) + ": " + std::to_string(depth) +
+                 " queries waiting"),
+      limits_.shed_retry_after_ms);
+}
+
 Status AdmissionQueue::TryEnqueue(std::shared_ptr<PendingQuery> query) {
   OBLIVDB_CHECK(query != nullptr);
+  std::shared_ptr<PendingQuery> victim;
+  size_t victim_depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {
-      return Status(StatusCode::kResourceExhausted,
-                    "admission queue closed: service shutting down");
+      return Status(StatusCode::kUnavailable,
+                    "admission queue closed: service draining or shut down");
     }
-    if (queue_.size() >= limits_.queue_capacity) {
-      return Status(StatusCode::kResourceExhausted,
-                    "admission queue full: " +
-                        std::to_string(limits_.queue_capacity) +
-                        " queries already waiting");
+    const size_t depth = queue_.size();
+    const bool shedding =
+        limits_.shed_watermark != 0 && depth >= limits_.shed_watermark;
+    if (shedding) {
+      // Pressure: the lowest-priority query among (waiters, arrival) is
+      // shed.  Ties favor incumbents — they already waited.
+      auto lowest = std::min_element(
+          queue_.begin(), queue_.end(),
+          [](const std::shared_ptr<PendingQuery>& a,
+             const std::shared_ptr<PendingQuery>& b) {
+            return a->options().priority < b->options().priority;
+          });
+      if (lowest != queue_.end() &&
+          query->options().priority > (*lowest)->options().priority) {
+        victim = std::move(*lowest);
+        queue_.erase(lowest);
+        victim_depth = depth;
+        ++shed_count_;
+        queue_.push_back(std::move(query));
+      } else if (depth >= limits_.queue_capacity) {
+        return PressureStatus("admission queue full", depth);
+      } else {
+        ++shed_count_;
+        return PressureStatus("shed under queue pressure", depth);
+      }
+    } else if (depth >= limits_.queue_capacity) {
+      return PressureStatus("admission queue full", depth);
+    } else {
+      queue_.push_back(std::move(query));
     }
-    queue_.push_back(std::move(query));
   }
   cv_.notify_one();
+  if (victim != nullptr) {
+    if (shed_callback_) shed_callback_(*victim);
+    victim->Resolve(
+        PressureStatus("shed under queue pressure by a higher-priority query",
+                       victim_depth));
+  }
   return Status::Ok();
 }
 
@@ -68,7 +111,10 @@ std::vector<std::shared_ptr<PendingQuery>> AdmissionQueue::PopBatch() {
   batch.push_back(std::move(queue_.front()));
   queue_.pop_front();
   const PendingQuery& head = *batch.front();
-  if (!limits_.batching || head.exclusive()) return batch;
+  if (!limits_.batching || head.exclusive()) {
+    in_flight_ += batch.size();
+    return batch;
+  }
 
   // Later same-signature, non-exclusive entries join the head while the
   // summed public input rows fit the capacity budget; skipped entries
@@ -86,7 +132,31 @@ std::vector<std::shared_ptr<PendingQuery>> AdmissionQueue::PopBatch() {
       ++it;
     }
   }
+  in_flight_ += batch.size();
   return batch;
+}
+
+void AdmissionQueue::FinishBatch(size_t n) {
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OBLIVDB_CHECK(in_flight_ >= n);
+    in_flight_ -= n;
+    idle = in_flight_ == 0 && queue_.empty();
+  }
+  if (idle) idle_cv_.notify_all();
+}
+
+void AdmissionQueue::RequeueFront(
+    std::vector<std::shared_ptr<PendingQuery>> queries) {
+  if (queries.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = queries.rbegin(); it != queries.rend(); ++it) {
+      queue_.push_front(std::move(*it));
+    }
+  }
+  cv_.notify_all();
 }
 
 void AdmissionQueue::Close() {
@@ -97,9 +167,41 @@ void AdmissionQueue::Close() {
   cv_.notify_all();
 }
 
+bool AdmissionQueue::WaitIdleFor(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_until(lock, deadline, [&] {
+    return queue_.empty() && in_flight_ == 0;
+  });
+}
+
+std::vector<std::shared_ptr<PendingQuery>> AdmissionQueue::DrainPending() {
+  std::vector<std::shared_ptr<PendingQuery>> pending;
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    idle = in_flight_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+  return pending;
+}
+
 size_t AdmissionQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+size_t AdmissionQueue::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+uint64_t AdmissionQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_count_;
 }
 
 }  // namespace oblivdb::service

@@ -25,8 +25,26 @@
 // owns the engine.
 //
 // Rejection is Status-typed, never silent: a full queue refuses with
-// kResourceExhausted at Submit time; a query whose deadline lapsed while
-// it waited is resolved kDeadlineExceeded by the worker that pops it.
+// kResourceExhausted (current depth + a retry_after_ms backoff hint) at
+// Submit time; a query whose deadline lapsed while it waited is resolved
+// kDeadlineExceeded by the worker that pops it.
+//
+// Overload protection (load shedding): above `shed_watermark` queued
+// entries the queue is under pressure, and admission turns priority-aware.
+// An arriving query that outranks the lowest-priority waiter displaces it —
+// the victim resolves kResourceExhausted with depth + retry_after_ms and
+// the arrival takes its slot; an arrival that doesn't outrank anyone is
+// itself refused with the same hint.  Below the watermark priority is
+// ignored entirely (plain FIFO — no starvation while there is headroom).
+// Priorities are client-supplied public metadata (SessionOptions::priority),
+// so shed decisions remain functions of public state.
+//
+// Drain support: PopBatch/FinishBatch bracket a batch's execution so the
+// queue can count in-flight work; WaitIdleFor blocks until both the queue
+// and the in-flight set are empty (or the deadline lapses), and
+// DrainPending flushes still-queued entries back to the caller for
+// disposition.  RequeueFront re-admits queries popped by a worker that
+// died under them, ahead of everything queued (they already waited once).
 
 #ifndef OBLIVDB_SERVICE_ADMISSION_H_
 #define OBLIVDB_SERVICE_ADMISSION_H_
@@ -36,6 +54,7 @@
 #include <cstdint>
 #include <chrono>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -82,6 +101,10 @@ struct SessionOptions {
   // rng_stream), so same (base seed, stream) -> same seed, whatever
   // session slot or admission order the query lands on.
   uint64_t rng_stream = 0;
+
+  // Shedding rank under queue pressure; higher outranks lower.  Public
+  // client-supplied metadata.  Ignored below the shed watermark.
+  int32_t priority = 0;
 };
 
 // What a resolved query hands back: the Executor's outputs plus the
@@ -132,12 +155,21 @@ class PendingQuery {
   // Resolves the query (exactly once) and wakes every waiter.
   void Resolve(StatusOr<QueryResponse> response);
 
+  // Worker-crash containment bookkeeping: how many times this query has
+  // been requeued because the session worker running it died.  The service
+  // requeues at most once — a query that kills two workers resolves
+  // kUnavailable instead of cycling forever.
+  uint32_t crash_requeues() const { return crash_requeues_; }
+  void RecordCrashRequeue() { ++crash_requeues_; }
+
  private:
   const core::PlanPtr plan_;
   const std::string signature_;
   const uint64_t input_rows_;
   const SessionOptions options_;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
+  // Touched only by the owning worker / the queue lock, never concurrently.
+  uint32_t crash_requeues_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -154,6 +186,12 @@ struct AdmissionLimits {
   // Cap on a batch's summed public input rows — the padded capacity one
   // admission is allowed to absorb.
   uint64_t batch_capacity_rows = uint64_t{1} << 20;
+  // Queue-pressure point where priority-aware shedding kicks in; 0 =
+  // disabled (only the full-queue rejection applies).  QueryService
+  // defaults it to 3/4 of queue_capacity (service/query_service.h).
+  size_t shed_watermark = 0;
+  // Client backoff hint attached to shed / queue-full rejections.
+  uint64_t shed_retry_after_ms = 25;
 };
 
 // The bounded queue + batch former.  Thread-safe; many producers
@@ -162,26 +200,68 @@ class AdmissionQueue {
  public:
   explicit AdmissionQueue(AdmissionLimits limits) : limits_(limits) {}
 
-  // kOk and owns a queue slot, or kResourceExhausted (full) /
-  // kResourceExhausted (closed).  Never blocks.
+  // kOk and owns a queue slot; kUnavailable when closed (shutdown/drain —
+  // safe to retry against a restarted service); kResourceExhausted with
+  // current depth + retry_after_ms hint when full or shed under pressure.
+  // May resolve a lower-priority waiter (shed victim) before returning kOk.
+  // Never blocks.
   Status TryEnqueue(std::shared_ptr<PendingQuery> query);
 
   // Blocks until at least one query is available, then returns the head
   // plus any same-signature batch mates per the limits (exclusive head ->
-  // batch of one).  Returns an empty vector only when the queue is closed
+  // batch of one).  Counts the batch in-flight until the matching
+  // FinishBatch.  Returns an empty vector only when the queue is closed
   // *and* drained — the consumer's shutdown signal.
   std::vector<std::shared_ptr<PendingQuery>> PopBatch();
+
+  // Ends the in-flight window a PopBatch opened.  `n` = that batch's size;
+  // a crashing worker must still call it (crash containment requeues
+  // first, then finishes).
+  void FinishBatch(size_t n);
+
+  // Re-admits queries at the *front* of the queue, preserving their order
+  // (used for worker-crash containment, so requeued queries don't pay the
+  // queue tail twice).  Works even when closed — the queries were already
+  // admitted once.  Does not count against queue_capacity: displacing
+  // admitted work would turn a worker crash into a client-visible shed.
+  void RequeueFront(std::vector<std::shared_ptr<PendingQuery>> queries);
 
   // Stops accepting; queued queries still drain through PopBatch.
   void Close();
 
+  // Blocks until no queries are queued *or* in flight, or `deadline`
+  // passes; returns whether idle was reached.
+  bool WaitIdleFor(std::chrono::steady_clock::time_point deadline);
+
+  // Removes and returns every still-queued query (resolution is the
+  // caller's job — the drain path resolves them kUnavailable).
+  std::vector<std::shared_ptr<PendingQuery>> DrainPending();
+
   size_t size() const;
+  size_t in_flight() const;
+  // Queries displaced or refused by the pressure watermark (not plain
+  // queue-full rejections).
+  uint64_t shed_count() const;
+
+  // Invoked (outside the queue lock, before the victim resolves) for every
+  // query the watermark displaces — the service's chance to release
+  // breaker probe slots and count sheds.  Set before any worker consumes;
+  // not synchronized against in-flight TryEnqueue calls.
+  void set_shed_callback(std::function<void(const PendingQuery&)> cb) {
+    shed_callback_ = std::move(cb);
+  }
 
  private:
+  Status PressureStatus(const char* reason, size_t depth) const;
+
   const AdmissionLimits limits_;
+  std::function<void(const PendingQuery&)> shed_callback_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
   std::deque<std::shared_ptr<PendingQuery>> queue_;
+  size_t in_flight_ = 0;
+  uint64_t shed_count_ = 0;
   bool closed_ = false;
 };
 

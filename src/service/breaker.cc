@@ -1,0 +1,95 @@
+#include "service/breaker.h"
+
+#include "service/retry.h"
+
+namespace oblivdb::service {
+
+Status CircuitBreaker::Admit(const std::string& signature) {
+  if (options_.trip_threshold == 0) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  ShapeState& shape = shapes_[signature];
+  switch (shape.state) {
+    case State::kClosed:
+      return Status::Ok();
+    case State::kOpen:
+      if (shape.open_rejects_left > 0) {
+        --shape.open_rejects_left;
+        ++stats_.rejects;
+        return WithRetryAfter(
+            Status(StatusCode::kUnavailable,
+                   "circuit open for plan shape " + signature),
+            options_.retry_after_ms);
+      }
+      shape.state = State::kHalfOpen;
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (shape.probe_in_flight) {
+        ++stats_.rejects;
+        return WithRetryAfter(
+            Status(StatusCode::kUnavailable,
+                   "circuit half-open, probe in flight for plan shape " +
+                       signature),
+            options_.retry_after_ms);
+      }
+      shape.probe_in_flight = true;
+      ++stats_.probes;
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+void CircuitBreaker::OnSuccess(const std::string& signature) {
+  if (options_.trip_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shapes_.find(signature);
+  if (it == shapes_.end()) return;
+  ShapeState& shape = it->second;
+  if (shape.state == State::kHalfOpen) {
+    ++stats_.recoveries;
+  }
+  shape.state = State::kClosed;
+  shape.consecutive_failures = 0;
+  shape.probe_in_flight = false;
+}
+
+void CircuitBreaker::OnFailure(const std::string& signature) {
+  if (options_.trip_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ShapeState& shape = shapes_[signature];
+  if (shape.state == State::kHalfOpen) {
+    // The probe failed: straight back to Open for another cooldown.
+    shape.state = State::kOpen;
+    shape.open_rejects_left = options_.cooldown_rejects;
+    shape.probe_in_flight = false;
+    ++stats_.trips;
+    return;
+  }
+  if (shape.state == State::kOpen) return;  // late report from a pre-trip run
+  if (++shape.consecutive_failures >= options_.trip_threshold) {
+    shape.state = State::kOpen;
+    shape.open_rejects_left = options_.cooldown_rejects;
+    ++stats_.trips;
+  }
+}
+
+void CircuitBreaker::OnAbandoned(const std::string& signature) {
+  if (options_.trip_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shapes_.find(signature);
+  if (it == shapes_.end()) return;
+  it->second.probe_in_flight = false;
+}
+
+CircuitBreaker::State CircuitBreaker::StateOf(
+    const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shapes_.find(signature);
+  return it == shapes_.end() ? State::kClosed : it->second.state;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace oblivdb::service

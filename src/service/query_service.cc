@@ -6,7 +6,9 @@
 #include <string_view>
 #include <utility>
 
+#include "common/backoff.h"
 #include "common/check.h"
+#include "common/fault.h"
 #include "core/optimizer.h"
 
 namespace oblivdb::service {
@@ -27,6 +29,20 @@ double RemainingSeconds(
   return std::chrono::duration<double>(*deadline -
                                        std::chrono::steady_clock::now())
       .count();
+}
+
+AdmissionLimits MakeLimits(const ServiceOptions& options) {
+  AdmissionLimits limits;
+  limits.queue_capacity = options.queue_capacity;
+  limits.batching = options.batch_admit;
+  limits.max_batch = options.max_batch;
+  limits.batch_capacity_rows = options.batch_capacity_rows;
+  limits.shed_watermark =
+      options.shed_watermark != 0
+          ? options.shed_watermark
+          : std::max<size_t>(1, options.queue_capacity * 3 / 4);
+  limits.shed_retry_after_ms = options.shed_retry_after_ms;
+  return limits;
 }
 
 }  // namespace
@@ -60,9 +76,15 @@ bool ServiceOptions::DefaultBatchAdmit() {
 QueryService::QueryService(core::ExecContext base, ServiceOptions options)
     : base_(base),
       options_(options),
-      queue_(AdmissionLimits{options.queue_capacity, options.batch_admit,
-                             options.max_batch, options.batch_capacity_rows}),
-      plan_cache_(options.plan_cache_capacity) {
+      queue_(MakeLimits(options)),
+      plan_cache_(options.plan_cache_capacity),
+      breaker_(options.breaker) {
+  // A shed victim was admitted past the breaker gate but never executes:
+  // release any half-open probe slot it held and account the resolution.
+  queue_.set_shed_callback([this](const PendingQuery& victim) {
+    breaker_.OnAbandoned(victim.signature());
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  });
   // The base context contributes only the public engine knobs; per-query
   // channels are supplied per submission.
   base_.stats = nullptr;
@@ -89,6 +111,15 @@ QueryService::QueryService(core::ExecContext base, ServiceOptions options)
 
 QueryService::~QueryService() { Close(); }
 
+StatusOr<std::unique_ptr<QueryService>> QueryService::Create(
+    core::ExecContext base, ServiceOptions options) {
+  StatusOr<FaultSpec> spec = FaultSpec::FromEnv();
+  if (!spec.ok()) {
+    return Status(spec.status()).Annotate("QueryService::Create");
+  }
+  return std::make_unique<QueryService>(std::move(base), options);
+}
+
 void QueryService::Close() {
   {
     std::lock_guard<std::mutex> lock(close_mu_);
@@ -96,9 +127,80 @@ void QueryService::Close() {
     closed_ = true;
   }
   queue_.Close();
-  for (std::thread& t : slots_) {
-    if (t.joinable()) t.join();
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    accepting_respawns_ = false;
+    for (std::thread& t : slots_) {
+      if (t.joinable()) to_join.push_back(std::move(t));
+    }
+    for (std::thread& t : retired_) {
+      if (t.joinable()) to_join.push_back(std::move(t));
+    }
+    retired_.clear();
   }
+  // Joined outside slots_mu_: a crashing worker needs that lock to retire
+  // itself, and joining it while holding the lock would deadlock.
+  for (std::thread& t : to_join) t.join();
+  // A worker that crashed during shutdown was refused a respawn; its
+  // requeued queries may have outlived every worker.  Resolve them rather
+  // than leaving their clients blocked in Wait() forever.
+  for (const std::shared_ptr<PendingQuery>& q : queue_.DrainPending()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    breaker_.OnAbandoned(q->signature());
+    q->Resolve(Status(StatusCode::kUnavailable,
+                      "service closed before this query executed"));
+  }
+}
+
+QueryService::DrainReport QueryService::Drain(double deadline_seconds) {
+  DrainReport report;
+  {
+    std::lock_guard<std::mutex> lock(close_mu_);
+    if (closed_) return report;  // nothing left to drain
+  }
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    Close();  // a concurrent Drain owns the report; just make sure we block
+    return report;
+  }
+
+  const uint64_t completed_before =
+      completed_.load(std::memory_order_relaxed);
+  const uint64_t failed_before = failed_.load(std::memory_order_relaxed);
+  const uint64_t cancelled_before =
+      drain_cancelled_.load(std::memory_order_relaxed);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(0.0, deadline_seconds)));
+  if (!queue_.WaitIdleFor(deadline)) {
+    report.deadline_hit = true;
+    // Budget spent: stop in-flight work at its next oblivious checkpoint
+    // (the service-owned token — clients' tokens stay untouched) and flush
+    // everything still queued without running it.
+    drain_token_.Cancel();
+    std::vector<std::shared_ptr<PendingQuery>> pending =
+        queue_.DrainPending();
+    report.flushed = pending.size();
+    for (const std::shared_ptr<PendingQuery>& q : pending) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      breaker_.OnAbandoned(q->signature());
+      q->Resolve(Status(StatusCode::kUnavailable,
+                        "service draining: query flushed before execution"));
+    }
+  }
+  Close();  // workers exit once the queue is drained; joins them
+
+  report.completed =
+      completed_.load(std::memory_order_relaxed) - completed_before;
+  report.cancelled =
+      drain_cancelled_.load(std::memory_order_relaxed) - cancelled_before;
+  const uint64_t failed_delta =
+      failed_.load(std::memory_order_relaxed) - failed_before;
+  report.failed = failed_delta - report.flushed - report.cancelled;
+  return report;
 }
 
 core::ExecContext QueryService::MakeSessionContext(
@@ -119,11 +221,25 @@ StatusOr<std::shared_ptr<PendingQuery>> QueryService::Submit(
   if (plan == nullptr) {
     return Status(StatusCode::kInvalidArgument, "Submit: plan must not be null");
   }
+  if (draining_.load(std::memory_order_acquire)) {
+    return WithRetryAfter(Status(StatusCode::kUnavailable,
+                                 "service draining, not accepting queries"),
+                          options_.shed_retry_after_ms);
+  }
+  std::string signature = core::PlanShapeSignature(plan);
+  const Status gate = breaker_.Admit(signature);
+  if (!gate.ok()) {
+    breaker_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return gate;
+  }
   auto query = std::make_shared<PendingQuery>(
-      plan, core::PlanShapeSignature(plan), SumScanRows(plan), options);
+      plan, std::move(signature), SumScanRows(plan), options);
   const Status admitted = queue_.TryEnqueue(query);
   if (!admitted.ok()) {
-    rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    if (admitted.code() == StatusCode::kResourceExhausted) {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    }
+    breaker_.OnAbandoned(query->signature());  // release any probe slot
     return admitted;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -138,11 +254,64 @@ StatusOr<QueryResponse> QueryService::Run(core::PlanPtr plan,
   return (*submitted)->Wait();
 }
 
+void QueryService::ReportOutcome(const PendingQuery& query,
+                                 const Status& status) {
+  if (status.ok()) {
+    breaker_.OnSuccess(query.signature());
+  } else if (RetryPolicy::IsRetryable(status)) {
+    breaker_.OnFailure(query.signature());
+  } else {
+    // Cancellation / deadline expiry say the client gave up, not that the
+    // shape is sick — release any probe slot, leave the machine alone.
+    breaker_.OnAbandoned(query.signature());
+  }
+}
+
+void QueryService::CrashWorker(
+    unsigned slot, std::vector<std::shared_ptr<PendingQuery>> batch) {
+  worker_crashes_.fetch_add(1, std::memory_order_relaxed);
+  const size_t popped = batch.size();
+  std::vector<std::shared_ptr<PendingQuery>> requeue;
+  for (std::shared_ptr<PendingQuery>& q : batch) {
+    if (q->crash_requeues() == 0) {
+      q->RecordCrashRequeue();
+      crash_requeues_.fetch_add(1, std::memory_order_relaxed);
+      requeue.push_back(std::move(q));
+    } else {
+      // At most one requeue per query: a query that outlives two workers
+      // stops cycling and surfaces the (retryable) failure to its client.
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      breaker_.OnAbandoned(q->signature());
+      q->Resolve(Status(StatusCode::kUnavailable,
+                        "session worker crashed twice under this query"));
+    }
+  }
+  // Requeue before closing the in-flight window so a concurrent
+  // Drain/WaitIdleFor never observes an empty-and-idle queue while these
+  // queries are still owed an execution.
+  queue_.RequeueFront(std::move(requeue));
+  queue_.FinishBatch(popped);
+
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  if (!accepting_respawns_) return;  // shutting down: no replacement
+  retired_.push_back(std::move(slots_[slot]));
+  slots_[slot] = std::thread([this, slot] { SessionLoop(slot); });
+}
+
 void QueryService::SessionLoop(unsigned slot) {
   ThreadPool* slot_pool = slot_pools_[slot].get();
   while (true) {
     std::vector<std::shared_ptr<PendingQuery>> batch = queue_.PopBatch();
     if (batch.empty()) return;  // closed and drained
+
+    // The worker_crash fault site: this worker dies as it picks up work.
+    // Polled once per popped batch — the decision is the injector's pure
+    // function of its arrival counter, never of the batch contents.
+    if (FaultInjector::Global().ShouldFire(FaultSite::kWorkerCrash)) {
+      CrashWorker(slot, std::move(batch));
+      return;  // this thread's handle is retired; a replacement owns the slot
+    }
+
     batches_.fetch_add(1, std::memory_order_relaxed);
     if (batch.size() >= 2) {
       batched_queries_.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -169,6 +338,7 @@ void QueryService::SessionLoop(unsigned slot) {
 
       if (opts.cancel_token != nullptr && opts.cancel_token->cancelled()) {
         failed_.fetch_add(1, std::memory_order_relaxed);
+        breaker_.OnAbandoned(q.signature());
         q.Resolve(Status(StatusCode::kCancelled,
                          "query cancelled before execution"));
         continue;
@@ -176,6 +346,7 @@ void QueryService::SessionLoop(unsigned slot) {
       if (q.deadline().has_value() && RemainingSeconds(q.deadline()) <= 0) {
         rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
         failed_.fetch_add(1, std::memory_order_relaxed);
+        breaker_.OnAbandoned(q.signature());
         q.Resolve(Status(StatusCode::kDeadlineExceeded,
                          "deadline expired before admission"));
         continue;
@@ -190,6 +361,7 @@ void QueryService::SessionLoop(unsigned slot) {
           copy.coalesced = true;
           coalesced_.fetch_add(1, std::memory_order_relaxed);
           completed_.fetch_add(1, std::memory_order_relaxed);
+          breaker_.OnSuccess(q.signature());
           q.Resolve(std::move(copy));
           continue;
         }
@@ -203,9 +375,15 @@ void QueryService::SessionLoop(unsigned slot) {
         }
       } else {
         failed_.fetch_add(1, std::memory_order_relaxed);
+        if (response.status().code() == StatusCode::kCancelled &&
+            drain_token_.cancelled()) {
+          drain_cancelled_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
+      ReportOutcome(q, response.ok() ? Status::Ok() : response.status());
       q.Resolve(std::move(response));
     }
+    queue_.FinishBatch(batch.size());
   }
 }
 
@@ -214,6 +392,9 @@ StatusOr<QueryResponse> QueryService::ExecuteQuery(const PendingQuery& query,
                                                    uint32_t batch_size) {
   core::ExecContext ctx = MakeSessionContext(query.options());
   ctx.pool = slot_pool;
+  // Every service execution also answers to the drain token; the client's
+  // own token is untouched (common/cancel.h dual-token checkpointing).
+  ctx.secondary_cancel_token = &drain_token_;
   if (query.deadline().has_value()) {
     const double remaining = RemainingSeconds(query.deadline());
     if (remaining <= 0) {
@@ -252,28 +433,75 @@ StatusOr<QueryResponse> QueryService::ExecuteQuery(const PendingQuery& query,
     }
   }
 
-  core::Executor executor(ctx);
-  StatusOr<core::PlanResult> result = executor.TryRun(to_run);
-  if (!result.ok()) return result.status();
+  // Transparent retry applies only to queries without private telemetry
+  // channels: a stats/trace sink must observe exactly one execution (a
+  // sink that recorded a failed attempt plus a successful one would no
+  // longer match a solo run byte-for-byte), so sink-carrying queries
+  // surface transient failures directly and the client retries with a
+  // fresh sink.
+  const bool transparent_retry = options_.retry.enabled() &&
+                                 query.options().stats_sink == nullptr &&
+                                 query.options().trace_sink == nullptr;
+  const uint32_t max_attempts =
+      transparent_retry ? options_.retry.max_attempts : 1;
 
-  if (cache_enabled && entry == nullptr) {
-    auto fresh = std::make_shared<PlanCache::Entry>();
-    fresh->original = query.plan();
-    fresh->optimized = executor.executed_plan();
-    fresh->feedback =
-        core::CollectSizeFeedback(executor.executed_plan(),
-                                  executor.node_stats());
-    plan_cache_.Insert(query.signature(), std::move(fresh));
+  Status last = Status::Ok();
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      // Deterministic seeded-jitter backoff: the delay is a pure function
+      // of (policy, attempt, session seed) — no wall-clock randomness.
+      const uint64_t delay_ms =
+          BackoffDelayMs(options_.retry.backoff, attempt, ctx.rng_seed);
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      if (query.deadline().has_value()) {
+        const double remaining = RemainingSeconds(query.deadline());
+        if (remaining <= 0) {
+          return Status(StatusCode::kDeadlineExceeded,
+                        "deadline expired during retry backoff; last error: " +
+                            last.message());
+        }
+        ctx.deadline_seconds = remaining;
+      }
+    }
+
+    // Attempt k re-derives the session rng stream (identity for k = 0),
+    // so an injector whose decisions mix the seed sees a fresh stream —
+    // while outputs and oblivious traces, being seed-independent, stay
+    // byte-identical to a fault-free solo run.
+    core::Executor executor(ctx.ForAttempt(attempt));
+    StatusOr<core::PlanResult> result = executor.TryRun(to_run);
+    if (!result.ok()) {
+      last = result.status();
+      if (!RetryPolicy::IsRetryable(last)) return last;
+      continue;
+    }
+    if (attempt > 0) {
+      retry_successes_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (cache_enabled && entry == nullptr) {
+      auto fresh = std::make_shared<PlanCache::Entry>();
+      fresh->original = query.plan();
+      fresh->optimized = executor.executed_plan();
+      fresh->feedback =
+          core::CollectSizeFeedback(executor.executed_plan(),
+                                    executor.node_stats());
+      plan_cache_.Insert(query.signature(), std::move(fresh));
+    }
+
+    QueryResponse response;
+    response.result = std::move(*result);
+    response.node_stats = executor.node_stats();
+    response.executed_plan = executor.executed_plan();
+    response.plan_cache_hit = cache_hit;
+    response.coalesced = false;
+    response.batch_size = batch_size;
+    return response;
   }
-
-  QueryResponse response;
-  response.result = std::move(*result);
-  response.node_stats = executor.node_stats();
-  response.executed_plan = executor.executed_plan();
-  response.plan_cache_hit = cache_hit;
-  response.coalesced = false;
-  response.batch_size = batch_size;
-  return response;
+  return last;
 }
 
 QueryService::Counters QueryService::counters() const {
@@ -288,6 +516,12 @@ QueryService::Counters QueryService::counters() const {
   c.coalesced = coalesced_.load(std::memory_order_relaxed);
   c.batches = batches_.load(std::memory_order_relaxed);
   c.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  c.retries = retries_.load(std::memory_order_relaxed);
+  c.retry_successes = retry_successes_.load(std::memory_order_relaxed);
+  c.worker_crashes = worker_crashes_.load(std::memory_order_relaxed);
+  c.crash_requeues = crash_requeues_.load(std::memory_order_relaxed);
+  c.shed = queue_.shed_count();
+  c.breaker_rejected = breaker_rejected_.load(std::memory_order_relaxed);
   return c;
 }
 

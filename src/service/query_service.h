@@ -42,9 +42,43 @@
 // exact global state a solo run sees.  Untraced queries share the lock
 // and run genuinely concurrently.
 //
+// Resilience (the layer the chaos harness bench/bench_chaos.cc exercises):
+//
+//   * Transparent retry.  A query failing with a transient Status
+//     (RetryPolicy::IsRetryable — kUnavailable / kIntegrityViolation /
+//     kResourceExhausted) re-executes up to retry.max_attempts times with
+//     deterministic seeded-jitter backoff between attempts.  Attempt k
+//     runs under ExecContext::ForAttempt(k) — the session seed re-derived
+//     on the retry stream — and since outputs and oblivious traces are
+//     seed-independent, the attempt that succeeds is byte-identical to a
+//     fresh solo run.  Cancellation and deadline expiry never retry.
+//
+//   * Worker-crash containment.  The worker_crash fault site
+//     (common/fault.h) kills a session worker as it picks up a batch; the
+//     dying worker requeues its batch at the queue front (each query at
+//     most once — a twice-orphaned query resolves kUnavailable), retires
+//     its own thread handle, and respawns the slot.  Other sessions'
+//     stats/trace isolation is untouched.
+//
+//   * Overload protection.  A per-plan-shape circuit breaker
+//     (service/breaker.h) fast-fails Submit for shapes with
+//     trip_threshold consecutive execution failures (kUnavailable +
+//     retry_after_ms, recovery via half-open probes), and the admission
+//     queue sheds lowest-priority work above the shed watermark
+//     (kResourceExhausted + depth + retry_after_ms — service/admission.h).
+//
+//   * Graceful drain.  Drain(deadline_seconds) stops admission, lets
+//     in-flight and queued work finish until the deadline, then cancels
+//     in-flight queries at their next oblivious checkpoint (a second,
+//     service-owned CancelToken — the client's token is untouched) and
+//     flushes still-queued work as kUnavailable, reporting per-disposition
+//     counts.
+//
 // Knobs: OBLIVDB_SERVICE_SESSIONS (worker count, default 2),
 // OBLIVDB_PLAN_CACHE (off = disable both cache layers' defaults),
-// OBLIVDB_BATCH_ADMIT (off = strict FIFO).  All public configuration.
+// OBLIVDB_BATCH_ADMIT (off = strict FIFO), OBLIVDB_FAULT_SPEC (validated
+// at Create — a malformed spec fails startup with kInvalidArgument instead
+// of silently running un-faulted).  All public configuration.
 
 #ifndef OBLIVDB_SERVICE_QUERY_SERVICE_H_
 #define OBLIVDB_SERVICE_QUERY_SERVICE_H_
@@ -58,12 +92,15 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/exec_context.h"
 #include "core/plan.h"
 #include "service/admission.h"
+#include "service/breaker.h"
 #include "service/plan_cache.h"
+#include "service/retry.h"
 
 namespace oblivdb::service {
 
@@ -85,6 +122,18 @@ struct ServiceOptions {
   bool batch_admit = DefaultBatchAdmit();
   size_t max_batch = 8;
   uint64_t batch_capacity_rows = uint64_t{1} << 20;
+
+  // Transparent re-execution of retryable failures (service/retry.h);
+  // max_attempts <= 1 disables.
+  RetryPolicy retry{};
+  // Per-plan-shape circuit breaker (service/breaker.h); trip_threshold = 0
+  // disables.
+  BreakerOptions breaker{};
+  // Load-shedding watermark for the admission queue: 0 = 3/4 of
+  // queue_capacity; >= queue_capacity disables shedding.
+  size_t shed_watermark = 0;
+  // Backoff hint attached to shed / queue-full / draining rejections.
+  uint64_t shed_retry_after_ms = 25;
 };
 
 class QueryService {
@@ -96,14 +145,24 @@ class QueryService {
   explicit QueryService(core::ExecContext base, ServiceOptions options = {});
   ~QueryService();  // Close(): drains queued queries, joins every session
 
+  // Validating factory: fails with kInvalidArgument (naming the offending
+  // token) when OBLIVDB_FAULT_SPEC is set but malformed, instead of
+  // starting a service the operator believes is running under injected
+  // faults when it is not.  The plain constructor skips the check (tests
+  // configure the injector directly).
+  static StatusOr<std::unique_ptr<QueryService>> Create(
+      core::ExecContext base, ServiceOptions options = {});
+
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  // Enqueues a query.  Immediate kResourceExhausted when the admission
-  // queue is full (or the service is closed) — the caller's backpressure
-  // signal; otherwise the PendingQuery resolves exactly once with the
-  // response or with kCancelled / kDeadlineExceeded / any Status the
-  // fallible execution surfaces.
+  // Enqueues a query.  Immediate kResourceExhausted (with queue depth and
+  // a retry_after_ms hint) when the admission queue is full or sheds the
+  // arrival; kUnavailable when the service is draining/closed or the
+  // shape's circuit is open — the caller's backpressure signals.
+  // Otherwise the PendingQuery resolves exactly once with the response or
+  // with kCancelled / kDeadlineExceeded / any Status the fallible
+  // execution surfaces.
   StatusOr<std::shared_ptr<PendingQuery>> Submit(core::PlanPtr plan,
                                                  SessionOptions options = {});
 
@@ -124,6 +183,23 @@ class QueryService {
   // session worker exits.  Idempotent.
   void Close();
 
+  // Graceful shutdown with a budget.  Stops admission immediately (Submit
+  // returns kUnavailable), then waits up to `deadline_seconds` for queued
+  // and in-flight work to finish.  Work still running at the deadline is
+  // cancelled at its next oblivious checkpoint via the service's own
+  // drain token (the client's CancelToken is never touched); work still
+  // queued is flushed as kUnavailable without executing.  Ends with
+  // Close().  Idempotent with Close: a second Drain/Close is a no-op
+  // reporting zeros.
+  struct DrainReport {
+    uint64_t completed = 0;  // resolved ok during the drain window
+    uint64_t failed = 0;     // resolved with their own execution error
+    uint64_t cancelled = 0;  // in flight at the deadline, drain-cancelled
+    uint64_t flushed = 0;    // queued at the deadline, resolved unrun
+    bool deadline_hit = false;
+  };
+  DrainReport Drain(double deadline_seconds);
+
   struct Counters {
     uint64_t submitted = 0;
     uint64_t completed = 0;          // resolved with an ok response
@@ -135,15 +211,24 @@ class QueryService {
     uint64_t coalesced = 0;
     uint64_t batches = 0;
     uint64_t batched_queries = 0;  // queries admitted in batches of >= 2
+    // Resilience-layer counters.
+    uint64_t retries = 0;          // re-execution attempts after a failure
+    uint64_t retry_successes = 0;  // queries rescued by a later attempt
+    uint64_t worker_crashes = 0;   // worker_crash faults absorbed
+    uint64_t crash_requeues = 0;   // queries requeued after their worker died
+    uint64_t shed = 0;             // watermark sheds (admission queue)
+    uint64_t breaker_rejected = 0; // Submit-time open-circuit rejections
   };
   Counters counters() const;
 
   const PlanCache& plan_cache() const { return plan_cache_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
 
   // Session rng streams live at kSessionSeedStreamBase + rng_stream —
   // far above the sharded executor's reserved band ([0,
   // kShardSeedStreamBase + kMaxShards)), so a session seed can never
-  // collide with a shard seed derived from the same root.
+  // collide with a shard seed derived from the same root.  Retry attempts
+  // re-derive *within* a session seed on ExecContext::kRetrySeedStreamBase.
   static constexpr uint64_t kSessionSeedStreamBase = 4096;
 
  private:
@@ -151,12 +236,19 @@ class QueryService {
   StatusOr<QueryResponse> ExecuteQuery(const PendingQuery& query,
                                        ThreadPool* slot_pool,
                                        uint32_t batch_size);
+  // The worker_crash containment path: requeues the batch (at most once
+  // per query), retires this worker's thread handle, respawns the slot.
+  void CrashWorker(unsigned slot,
+                   std::vector<std::shared_ptr<PendingQuery>> batch);
+  // Outcome bookkeeping shared by SessionLoop's resolution paths.
+  void ReportOutcome(const PendingQuery& query, const Status& status);
 
   core::ExecContext base_;
   ServiceOptions options_;
   unsigned session_workers_ = 1;
   AdmissionQueue queue_;
   PlanCache plan_cache_;
+  CircuitBreaker breaker_;
 
   // Traced (exclusive) queries hold this uniquely; untraced queries hold
   // it shared — the guard that keeps the process-global trace state
@@ -164,9 +256,23 @@ class QueryService {
   std::shared_mutex exec_mu_;
 
   std::vector<std::unique_ptr<ThreadPool>> slot_pools_;
+  // slots_/retired_/accepting_respawns_ are guarded by slots_mu_: a
+  // crashing worker swaps its own handle into retired_ and installs a
+  // replacement; Close() flips accepting_respawns_ off, moves every handle
+  // out under the lock, and joins them outside it.
+  std::mutex slots_mu_;
   std::vector<std::thread> slots_;
+  std::vector<std::thread> retired_;
+  bool accepting_respawns_ = true;
+
   bool closed_ = false;
   std::mutex close_mu_;
+
+  // Drain state: draining_ stops admission; drain_token_ rides every
+  // service execution as the secondary cancel token and fires only when a
+  // drain deadline lapses.
+  std::atomic<bool> draining_{false};
+  CancelToken drain_token_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
@@ -178,6 +284,12 @@ class QueryService {
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_queries_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> retry_successes_{0};
+  std::atomic<uint64_t> worker_crashes_{0};
+  std::atomic<uint64_t> crash_requeues_{0};
+  std::atomic<uint64_t> breaker_rejected_{0};
+  std::atomic<uint64_t> drain_cancelled_{0};
 };
 
 }  // namespace oblivdb::service

@@ -1,0 +1,49 @@
+#include "service/retry.h"
+
+#include <string>
+
+namespace oblivdb::service {
+
+namespace {
+constexpr const char kHintKey[] = "retry_after_ms=";
+}  // namespace
+
+bool RetryPolicy::IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kIntegrityViolation:
+    case StatusCode::kResourceExhausted:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kInvalidArgument:
+      return false;
+  }
+  return false;
+}
+
+Status WithRetryAfter(Status status, uint64_t retry_after_ms) {
+  if (status.ok()) return status;
+  std::string message = status.message();
+  message += "; ";
+  message += kHintKey;
+  message += std::to_string(retry_after_ms);
+  return Status(status.code(), std::move(message));
+}
+
+int64_t RetryAfterMsHint(const Status& status) {
+  const std::string& message = status.message();
+  const size_t pos = message.rfind(kHintKey);
+  if (pos == std::string::npos) return -1;
+  size_t i = pos + sizeof(kHintKey) - 1;
+  if (i >= message.size() || message[i] < '0' || message[i] > '9') return -1;
+  int64_t value = 0;
+  for (; i < message.size() && message[i] >= '0' && message[i] <= '9'; ++i) {
+    value = value * 10 + (message[i] - '0');
+    if (value > (int64_t{1} << 40)) break;  // clamp absurd hints
+  }
+  return value;
+}
+
+}  // namespace oblivdb::service

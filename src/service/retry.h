@@ -1,0 +1,70 @@
+// Retry policy for the query service: which Statuses are worth a
+// re-execution, how many attempts a query gets, and how long to back off
+// between them.
+//
+// Retry is *transparent* and *trace-safe*: a retried query re-runs the
+// whole plan under ExecContext::ForAttempt(k) — the same public knobs with
+// the rng stream re-derived per attempt — and because outputs and
+// oblivious traces are pure functions of the public plan shape (the seed
+// steers PRP contents, never an access position), the attempt that finally
+// succeeds is byte-identical to a solo fault-free run.  The chaos harness
+// (bench/bench_chaos.cc) pins exactly that.
+//
+// Retryable: the transient environmental class —
+//
+//   kUnavailable        a worker crashed under the query, a circuit was
+//                       half-open, the service shed it mid-flight;
+//   kIntegrityViolation a MAC failure that survived the EncryptedOArray's
+//                       own bounded in-place retry (an injected transient
+//                       clears on a fresh pass; a genuinely forged cell
+//                       fails every attempt and surfaces after
+//                       max_attempts — bounded, never infinite);
+//   kResourceExhausted  allocation / EPC / pool capacity refused inside
+//                       execution (concurrent-load spikes pass).
+//
+// Never retried: kCancelled / kDeadlineExceeded (the client gave up —
+// re-executing is disrespecting the budget) and kInvalidArgument (the
+// query is wrong, not unlucky).
+//
+// Backoff hints: rejections that expect the *client* to retry (load
+// shedding, queue-full, open circuit) carry a machine-readable
+// "retry_after_ms=N" suffix; WithRetryAfter attaches it and
+// RetryAfterMsHint parses it back, so honest client backoff needs no
+// side channel.
+
+#ifndef OBLIVDB_SERVICE_RETRY_H_
+#define OBLIVDB_SERVICE_RETRY_H_
+
+#include <cstdint>
+
+#include "common/backoff.h"
+#include "common/status.h"
+
+namespace oblivdb::service {
+
+struct RetryPolicy {
+  // Total execution attempts per query, the first included; <= 1 disables
+  // transparent retry.
+  uint32_t max_attempts = 3;
+
+  // Delay schedule between attempts (common/backoff.h): deterministic
+  // seeded jitter, no wall-clock randomness.  base_ms = 0 makes retries
+  // immediate (tests, chaos smoke).
+  BackoffPolicy backoff{};
+
+  bool enabled() const { return max_attempts > 1; }
+
+  // The transient-environmental classification above.
+  static bool IsRetryable(const Status& status);
+};
+
+// Returns `status` with "; retry_after_ms=N" appended to its message — the
+// client-side backoff hint for rejections that should be retried later.
+Status WithRetryAfter(Status status, uint64_t retry_after_ms);
+
+// Parses the hint back out of a Status message; -1 when absent.
+int64_t RetryAfterMsHint(const Status& status);
+
+}  // namespace oblivdb::service
+
+#endif  // OBLIVDB_SERVICE_RETRY_H_

@@ -156,33 +156,39 @@ TEST(CheckOpTest, PassingCheckEvaluatesOperandsOnce) {
 // Fault-spec parsing and injector determinism (common/fault.h).
 
 TEST(FaultSpecTest, EmptyTextParsesToAllOff) {
-  FaultSpec spec;
-  ASSERT_TRUE(FaultSpec::Parse("", &spec).ok());
-  EXPECT_FALSE(spec.any());
+  const StatusOr<FaultSpec> spec = FaultSpec::Parse("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->any());
 }
 
 TEST(FaultSpecTest, ParsesEveryModeKind) {
-  FaultSpec spec;
-  ASSERT_TRUE(FaultSpec::Parse(
-                  "decrypt_mac:0.01;epc_evict:5;pool_spawn:once;alloc:off",
-                  &spec)
-                  .ok());
+  const StatusOr<FaultSpec> parsed = FaultSpec::Parse(
+      "decrypt_mac:0.01;epc_evict:5;pool_spawn:once;alloc:off;"
+      "worker_crash:3");
+  ASSERT_TRUE(parsed.ok());
+  const FaultSpec& spec = *parsed;
   EXPECT_EQ(spec.sites[0].kind, FaultMode::Kind::kProbability);
   EXPECT_DOUBLE_EQ(spec.sites[0].probability, 0.01);
   EXPECT_EQ(spec.sites[1].kind, FaultMode::Kind::kEveryNth);
   EXPECT_EQ(spec.sites[1].n, 5u);
   EXPECT_EQ(spec.sites[2].kind, FaultMode::Kind::kOnce);
   EXPECT_EQ(spec.sites[3].kind, FaultMode::Kind::kOff);
+  EXPECT_EQ(spec.sites[4].kind, FaultMode::Kind::kEveryNth);
+  EXPECT_EQ(spec.sites[4].n, 3u);
   EXPECT_TRUE(spec.any());
 }
 
-TEST(FaultSpecTest, RejectsUnknownSiteAndBadMode) {
-  FaultSpec spec;
-  EXPECT_EQ(FaultSpec::Parse("bogus_site:once", &spec).code(),
-            StatusCode::kInvalidArgument);
-  EXPECT_EQ(FaultSpec::Parse("decrypt_mac:1.5", &spec).code(),
-            StatusCode::kInvalidArgument);
-  EXPECT_EQ(FaultSpec::Parse("decrypt_mac", &spec).code(),
+TEST(FaultSpecTest, RejectsUnknownSiteAndBadModeNamingTheToken) {
+  const StatusOr<FaultSpec> bad_site = FaultSpec::Parse("bogus_site:once");
+  ASSERT_FALSE(bad_site.ok());
+  EXPECT_EQ(bad_site.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_site.status().message().find("bogus_site"),
+            std::string::npos);
+  const StatusOr<FaultSpec> bad_mode = FaultSpec::Parse("decrypt_mac:1.5");
+  ASSERT_FALSE(bad_mode.ok());
+  EXPECT_EQ(bad_mode.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_mode.status().message().find("1.5"), std::string::npos);
+  EXPECT_EQ(FaultSpec::Parse("decrypt_mac").status().code(),
             StatusCode::kInvalidArgument);
 }
 

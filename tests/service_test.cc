@@ -454,6 +454,67 @@ TEST(QueryServiceTest, SamePlanObjectQueriesCoalesceWithinABatch) {
   EXPECT_EQ(svc.counters().coalesced, 2u);
 }
 
+// A batch member whose deadline lapsed while it queued fails alone: only it
+// resolves kDeadlineExceeded, and its batchmates' responses are
+// byte-identical to a solo run.
+
+TEST(QueryServiceTest, ExpiredBatchMemberFailsAloneWithinItsBatch) {
+  auto gate = std::make_shared<Gate>();
+  const PlanPtr blocker = core::Select(
+      core::Scan(FactTable("fb", 16, 4, 1)),
+      [gate](const Record& r) {
+        gate->Enter();
+        return KeyBelow(r, 3);
+      },
+      /*key_only=*/false);
+  const PlanPtr repeated = core::Join(core::Scan(FactTable("fr", 64, 8, 2)),
+                                      KeyUniqueScan(DimTable("dr", 8, 2)));
+
+  PrivateCacheContext base;
+  ServiceOptions opts;
+  opts.sessions = 1;
+  opts.batch_admit = true;
+  QueryService svc(base.ctx, opts);
+
+  std::vector<Record> expected;
+  {
+    Executor ex(svc.MakeSessionContext(SessionOptions{}));
+    expected = ex.Execute(repeated).table.rows();
+  }
+
+  auto pb = svc.Submit(blocker);
+  ASSERT_TRUE(pb.ok());
+  gate->AwaitEntered();
+
+  // Three same-shape members queue behind the blocker; the middle one's
+  // deadline expires while it waits (the blocker holds the only worker).
+  auto first = svc.Submit(repeated);
+  SessionOptions doomed;
+  doomed.deadline_seconds = 1e-9;
+  auto expired = svc.Submit(repeated, doomed);
+  auto last = svc.Submit(repeated);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(expired.ok());
+  ASSERT_TRUE(last.ok());
+  gate->Open();
+
+  ASSERT_TRUE((*pb)->Wait().ok());
+  const StatusOr<QueryResponse>& re = (*expired)->Wait();
+  ASSERT_FALSE(re.ok());
+  EXPECT_EQ(re.status().code(), StatusCode::kDeadlineExceeded);
+
+  for (const auto& p : {*first, *last}) {
+    const StatusOr<QueryResponse>& r = p->Wait();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->result.table.rows(), expected);
+    EXPECT_EQ(r->batch_size, 3u);
+  }
+  EXPECT_EQ(svc.counters().rejected_deadline, 1u);
+  EXPECT_EQ(svc.counters().coalesced, 1u);  // `last` copied `first`'s run
+  EXPECT_EQ(svc.counters().completed, 3u);  // blocker + two survivors
+  EXPECT_EQ(svc.counters().failed, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Plan cache: a repeat of the same plan object is an identity hit, warms
 // the artifact cache, and the annotated explain renders cache=hit.
